@@ -1,0 +1,455 @@
+package repro
+
+// One benchmark (or benchmark group) per table/figure/claim of the paper's
+// evaluation, mirroring the experiment index in DESIGN.md:
+//
+//	Table I / E1  BenchmarkTable1QueryPlain, BenchmarkTable1QueryOMG
+//	E2            derived from the sim-ms metrics of the E1 benchmarks
+//	E3            BenchmarkModelEncode, BenchmarkModelDecrypt
+//	E4            BenchmarkWorldSwitch, BenchmarkSecureMicCapture
+//	E5 / Fig. 2   BenchmarkPreparePhase, BenchmarkInitializePhase
+//	E6            BenchmarkEnclaveLifecycle
+//	E7            BenchmarkHEInference, BenchmarkMPCInference
+//	E8            BenchmarkPrimeProbe
+//	E10           BenchmarkModelScaling
+//	(engine)      BenchmarkFFTFixed512, BenchmarkFrontendExtract,
+//	              BenchmarkInterpreterInvoke, BenchmarkTrainEpoch
+//
+// Wall-clock numbers measure the simulator on the host; the sim-ms metric
+// reports simulated device time where meaningful.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/harness"
+	"repro/internal/he"
+	"repro/internal/hw"
+	"repro/internal/intnet"
+	"repro/internal/mpc"
+	"repro/internal/omgcrypto"
+	"repro/internal/speechcmd"
+	"repro/internal/tflm"
+	"repro/internal/train"
+	"repro/internal/trustzone"
+)
+
+// Shared expensive fixtures, built once per bench run.
+var (
+	fixOnce     sync.Once
+	fixRoot     *omgcrypto.Identity
+	fixVendorID *omgcrypto.Identity
+	fixModel    *tflm.Model
+	fixUtt      []int16
+)
+
+func fixture(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		rng := omgcrypto.NewDRBG("bench-fixture")
+		var err error
+		if fixRoot, err = omgcrypto.NewIdentity(rng, "device-vendor"); err != nil {
+			b.Fatal(err)
+		}
+		if fixVendorID, err = omgcrypto.NewIdentity(rng, "acme-models"); err != nil {
+			b.Fatal(err)
+		}
+		if fixModel, err = tflm.BuildRandomTinyConv(1, 7); err != nil {
+			b.Fatal(err)
+		}
+		gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+		fixUtt = gen.Utterance("yes", 3, 0)
+	})
+}
+
+func benchDevice(b *testing.B, seed string) *core.Device {
+	b.Helper()
+	fixture(b)
+	dev, err := core.NewDevice(core.DeviceConfig{
+		Root:           fixRoot,
+		Rand:           omgcrypto.NewDRBG("bench-device-" + seed),
+		EnclaveKeyBits: 1024,
+		SoC:            hw.Config{BigCores: 2, LittleCores: 2, DRAMSize: 256 << 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+func benchSession(b *testing.B, seed string) *core.Session {
+	b.Helper()
+	dev := benchDevice(b, seed)
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vendor, err := core.NewVendor(omgcrypto.NewDRBG("bench-vendor-"+seed), fixRoot.Public(), fixVendorID, model, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := core.NewUser(fixRoot.Public(), vendor.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewSession(dev, vendor, user, omgcrypto.NewDRBG("bench-session-"+seed))
+	if err := s.Prepare(vendor.Public()); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Initialize(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable1QueryOMG measures one protected query (Table I, OMG row).
+func BenchmarkTable1QueryOMG(b *testing.B) {
+	s := benchSession(b, "t1omg")
+	encCore := s.App.Enclave().Core()
+	encCore.ResetCycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Device.Speak(fixUtt)
+		if _, err := s.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(encCore.Elapsed().Microseconds())/1000/float64(b.N), "sim-ms/op")
+}
+
+// BenchmarkTable1QueryPlain measures the unprotected baseline (Table I).
+func BenchmarkTable1QueryPlain(b *testing.B) {
+	fixture(b)
+	soc := hw.NewSoC(hw.Config{BigCores: 1, LittleCores: 0, DRAMSize: 64 << 20})
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain, err := core.NewPlainRunner(soc, 0, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain.Core().ResetCycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		soc.Microphone().Feed(fixUtt)
+		if _, err := plain.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(plain.Core().Elapsed().Microseconds())/1000/float64(b.N), "sim-ms/op")
+}
+
+// BenchmarkModelEncode serializes the model (E3's size measurement path).
+func BenchmarkModelEncode(b *testing.B) {
+	fixture(b)
+	var size int
+	for i := 0; i < b.N; i++ {
+		blob, err := tflm.Encode(fixModel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(blob)
+	}
+	b.ReportMetric(float64(size), "bytes")
+}
+
+// BenchmarkModelDecrypt covers the initialization-phase AES-GCM open of the
+// ~54 kB model package (E5, step 6).
+func BenchmarkModelDecrypt(b *testing.B) {
+	fixture(b)
+	blob, err := tflm.Encode(fixModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := omgcrypto.NewDRBG("bench-seal")
+	key, _ := omgcrypto.RandomBytes(rng, omgcrypto.KeySize)
+	env, err := omgcrypto.Seal(rng, key, blob, omgcrypto.ModelAAD(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := omgcrypto.Open(key, env, omgcrypto.ModelAAD(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldSwitch measures the SMC round trip (E4; paper: ~0.3 ms).
+func BenchmarkWorldSwitch(b *testing.B) {
+	dev := benchDevice(b, "switch")
+	dev.Monitor.Register("bench.noop", func(ctx *trustzone.SecureContext, req any) (any, error) { return nil, nil })
+	c := dev.SoC.Core(1)
+	c.ResetCycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Monitor.Call(c, "bench.noop", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.Elapsed().Microseconds())/1000/float64(b.N), "sim-ms/op")
+}
+
+// BenchmarkSecureMicCapture measures the secure sensor path (E4).
+func BenchmarkSecureMicCapture(b *testing.B) {
+	s := benchSession(b, "miccap")
+	encCore := s.App.Enclave().Core()
+	encCore.ResetCycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Device.Speak(fixUtt)
+		if _, err := s.App.CaptureOnly(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(encCore.Elapsed().Microseconds())/1000/float64(b.N), "sim-ms/op")
+}
+
+// BenchmarkPreparePhase runs the full preparation phase (E5 / Fig. 2 1–4).
+func BenchmarkPreparePhase(b *testing.B) {
+	fixture(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dev := benchDevice(b, "prep")
+		model, err := tflm.BuildRandomTinyConv(1, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vendor, err := core.NewVendor(omgcrypto.NewDRBG("bench-vendor-prep"), fixRoot.Public(), fixVendorID, model, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		user, err := core.NewUser(fixRoot.Public(), vendor.Public())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.NewSession(dev, vendor, user, omgcrypto.NewDRBG("bench-sess-prep"))
+		b.StartTimer()
+		if err := s.Prepare(vendor.Public()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInitializePhase runs phase II repeatedly against one prepared
+// device (E5 / Fig. 2 steps 5–6).
+func BenchmarkInitializePhase(b *testing.B) {
+	s := benchSession(b, "init")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Initialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnclaveLifecycle measures setup+boot+teardown (E6, §III-B).
+func BenchmarkEnclaveLifecycle(b *testing.B) {
+	dev := benchDevice(b, "lifecycle")
+	fixture(b)
+	vendorPub := fixVendorID.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := core.LaunchEnclave(dev, vendorPub, omgcrypto.NewDRBG("bench-lc"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := app.Teardown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHEInference is the E7 HE baseline at a reduced key size (the
+// harness projects to 2048 bits; modexp scales ~cubically).
+func BenchmarkHEInference(b *testing.B) {
+	fixture(b)
+	spec, err := intnet.FromModel(fixModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := he.GenerateKey(omgcrypto.NewDRBG("bench-paillier"), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := he.NewEngine(sk, spec, omgcrypto.NewDRBG("bench-he"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		b.Fatal(err)
+	}
+	features := fe.Extract(fixUtt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Infer(features); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPCInference is the E7 2PC baseline (full tiny_conv).
+func BenchmarkMPCInference(b *testing.B) {
+	fixture(b)
+	spec, err := intnet.FromModel(fixModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := mpc.NewProtocol(spec, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		b.Fatal(err)
+	}
+	features := fe.Extract(fixUtt)
+	var wan float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := proto.Infer(features)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wan = float64(rep.WANTime.Milliseconds())
+	}
+	b.ReportMetric(wan, "wan-ms/op")
+}
+
+// BenchmarkPrimeProbe measures one prime+probe trial round (E8).
+func BenchmarkPrimeProbe(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		exclude bool
+	}{{"unprotected", false}, {"partitioned", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.PrimeProbeTrials(10, cfg.exclude); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelScaling is E10: inference vs model width.
+func BenchmarkModelScaling(b *testing.B) {
+	for _, mul := range []int{1, 2, 4, 8} {
+		b.Run(sizeName(mul), func(b *testing.B) {
+			model, err := tflm.BuildRandomTinyConv(mul, int64(mul))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ip, err := tflm.NewInterpreter(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range ip.Input(0).I8 {
+				ip.Input(0).I8[i] = int8(i % 251)
+			}
+			simMS := float64(tflm.InferenceCycles(model)) / 2.4e9 * 1e3
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ip.Invoke(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(simMS, "sim-ms/op")
+		})
+	}
+}
+
+func sizeName(mul int) string {
+	return map[int]string{1: "1x", 2: "2x", 4: "4x", 8: "8x"}[mul]
+}
+
+// BenchmarkFFTFixed512 measures the frontend's core primitive.
+func BenchmarkFFTFixed512(b *testing.B) {
+	re := make([]int32, 512)
+	im := make([]int32, 512)
+	for i := range re {
+		re[i] = int32((i*2654435761 + 123) % 32768)
+	}
+	work := make([]int32, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, re)
+		for j := range im {
+			im[j] = 0
+		}
+		if err := dsp.FFTFixed(work, im); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontendExtract measures full fingerprint extraction.
+func BenchmarkFrontendExtract(b *testing.B) {
+	fixture(b)
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fe.Extract(fixUtt)
+	}
+}
+
+// BenchmarkInterpreterInvoke measures the raw tiny_conv int8 inference.
+func BenchmarkInterpreterInvoke(b *testing.B) {
+	fixture(b)
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip, err := tflm.NewInterpreter(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range ip.Input(0).I8 {
+		ip.Input(0).I8[i] = int8(i % 251)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ip.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainEpoch measures one SGD epoch of the float tiny_conv on a
+// small corpus (the §VI training pipeline).
+func BenchmarkTrainEpoch(b *testing.B) {
+	gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var samples []train.Sample
+	for label := 0; label < speechcmd.NumLabels; label++ {
+		for take := 0; take < 2; take++ {
+			ex := gen.Example(label, 1, take)
+			samples = append(samples, train.Sample{Features: fe.Extract(ex.Samples), Label: ex.Label})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := train.NewTinyConv(train.PaperTinyConv(), newRand(int64(i)))
+		cfg := train.TrainConfig{Epochs: 1, BatchSize: 8, LR: 0.02, Momentum: 0.9, Seed: int64(i)}
+		if err := train.Fit(m, samples, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Offline Model Guard:
+// Secure and Private ML on Mobile Devices" (Bayerl et al., DATE 2020).
+//
+// The implementation lives under internal/: a cycle-approximate ARM SoC
+// simulator with TrustZone and SANCTUARY enclaves, a TFLM-style int8
+// inference engine, the paper's audio frontend and training pipeline, the
+// OMG three-phase protocol, and HE/SMPC baselines. See README.md for the
+// map and DESIGN.md for the design rationale; cmd/omg-bench regenerates
+// every number in EXPERIMENTS.md.
+//
+// The benchmarks in this package (bench_test.go) cover every table and
+// figure of the paper's evaluation; run them with
+//
+//	go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,97 @@
+// License revocation: the §V mechanism that lets the vendor keep control of
+// its model after it left the building. The vendor "can actively manage the
+// access of U to the model by either sending or not sending the symmetric
+// key KU" — this example walks an expiry/renewal cycle.
+//
+//	go run ./examples/license-revocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/omgcrypto"
+	"repro/internal/speechcmd"
+	"repro/internal/tflm"
+)
+
+func main() {
+	rng := omgcrypto.NewDRBG("revocation-example")
+	root, err := omgcrypto.NewIdentity(rng, "device-vendor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendorID, err := omgcrypto.NewIdentity(rng, "model-vendor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := tflm.BuildRandomTinyConv(1, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device, err := core.NewDevice(core.DeviceConfig{
+		Root: root, Rand: omgcrypto.NewDRBG("revocation-device"), EnclaveKeyBits: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendor, err := core.NewVendor(rng, root.Public(), vendorID, model, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := core.NewUser(root.Public(), vendor.Public())
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := core.NewSession(device, vendor, user, rng)
+
+	// Day 0: subscription active.
+	if err := session.Prepare(vendor.Public()); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+	device.Speak(gen.Utterance("on", 1, 0))
+	if _, err := session.Query(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("day 0: subscription active — queries served from the enclave")
+
+	// Day 30: subscription expires. The vendor revokes; the encrypted model
+	// is still on the device's flash, but the next enclave start cannot
+	// obtain KU.
+	vendor.Revoke(user.VerifiedEnclaveKey())
+	if err := session.App.Teardown(); err != nil {
+		log.Fatal(err)
+	}
+	app, err := core.LaunchEnclave(device, vendor.Public(), omgcrypto.NewDRBG("relaunch-1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	session.App = app
+	if err := session.Initialize(); err != nil {
+		fmt.Println("day 30: license expired —", err)
+	} else {
+		log.Fatal("BUG: revoked device obtained the key")
+	}
+	if session.App.Ready() {
+		log.Fatal("BUG: model decrypted without a license")
+	}
+	fmt.Println("        the ciphertext on flash is inert without KU")
+
+	// Day 31: the user renews. Reinstate and the same ciphertext serves
+	// again — no re-provisioning needed (Fig. 2: steps 3–4 stay skipped).
+	vendor.Reinstate(user.VerifiedEnclaveKey())
+	if err := session.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	device.Speak(gen.Utterance("off", 1, 1))
+	res, err := session.Query()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 31: renewed — enclave classifies again (%q)\n", speechcmd.LabelName(res.Label))
+}

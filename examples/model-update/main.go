@@ -1,0 +1,106 @@
+// Model update and rollback protection: the vendor ships v2 of its model
+// and the §V nonce binding ("As the key KU depends on the nonce n, this
+// also prevents rollback attacks") keeps a malicious OS from reviving v1.
+//
+//	go run ./examples/model-update
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/omgcrypto"
+	"repro/internal/tflm"
+)
+
+func main() {
+	rng := omgcrypto.NewDRBG("update-example")
+	root, err := omgcrypto.NewIdentity(rng, "device-vendor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendorID, err := omgcrypto.NewIdentity(rng, "model-vendor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := tflm.BuildRandomTinyConv(1, 101)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device, err := core.NewDevice(core.DeviceConfig{
+		Root: root, Rand: omgcrypto.NewDRBG("update-device"), EnclaveKeyBits: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendor, err := core.NewVendor(rng, root.Public(), vendorID, v1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := core.NewUser(root.Public(), vendor.Public())
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := core.NewSession(device, vendor, user, rng)
+	if err := session.Prepare(vendor.Public()); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("running model v%d\n", session.App.Version())
+
+	// The OS squirrels away the v1 ciphertext for later mischief.
+	staleBlob, _ := device.SoC.Flash().Load(core.ModelBlobName)
+
+	// The vendor ships v2 (e.g. retrained on more data). The enclave
+	// re-runs steps 2–4 to fetch the new ciphertext.
+	v2, err := tflm.BuildRandomTinyConv(1, 202)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vendor.UpdateModel(v2, 2); err != nil {
+		log.Fatal(err)
+	}
+	nonce, _ := omgcrypto.RandomBytes(rng, 16)
+	report, chain, err := session.App.Attest(nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkg, err := vendor.ProvisionModel(report, chain, nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := session.App.StoreModelPackage(pkg); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("updated to model v%d\n", session.App.Version())
+
+	// Rollback attempt: the OS restores the stale v1 ciphertext and asks
+	// the vendor for a key. The vendor only licenses the current version,
+	// and v1's KU no longer exists.
+	device.SoC.Flash().Store(core.ModelBlobName, staleBlob)
+	req, err := session.App.RequestKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OS restored the v%d ciphertext and requests its key…\n", req.Version)
+	if _, err := vendor.IssueKey(req); err != nil {
+		fmt.Println("vendor refuses:", err)
+	} else {
+		log.Fatal("BUG: superseded version re-licensed")
+	}
+
+	// Restore v2 honestly and continue.
+	if err := session.App.StoreModelPackage(pkg); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device continues on v%d — rollback defeated\n", session.App.Version())
+}

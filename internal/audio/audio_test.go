@@ -1,0 +1,152 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	samples := []int16{0, 1, -1, 32767, -32768, 1234, -4321}
+	blob := EncodeWAV(samples, 16000)
+	got, rate, err := DecodeWAV(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 16000 {
+		t.Fatalf("rate = %d", rate)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Fatalf("samples mismatch: %v vs %v", got, samples)
+	}
+}
+
+func TestWAVRoundTripProperty(t *testing.T) {
+	f := func(raw []int16, rate uint16) bool {
+		if rate == 0 {
+			rate = 8000
+		}
+		got, r, err := DecodeWAV(EncodeWAV(raw, int(rate)))
+		if err != nil || r != int(rate) {
+			return false
+		}
+		if len(raw) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWAVDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("tiny"),
+		append([]byte("RIFX"), make([]byte, 64)...),
+		EncodeWAV([]int16{1, 2, 3}, 16000)[:20],
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeWAV(c); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+	// Stereo / wrong format rejected.
+	blob := EncodeWAV([]int16{1, 2, 3, 4}, 16000)
+	blob[22] = 2 // channels = 2
+	if _, _, err := DecodeWAV(blob); err == nil {
+		t.Error("stereo accepted")
+	}
+}
+
+func TestWAVDecodeSkipsExtraChunks(t *testing.T) {
+	blob := EncodeWAV([]int16{5, 6, 7}, 16000)
+	// Splice a LIST chunk between fmt and data.
+	extra := append([]byte("LIST"), 4, 0, 0, 0, 'I', 'N', 'F', 'O')
+	spliced := append(append(append([]byte{}, blob[:36]...), extra...), blob[36:]...)
+	// Fix the RIFF size.
+	spliced[4] = byte(len(spliced) - 8)
+	got, _, err := DecodeWAV(spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int16{5, 6, 7}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSweepProducesTone(t *testing.T) {
+	b := NewBuffer(16000)
+	b.AddSweep(16000, 0.1, 0.5, 440, 440, 0.8, 0.02)
+	pcm := b.ToPCM16(1)
+	// Energy concentrated in the sweep interval.
+	head := RMS(pcm[:1000])
+	mid := RMS(pcm[4000:8000])
+	if head > 0.01 {
+		t.Fatalf("energy before sweep: %v", head)
+	}
+	if mid < 0.2 {
+		t.Fatalf("no energy in sweep: %v", mid)
+	}
+}
+
+func TestNoiseAndClipping(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	b := NewBuffer(4000)
+	b.AddBackgroundNoise(r, 0.1)
+	if RMS(b.ToPCM16(1)) < 0.01 {
+		t.Fatal("background noise missing")
+	}
+	// Gross overdrive clips instead of wrapping.
+	loud := NewBuffer(100)
+	loud.AddSweep(16000, 0, 0.01, 100, 100, 100, 0)
+	pcm := loud.ToPCM16(1)
+	for _, s := range pcm {
+		if s > 32767 || s < -32768 {
+			t.Fatal("sample out of range")
+		}
+	}
+}
+
+func TestNoiseBurstDeterministic(t *testing.T) {
+	mk := func() []int16 {
+		r := rand.New(rand.NewSource(42))
+		b := NewBuffer(2000)
+		b.AddNoiseBurst(r, 16000, 0.01, 0.1, 0.5, 0.01)
+		return b.ToPCM16(1)
+	}
+	if !reflect.DeepEqual(mk(), mk()) {
+		t.Fatal("noise burst not reproducible from seed")
+	}
+}
+
+func TestEnvelopeShape(t *testing.T) {
+	if e := envelope(0, 1, 0.1); e != 0 {
+		t.Fatalf("attack start = %v", e)
+	}
+	if e := envelope(0.5, 1, 0.1); e != 1 {
+		t.Fatalf("sustain = %v", e)
+	}
+	if e := envelope(1, 1, 0.1); math.Abs(e) > 1e-9 {
+		t.Fatalf("release end = %v", e)
+	}
+	if e := envelope(0.5, 1, 0); e != 1 {
+		t.Fatalf("zero edge = %v", e)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil)")
+	}
+	full := make([]int16, 100)
+	for i := range full {
+		full[i] = 32767
+	}
+	if v := RMS(full); math.Abs(v-1) > 1e-6 {
+		t.Fatalf("RMS(full) = %v", v)
+	}
+}

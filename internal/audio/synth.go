@@ -1,0 +1,119 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Synthesis primitives for the substitute Speech Commands corpus. Everything
+// is driven by an explicit *rand.Rand so corpora are reproducible from a
+// seed.
+
+// Buffer is a float64 mixing buffer later quantized to PCM16.
+type Buffer []float64
+
+// NewBuffer allocates a zeroed mixing buffer of n samples.
+func NewBuffer(n int) Buffer { return make(Buffer, n) }
+
+// AddSweep mixes a linear frequency sweep from f0 to f1 Hz spanning
+// [start, start+dur) seconds, with amplitude amp and a raised-cosine
+// attack/release of edge seconds. Formant trajectories of the synthetic
+// words are built from these sweeps.
+func (b Buffer) AddSweep(sampleRate int, start, dur, f0, f1, amp, edge float64) {
+	if dur <= 0 {
+		return
+	}
+	s0 := int(start * float64(sampleRate))
+	n := int(dur * float64(sampleRate))
+	phase := 0.0
+	for i := 0; i < n; i++ {
+		idx := s0 + i
+		if idx < 0 || idx >= len(b) {
+			continue
+		}
+		tt := float64(i) / float64(n) // 0..1 within the segment
+		f := f0 + (f1-f0)*tt
+		phase += 2 * math.Pi * f / float64(sampleRate)
+		b[idx] += amp * envelope(tt, dur, edge) * math.Sin(phase)
+	}
+}
+
+// AddNoiseBurst mixes shaped white noise (a crude fricative) into
+// [start, start+dur) seconds.
+func (b Buffer) AddNoiseBurst(r *rand.Rand, sampleRate int, start, dur, amp, edge float64) {
+	if dur <= 0 {
+		return
+	}
+	s0 := int(start * float64(sampleRate))
+	n := int(dur * float64(sampleRate))
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		idx := s0 + i
+		if idx < 0 || idx >= len(b) {
+			continue
+		}
+		tt := float64(i) / float64(n)
+		// High-pass-ish noise: difference of white noise samples.
+		w := r.Float64()*2 - 1
+		b[idx] += amp * envelope(tt, dur, edge) * (w - 0.5*prev)
+		prev = w
+	}
+}
+
+// AddBackgroundNoise mixes stationary noise over the whole buffer (room
+// tone), the main difficulty knob of the synthetic task.
+func (b Buffer) AddBackgroundNoise(r *rand.Rand, amp float64) {
+	for i := range b {
+		b[i] += amp * (r.Float64()*2 - 1)
+	}
+}
+
+// envelope is a raised-cosine attack/release window: tt in [0,1] over a
+// segment of dur seconds with edge seconds of fade at each end.
+func envelope(tt, dur, edge float64) float64 {
+	if edge <= 0 || dur <= 0 {
+		return 1
+	}
+	e := edge / dur // fraction of the segment
+	if e > 0.5 {
+		e = 0.5
+	}
+	switch {
+	case tt < e:
+		return 0.5 - 0.5*math.Cos(math.Pi*tt/e)
+	case tt > 1-e:
+		return 0.5 - 0.5*math.Cos(math.Pi*(1-tt)/e)
+	default:
+		return 1
+	}
+}
+
+// ToPCM16 quantizes the mixing buffer to int16 with the given gain and hard
+// clipping, as a microphone ADC would.
+func (b Buffer) ToPCM16(gain float64) []int16 {
+	out := make([]int16, len(b))
+	for i, v := range b {
+		s := v * gain * 32767
+		if s > 32767 {
+			s = 32767
+		}
+		if s < -32768 {
+			s = -32768
+		}
+		out[i] = int16(s)
+	}
+	return out
+}
+
+// RMS returns the root-mean-square level of PCM16 samples (0..1 scale).
+func RMS(samples []int16) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, s := range samples {
+		v := float64(s) / 32767
+		acc += v * v
+	}
+	return math.Sqrt(acc / float64(len(samples)))
+}

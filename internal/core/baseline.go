@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dsp"
+	"repro/internal/hw"
+	"repro/internal/tflm"
+)
+
+// PlainRunner is the Table I baseline: the same frontend and interpreter
+// running as an ordinary normal-world process with no enclave, no TZASC
+// region, no secure peripheral path — and no protection. It charges the
+// identical compute costs to its core, so the difference to KWSApp.Query is
+// exactly the OMG overhead.
+type PlainRunner struct {
+	soc    *hw.SoC
+	core   *hw.Core
+	fe     *dsp.Frontend
+	interp *tflm.Interpreter
+}
+
+// NewPlainRunner builds the unprotected runner on the given core. The model
+// arrives in plaintext, as it would in a conventional deployment.
+func NewPlainRunner(soc *hw.SoC, coreID int, model *tflm.Model) (*PlainRunner, error) {
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		return nil, err
+	}
+	interp, err := tflm.NewInterpreter(model)
+	if err != nil {
+		return nil, err
+	}
+	core := soc.Core(coreID)
+	interp.SetMeter(core)
+	return &PlainRunner{soc: soc, core: core, fe: fe, interp: interp}, nil
+}
+
+// Core returns the core the runner executes on.
+func (r *PlainRunner) Core() *hw.Core { return r.core }
+
+// Query reads the microphone directly from the normal world (possible only
+// because this configuration never assigned it to the secure world) and
+// runs one inference.
+func (r *PlainRunner) Query() (*QueryResult, error) {
+	samples, err := r.soc.ReadMic(r.core, r.fe.Config().SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("core: microphone empty")
+	}
+	features := r.fe.Extract(samples)
+	r.core.Charge(r.fe.Cycles())
+	in := r.interp.Input(0)
+	for i, f := range features {
+		in.I8[i] = int8(int32(f) - 128)
+	}
+	if err := r.interp.Invoke(); err != nil {
+		return nil, err
+	}
+	out := r.interp.Output(0)
+	probs := make([]float64, out.NumElements())
+	for i, q := range out.I8 {
+		probs[i] = out.Quant.Dequantize(q)
+	}
+	return &QueryResult{Label: tflm.Argmax(out), Probs: probs}, nil
+}

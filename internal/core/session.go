@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/omgcrypto"
+)
+
+// Session wires user, vendor, device and enclave app through the three OMG
+// phases. The vendor connection exists only during preparation and
+// initialization; the operation phase is fully offline.
+type Session struct {
+	Device *Device
+	Vendor *Vendor
+	User   *User
+	App    *KWSApp
+	rng    io.Reader
+}
+
+// NewSession creates a session over an already-booted device.
+func NewSession(dev *Device, vendor *Vendor, user *User, rng io.Reader) *Session {
+	return &Session{Device: dev, Vendor: vendor, User: user, rng: rng}
+}
+
+// Prepare runs phase I (§V steps 1–4): launch and attest the enclave to
+// user and vendor, receive the encrypted model, park it on flash.
+func (s *Session) Prepare(vendorPub []byte) error {
+	app, err := LaunchEnclave(s.Device, vendorPub, s.rng)
+	if err != nil {
+		return fmt.Errorf("core: preparation: %w", err)
+	}
+	s.App = app
+
+	// Step 1: attestation to the user via secure output.
+	userNonce, err := omgcrypto.RandomBytes(s.rng, 16)
+	if err != nil {
+		return err
+	}
+	report, chain, err := app.Attest(userNonce)
+	if err != nil {
+		return err
+	}
+	if err := s.User.VerifyEnclave(report, chain, userNonce); err != nil {
+		return err
+	}
+
+	// Step 2: attestation to the vendor over the enclave's secure channel.
+	vendorNonce, err := omgcrypto.RandomBytes(s.rng, 16)
+	if err != nil {
+		return err
+	}
+	report, chain, err = app.Attest(vendorNonce)
+	if err != nil {
+		return err
+	}
+	// Steps 3–4: encrypted model provisioning and local storage.
+	pkg, err := s.Vendor.ProvisionModel(report, chain, vendorNonce)
+	if err != nil {
+		return err
+	}
+	return app.StoreModelPackage(pkg)
+}
+
+// Initialize runs phase II (§V steps 5–6): the enclave emits a fresh key
+// request, the vendor checks the license and answers with the wrapped,
+// signed KU, and the enclave decrypts the model.
+func (s *Session) Initialize() error {
+	if s.App == nil {
+		return fmt.Errorf("core: initialize before prepare")
+	}
+	req, err := s.App.RequestKey()
+	if err != nil {
+		return err
+	}
+	resp, err := s.Vendor.IssueKey(req)
+	if err != nil {
+		return err
+	}
+	return s.App.Initialize(resp)
+}
+
+// Query runs one offline operation-phase inference over whatever the user
+// spoke into the microphone.
+func (s *Session) Query() (*QueryResult, error) {
+	if s.App == nil {
+		return nil, fmt.Errorf("core: query before prepare")
+	}
+	return s.App.Query()
+}

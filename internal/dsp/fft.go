@@ -1,0 +1,151 @@
+// Package dsp implements the audio feature frontend of the paper's keyword
+// spotter (§VI): "Features are computed using a 256 bin fixed point FFT
+// across 30 ms windows (20 ms shift), averaging 6 neighboring bins,
+// resulting in 43 values per frame. The 49 frames for each recording are
+// concatenated, forming a fixed 49 × 43 compressed spectrogram
+// ('fingerprint') per utterance."
+//
+// The package provides a fixed-point radix-2 FFT (the kind that runs on
+// microcontrollers without an FPU), a float64 reference FFT used to bound
+// its error in tests, and the fingerprint extractor.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// FFTFloat computes the in-place radix-2 decimation-in-time FFT of the
+// complex sequence (re, im). len(re) must be a power of two. It is the
+// reference implementation for testing the fixed-point path.
+func FFTFloat(re, im []float64) error {
+	n := len(re)
+	if len(im) != n {
+		return fmt.Errorf("dsp: re/im length mismatch %d/%d", n, len(im))
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT size %d not a power of two", n)
+	}
+	bitReverseF(re, im)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				ang := step * float64(k)
+				wr, wi := math.Cos(ang), math.Sin(ang)
+				i, j := start+k, start+k+half
+				tr := wr*re[j] - wi*im[j]
+				ti := wr*im[j] + wi*re[j]
+				re[j] = re[i] - tr
+				im[j] = im[i] - ti
+				re[i] += tr
+				im[i] += ti
+			}
+		}
+	}
+	return nil
+}
+
+func bitReverseF(re, im []float64) {
+	n := len(re)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+}
+
+// twiddle tables for the fixed-point FFT, Q15, cached per size.
+var (
+	twMu    sync.Mutex
+	twCache = map[int]*twiddles{}
+)
+
+type twiddles struct {
+	cos []int32 // Q15
+	sin []int32 // Q15
+}
+
+func twiddlesFor(n int) *twiddles {
+	twMu.Lock()
+	defer twMu.Unlock()
+	if tw, ok := twCache[n]; ok {
+		return tw
+	}
+	tw := &twiddles{cos: make([]int32, n/2), sin: make([]int32, n/2)}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		tw.cos[k] = int32(math.Round(math.Cos(ang) * 32767))
+		tw.sin[k] = int32(math.Round(math.Sin(ang) * 32767))
+	}
+	twCache[n] = tw
+	return tw
+}
+
+// FFTFixed computes an in-place fixed-point radix-2 FFT. Inputs are Q15-ish
+// int32 values (|x| ≤ 32767 recommended); every butterfly stage scales by
+// 1/2 so intermediate values never overflow, for a total output scaling of
+// 1/n relative to the mathematical DFT. This mirrors the scaling scheme of
+// the CMSIS/KissFFT fixed-point transforms that TFLM's micro_features use.
+func FFTFixed(re, im []int32) error {
+	n := len(re)
+	if len(im) != n {
+		return fmt.Errorf("dsp: re/im length mismatch %d/%d", n, len(im))
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT size %d not a power of two", n)
+	}
+	bitReverseI(re, im)
+	tw := twiddlesFor(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		stride := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				wr := tw.cos[k*stride]
+				wi := tw.sin[k*stride]
+				i, j := start+k, start+k+half
+				// Complex multiply in Q15 with rounding.
+				tr := int32((int64(wr)*int64(re[j]) - int64(wi)*int64(im[j]) + 16384) >> 15)
+				ti := int32((int64(wr)*int64(im[j]) + int64(wi)*int64(re[j]) + 16384) >> 15)
+				// Stage scaling by 1/2 keeps magnitudes bounded.
+				ai := re[i] >> 1
+				bi := im[i] >> 1
+				tr >>= 1
+				ti >>= 1
+				re[j] = ai - tr
+				im[j] = bi - ti
+				re[i] = ai + tr
+				im[i] = bi + ti
+			}
+		}
+	}
+	return nil
+}
+
+func bitReverseI(re, im []int32) {
+	n := len(re)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+}
+
+// ButterflyCount returns the number of butterflies an n-point FFT executes,
+// for cycle-cost accounting.
+func ButterflyCount(n int) uint64 {
+	if n <= 1 {
+		return 0
+	}
+	return uint64(n/2) * uint64(bits.TrailingZeros(uint(n)))
+}

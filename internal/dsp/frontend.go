@@ -1,0 +1,160 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+)
+
+// FrontendConfig describes the fingerprint extractor. DefaultFrontend
+// matches the paper exactly.
+type FrontendConfig struct {
+	SampleRate    int // Hz
+	WindowSamples int // samples per analysis window (30 ms)
+	StrideSamples int // hop between windows (20 ms)
+	FFTSize       int // power of two ≥ WindowSamples
+	NumBins       int // spectrum bins consumed (256)
+	AvgWidth      int // neighboring bins averaged per feature (6)
+	NumFrames     int // frames per utterance (49)
+}
+
+// DefaultFrontend returns the paper's configuration: 16 kHz audio, 30 ms
+// windows with 20 ms shift, 512-point fixed-point FFT (256 usable bins),
+// 6-bin averaging → 43 features, 49 frames.
+func DefaultFrontend() FrontendConfig {
+	return FrontendConfig{
+		SampleRate:    16000,
+		WindowSamples: 480,
+		StrideSamples: 320,
+		FFTSize:       512,
+		NumBins:       256,
+		AvgWidth:      6,
+		NumFrames:     49,
+	}
+}
+
+// NumFeatures returns features per frame (ceil(NumBins/AvgWidth): 43).
+func (c FrontendConfig) NumFeatures() int {
+	return (c.NumBins + c.AvgWidth - 1) / c.AvgWidth
+}
+
+// FingerprintLen returns the flattened fingerprint length (49×43 = 2107).
+func (c FrontendConfig) FingerprintLen() int {
+	return c.NumFrames * c.NumFeatures()
+}
+
+// UtteranceSamples returns the number of samples consumed per utterance.
+func (c FrontendConfig) UtteranceSamples() int {
+	return (c.NumFrames-1)*c.StrideSamples + c.WindowSamples
+}
+
+func (c FrontendConfig) validate() error {
+	if c.FFTSize <= 0 || c.FFTSize&(c.FFTSize-1) != 0 {
+		return fmt.Errorf("dsp: FFT size %d not a power of two", c.FFTSize)
+	}
+	if c.WindowSamples > c.FFTSize {
+		return fmt.Errorf("dsp: window %d exceeds FFT size %d", c.WindowSamples, c.FFTSize)
+	}
+	if c.NumBins > c.FFTSize/2 {
+		return fmt.Errorf("dsp: %d bins exceed FFT capacity %d", c.NumBins, c.FFTSize/2)
+	}
+	if c.AvgWidth <= 0 || c.StrideSamples <= 0 || c.NumFrames <= 0 {
+		return fmt.Errorf("dsp: non-positive frontend geometry")
+	}
+	return nil
+}
+
+// Frontend extracts uint8 spectrogram fingerprints from PCM16 audio with
+// fixed-point arithmetic throughout, as a microcontroller build would.
+type Frontend struct {
+	cfg    FrontendConfig
+	window []int32 // Q15 Hann window
+	re, im []int32 // scratch
+}
+
+// NewFrontend builds a frontend; nil-safe defaults come from
+// DefaultFrontend.
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Frontend{
+		cfg:    cfg,
+		window: make([]int32, cfg.WindowSamples),
+		re:     make([]int32, cfg.FFTSize),
+		im:     make([]int32, cfg.FFTSize),
+	}
+	for i := range f.window {
+		// Hann window in Q15.
+		w := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(cfg.WindowSamples-1))
+		f.window[i] = int32(math.Round(w * 32767))
+	}
+	return f, nil
+}
+
+// Config returns the frontend configuration.
+func (f *Frontend) Config() FrontendConfig { return f.cfg }
+
+// Extract computes the fingerprint of a 1 s utterance. Input shorter than
+// UtteranceSamples is zero-padded; longer input is truncated. The returned
+// slice has FingerprintLen() elements in frame-major order.
+func (f *Frontend) Extract(samples []int16) []uint8 {
+	cfg := f.cfg
+	features := cfg.NumFeatures()
+	out := make([]uint8, cfg.FingerprintLen())
+	for frame := 0; frame < cfg.NumFrames; frame++ {
+		start := frame * cfg.StrideSamples
+		// Windowed, zero-padded frame in Q15.
+		for i := 0; i < cfg.FFTSize; i++ {
+			f.im[i] = 0
+			if i < cfg.WindowSamples && start+i < len(samples) {
+				f.re[i] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
+			} else {
+				f.re[i] = 0
+			}
+		}
+		// The fixed-point FFT cannot fail here: size was validated.
+		if err := FFTFixed(f.re, f.im); err != nil {
+			panic("dsp: " + err.Error())
+		}
+		for feat := 0; feat < features; feat++ {
+			lo := feat * cfg.AvgWidth
+			hi := lo + cfg.AvgWidth
+			if hi > cfg.NumBins {
+				hi = cfg.NumBins
+			}
+			var acc uint64
+			for bin := lo; bin < hi; bin++ {
+				r := int64(f.re[bin])
+				i := int64(f.im[bin])
+				acc += uint64(r*r + i*i)
+			}
+			avg := acc / uint64(hi-lo)
+			out[frame*features+feat] = logCompress(avg)
+		}
+	}
+	return out
+}
+
+// logCompress maps an averaged power value to a uint8 feature:
+// min(255, round(8·log2(1+p))). The factor 8 spreads the fixed-point power
+// range (≈2^31 max) over the full byte, the same role as TFLM's log-scale
+// stage.
+func logCompress(p uint64) uint8 {
+	v := 8 * math.Log2(1+float64(p))
+	if v > 255 {
+		return 255
+	}
+	return uint8(math.Round(v))
+}
+
+// Cycles returns the cost of one full fingerprint extraction on a simulated
+// core: window multiplies, FFT butterflies, and bin post-processing.
+func (f *Frontend) Cycles() uint64 {
+	cfg := f.cfg
+	perFrame := uint64(cfg.WindowSamples)*2 + // window multiply + load
+		ButterflyCount(cfg.FFTSize)*hw.CyclesPerButterfly +
+		uint64(cfg.NumBins)*hw.CyclesPerFeatureBin
+	return perFrame * uint64(cfg.NumFrames)
+}

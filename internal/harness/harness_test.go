@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick executes every registered experiment in quick
+// mode against one shared fixture — the integration test of the whole
+// reproduction stack.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments train a model; skipped in -short mode")
+	}
+	ctx := NewCtx(true, nil)
+	exps := Experiments()
+	if len(exps) != 12 { // E1..E10, F1, F2
+		t.Fatalf("registered experiments = %d, want 12", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if table.ID != e.ID {
+				t.Fatalf("table ID %q != experiment ID %q", table.ID, e.ID)
+			}
+			if len(table.Rows) == 0 || len(table.Headers) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Headers) {
+					t.Fatalf("%s: row width %d != header width %d", e.ID, len(row), len(table.Headers))
+				}
+			}
+			var buf bytes.Buffer
+			table.Render(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("%s: render missing ID", e.ID)
+			}
+			if md := table.Markdown(); !strings.HasPrefix(md, "### ") {
+				t.Fatalf("%s: bad markdown", e.ID)
+			}
+		})
+	}
+}
+
+// TestTable1Shape validates the headline reproduction invariants: equal
+// accuracy across plain/OMG and a small runtime overhead.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	ctx := NewCtx(true, nil)
+	r, err := runTable1(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.plainAcc != r.omgAcc {
+		t.Fatalf("accuracy differs: plain %.3f vs omg %.3f", r.plainAcc, r.omgAcc)
+	}
+	if r.omgAcc < 0.5 {
+		t.Fatalf("accuracy %.2f implausibly low", r.omgAcc)
+	}
+	if r.omgTotal <= r.plainTotal {
+		t.Fatal("OMG not slower than plain")
+	}
+	overhead := float64(r.omgTotal-r.plainTotal) / float64(r.plainTotal)
+	if overhead > 0.2 {
+		t.Fatalf("overhead %.1f%% too large", overhead*100)
+	}
+	// Per-query times in the low single-digit milliseconds, like the paper
+	// (379 ms / 100 utterances ≈ 3.8 ms).
+	if ms := float64(r.omgPerQuery.Microseconds()) / 1000; ms < 1 || ms > 20 {
+		t.Fatalf("per-query %v outside plausible band", r.omgPerQuery)
+	}
+}
+
+// TestE8SeparatesConfigs: the side-channel experiment must show high
+// leakage without the defence and coin-flip accuracy with it.
+func TestE8Separation(t *testing.T) {
+	accPlain, err := PrimeProbeTrials(150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accProt, err := PrimeProbeTrials(150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accPlain < 0.95 {
+		t.Fatalf("unprotected prime+probe accuracy %.2f, want ≈1.0", accPlain)
+	}
+	if accProt < 0.3 || accProt > 0.7 {
+		t.Fatalf("protected prime+probe accuracy %.2f, want ≈0.5", accProt)
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	exps := Experiments()
+	for i := 1; i < len(exps); i++ {
+		if idOrder(exps[i-1].ID) >= idOrder(exps[i].ID) {
+			t.Fatalf("registry out of order: %s before %s", exps[i-1].ID, exps[i].ID)
+		}
+	}
+	if _, ok := Lookup("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	// E1..E10 numeric ordering, not lexicographic.
+	var ids []string
+	for _, e := range exps {
+		ids = append(ids, e.ID)
+	}
+	wantTail := []string{"E10", "F1", "F2"}
+	for i, w := range wantTail {
+		if ids[len(ids)-3+i] != w {
+			t.Fatalf("tail ordering = %v", ids)
+		}
+	}
+	// Check E2 comes right after E1.
+	if ids[0] != "E1" || ids[1] != "E2" {
+		t.Fatalf("head ordering = %v", ids)
+	}
+}

@@ -1,0 +1,199 @@
+// Package he implements the homomorphic-encryption baseline the OMG paper
+// argues against (§II-A): Paillier additively homomorphic encryption and an
+// encrypted-input inference protocol for the tiny_conv network. The paper's
+// claim — "the computational overhead for HE when performing complex ML
+// tasks is impractical for the given mobile scenario" — becomes experiment
+// E7, which measures this baseline against the enclave.
+//
+// Paillier is chosen because linear layers (convolution, fully connected)
+// need only ciphertext addition and plaintext scalar multiplication, the
+// operations Paillier supports; nonlinear layers (ReLU) force an
+// interactive round trip with the key holder, faithfully reproducing the
+// structure of early HE inference systems such as CryptoNets-style hybrids.
+package he
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/omgcrypto"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key (g = n+1 variant).
+type PublicKey struct {
+	N  *big.Int
+	N2 *big.Int // n²
+}
+
+// PrivateKey holds the decryption exponent λ = lcm(p−1, q−1) and the
+// precomputed μ = L(g^λ mod n²)^−1 mod n.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int
+	Mu     *big.Int
+}
+
+// GenerateKey creates a Paillier key pair with an n of the given bit size.
+// Simulations use reduced sizes (512–1024 bits) for tractable benchmarks;
+// E7 projects costs to 2048 bits from a measured modexp scaling factor.
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("he: modulus %d bits too small", bits)
+	}
+	if rng == nil {
+		rng = omgcrypto.Rand
+	}
+	p, err := randPrime(rng, bits/2)
+	if err != nil {
+		return nil, err
+	}
+	q, err := randPrime(rng, bits-bits/2)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cmp(q) == 0 {
+		return nil, errors.New("he: degenerate primes")
+	}
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Mul(pm1, qm1)
+	lambda.Div(lambda, gcd)
+	// g = n+1: L(g^λ mod n²) = λ mod n (for this g), so μ = λ⁻¹ mod n.
+	mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+	if mu == nil {
+		return nil, errors.New("he: lambda not invertible")
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, N2: n2},
+		Lambda:    lambda,
+		Mu:        mu,
+	}, nil
+}
+
+// Encrypt encrypts m ∈ [0, N) as c = (1+n)^m · r^n mod n².
+func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*big.Int, error) {
+	if rng == nil {
+		rng = omgcrypto.Rand
+	}
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("he: plaintext out of range")
+	}
+	r, err := randUnit(rng, pk.N)
+	if err != nil {
+		return nil, err
+	}
+	// (1+n)^m mod n² = 1 + m·n (binomial), cheaper than a modexp.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return c, nil
+}
+
+// Decrypt recovers m = L(c^λ mod n²) · μ mod n.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, errors.New("he: ciphertext out of range")
+	}
+	u := new(big.Int).Exp(c, sk.Lambda, sk.N2)
+	// L(u) = (u-1)/n
+	u.Sub(u, one)
+	u.Div(u, sk.N)
+	u.Mul(u, sk.Mu)
+	u.Mod(u, sk.N)
+	return u, nil
+}
+
+// Add returns the ciphertext of m1+m2 (mod N): c1·c2 mod n².
+func (pk *PublicKey) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// MulPlain returns the ciphertext of k·m: c^k mod n². Negative k is
+// handled via the modular inverse of c.
+func (pk *PublicKey) MulPlain(c *big.Int, k int64) *big.Int {
+	if k == 0 {
+		// Fresh-looking encryption of zero without randomness: (1+n)^0 = 1.
+		return big.NewInt(1)
+	}
+	base := c
+	kk := k
+	if k < 0 {
+		base = new(big.Int).ModInverse(c, pk.N2)
+		kk = -k
+	}
+	return new(big.Int).Exp(base, big.NewInt(kk), pk.N2)
+}
+
+// EncodeSigned maps a signed value into [0, N) (two's-complement style).
+func (pk *PublicKey) EncodeSigned(v int64) *big.Int {
+	b := big.NewInt(v)
+	if v < 0 {
+		b.Add(b, pk.N)
+	}
+	return b
+}
+
+// DecodeSigned maps a decrypted plaintext back to a signed value, assuming
+// |v| < N/2.
+func (pk *PublicKey) DecodeSigned(m *big.Int) int64 {
+	half := new(big.Int).Rsh(pk.N, 1)
+	if m.Cmp(half) > 0 {
+		v := new(big.Int).Sub(m, pk.N)
+		return v.Int64()
+	}
+	return m.Int64()
+}
+
+// CiphertextBytes returns the serialized size of one ciphertext (2·|n|),
+// the unit of the communication accounting in E7.
+func (pk *PublicKey) CiphertextBytes() int {
+	return 2 * ((pk.N.BitLen() + 7) / 8)
+}
+
+func randPrime(rng io.Reader, bits int) (*big.Int, error) {
+	for i := 0; i < 1000; i++ {
+		p, err := randBits(rng, bits)
+		if err != nil {
+			return nil, err
+		}
+		p.SetBit(p, bits-1, 1) // full size
+		p.SetBit(p, 0, 1)      // odd
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("he: prime search exhausted")
+}
+
+func randBits(rng io.Reader, bits int) (*big.Int, error) {
+	buf := make([]byte, (bits+7)/8)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, err
+	}
+	v := new(big.Int).SetBytes(buf)
+	return v.Rsh(v, uint(len(buf)*8-bits)), nil
+}
+
+func randUnit(rng io.Reader, n *big.Int) (*big.Int, error) {
+	for i := 0; i < 1000; i++ {
+		r, err := randBits(rng, n.BitLen()-1)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, n).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+	return nil, errors.New("he: unit search exhausted")
+}

@@ -1,0 +1,187 @@
+package hw
+
+// Cache models a set-associative cache with true-LRU replacement. It tracks
+// which line-aligned addresses are resident so the simulator can charge
+// realistic hit/miss latencies and so cache side-channel experiments
+// (prime+probe, E8) observe genuine eviction behaviour.
+//
+// A cache can exclude address ranges: accesses to excluded ranges bypass the
+// cache entirely (never allocate, never hit). SANCTUARY uses this to keep
+// enclave memory out of the shared L2 so that co-resident attackers cannot
+// observe enclave-driven evictions.
+type Cache struct {
+	sets     int
+	ways     int
+	lineSize int
+	// lines[set][way] holds the line-aligned address, valid[set][way] its
+	// validity, and lru[set][way] a per-set LRU stamp (higher = more recent).
+	lines    [][]PhysAddr
+	valid    [][]bool
+	lru      [][]uint64
+	stamp    uint64
+	excluded []addrRange
+
+	hits   uint64
+	misses uint64
+}
+
+type addrRange struct {
+	base PhysAddr
+	size uint64
+}
+
+func (r addrRange) contains(a PhysAddr) bool {
+	return a >= r.base && uint64(a-r.base) < r.size
+}
+
+// NewCache constructs a cache with the given geometry.
+func NewCache(sets, ways, lineSize int) *Cache {
+	c := &Cache{sets: sets, ways: ways, lineSize: lineSize}
+	c.lines = make([][]PhysAddr, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.lines[i] = make([]PhysAddr, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the hit/miss counters without touching cache contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Exclude registers [base, base+size) as uncacheable. Subsequent accesses to
+// the range bypass the cache; lines already resident are evicted.
+func (c *Cache) Exclude(base PhysAddr, size uint64) {
+	c.excluded = append(c.excluded, addrRange{base: base, size: size})
+	r := addrRange{base: base, size: size}
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			if c.valid[s][w] && r.contains(c.lines[s][w]) {
+				c.valid[s][w] = false
+			}
+		}
+	}
+}
+
+// ClearExclusions removes all exclusion ranges (used between experiments).
+func (c *Cache) ClearExclusions() { c.excluded = nil }
+
+// RemoveExclusion drops the exclusion range previously registered with
+// exactly (base, size); enclave teardown uses it to make the range cacheable
+// again. It reports whether such a range was found.
+func (c *Cache) RemoveExclusion(base PhysAddr, size uint64) bool {
+	for i, r := range c.excluded {
+		if r.base == base && r.size == size {
+			c.excluded = append(c.excluded[:i], c.excluded[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Bypasses reports whether addr falls in an excluded range.
+func (c *Cache) Bypasses(addr PhysAddr) bool {
+	line := c.lineAddr(addr)
+	for _, r := range c.excluded {
+		if r.contains(line) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) lineAddr(addr PhysAddr) PhysAddr {
+	return addr &^ PhysAddr(c.lineSize-1)
+}
+
+func (c *Cache) setIndex(line PhysAddr) int {
+	return int(uint64(line) / uint64(c.lineSize) % uint64(c.sets))
+}
+
+// Access simulates a load/store of the line containing addr. It returns
+// whether the line hit and, if the fill evicted a valid victim, the victim's
+// line address. Excluded addresses always miss and never allocate.
+func (c *Cache) Access(addr PhysAddr) (hit bool, evicted PhysAddr, hadVictim bool) {
+	if c.Bypasses(addr) {
+		c.misses++
+		return false, 0, false
+	}
+	line := c.lineAddr(addr)
+	set := c.setIndex(line)
+	c.stamp++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.lines[set][w] == line {
+			c.lru[set][w] = c.stamp
+			c.hits++
+			return true, 0, false
+		}
+	}
+	c.misses++
+	// Fill: prefer an invalid way, otherwise evict the LRU way.
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			goto fill
+		}
+	}
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	if c.valid[set][victim] {
+		evicted, hadVictim = c.lines[set][victim], true
+	}
+fill:
+	c.lines[set][victim] = line
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.stamp
+	return false, evicted, hadVictim
+}
+
+// Probe reports whether the line containing addr is resident without
+// updating LRU state or statistics. Prime+probe attackers cannot do this on
+// real hardware (they must time accesses); tests use it as ground truth.
+func (c *Cache) Probe(addr PhysAddr) bool {
+	if c.Bypasses(addr) {
+		return false
+	}
+	line := c.lineAddr(addr)
+	set := c.setIndex(line)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.lines[set][w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.valid[s][w] = false
+		}
+	}
+}
+
+// SetOf returns the set index addr maps to; side-channel experiments use it
+// to build eviction sets.
+func (c *Cache) SetOf(addr PhysAddr) int {
+	return c.setIndex(c.lineAddr(addr))
+}

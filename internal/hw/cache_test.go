@@ -1,0 +1,134 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(4, 2, 64)
+	if hit, _, _ := c.Access(0x100); hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	if hit, _, _ := c.Access(0x100); !hit {
+		t.Fatal("second access missed")
+	}
+	if hit, _, _ := c.Access(0x13f); !hit {
+		t.Fatal("same-line access missed")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct-ish cache: 2 sets, 2 ways, 64B lines. Addresses mapping to set 0
+	// are multiples of 128.
+	c := NewCache(2, 2, 64)
+	a0, a1, a2 := PhysAddr(0), PhysAddr(128), PhysAddr(256)
+	c.Access(a0)
+	c.Access(a1)
+	c.Access(a0) // a0 now MRU, a1 LRU
+	_, evicted, had := c.Access(a2)
+	if !had || evicted != a1 {
+		t.Fatalf("evicted %#x (had=%v), want %#x", uint64(evicted), had, uint64(a1))
+	}
+	if !c.Probe(a0) || c.Probe(a1) || !c.Probe(a2) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestCacheExclusion(t *testing.T) {
+	c := NewCache(4, 2, 64)
+	c.Access(0x1000)
+	if !c.Probe(0x1000) {
+		t.Fatal("line not resident after access")
+	}
+	c.Exclude(0x1000, 0x100)
+	if c.Probe(0x1000) {
+		t.Fatal("excluded line still resident")
+	}
+	if hit, _, _ := c.Access(0x1000); hit {
+		t.Fatal("excluded access hit")
+	}
+	if c.Probe(0x1000) {
+		t.Fatal("excluded access allocated a line")
+	}
+	// Non-excluded addresses still cache normally.
+	c.Access(0x2000)
+	if !c.Probe(0x2000) {
+		t.Fatal("regular line did not allocate")
+	}
+	c.ClearExclusions()
+	c.Access(0x1000)
+	if !c.Probe(0x1000) {
+		t.Fatal("line not cacheable after ClearExclusions")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(8, 4, 64)
+	for i := 0; i < 32; i++ {
+		c.Access(PhysAddr(i * 64))
+	}
+	c.Flush()
+	for i := 0; i < 32; i++ {
+		if c.Probe(PhysAddr(i * 64)) {
+			t.Fatalf("line %d resident after flush", i)
+		}
+	}
+}
+
+func TestCacheSetOf(t *testing.T) {
+	c := NewCache(16, 4, 64)
+	if got := c.SetOf(0); got != 0 {
+		t.Errorf("SetOf(0) = %d", got)
+	}
+	if got := c.SetOf(64 * 17); got != 1 {
+		t.Errorf("SetOf(64*17) = %d, want 1", got)
+	}
+	if got := c.SetOf(64*16 + 63); got != 0 {
+		t.Errorf("SetOf(64*16+63) = %d, want 0", got)
+	}
+}
+
+// TestCacheResidencyInvariant: immediately after a non-excluded access, the
+// line is resident; the cache never holds more than `ways` lines per set.
+func TestCacheResidencyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCache(8, 2, 64)
+		resident := make(map[int]map[PhysAddr]bool)
+		for i := 0; i < 200; i++ {
+			addr := PhysAddr(r.Intn(1 << 14))
+			line := addr &^ 63
+			set := c.SetOf(addr)
+			_, evicted, had := c.Access(addr)
+			if !c.Probe(addr) {
+				return false
+			}
+			if resident[set] == nil {
+				resident[set] = make(map[PhysAddr]bool)
+			}
+			if had {
+				delete(resident[set], evicted)
+			}
+			resident[set][line] = true
+			if len(resident[set]) > c.Ways() {
+				return false
+			}
+			// Everything we believe resident must be resident.
+			for l := range resident[set] {
+				if !c.Probe(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

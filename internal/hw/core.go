@@ -1,0 +1,97 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Core models one CPU core of the SoC. A core has a fixed clock frequency, a
+// current security state (the NS bit), a power state, and a cycle counter
+// that accumulates the cost of everything executed on it. Cores are not
+// goroutine-safe; the simulation is single-threaded by design so that cycle
+// accounting is deterministic.
+type Core struct {
+	id     int
+	hz     uint64
+	soc    *SoC
+	world  World
+	online bool
+	cycles uint64
+	l1     *Cache
+}
+
+// ID returns the core's index on the SoC.
+func (c *Core) ID() int { return c.id }
+
+// Hz returns the core's clock frequency.
+func (c *Core) Hz() uint64 { return c.hz }
+
+// World returns the core's current security state.
+func (c *Core) World() World { return c.world }
+
+// SetWorld switches the core's security state. On real hardware only the
+// secure monitor can do this; the trustzone package is the only caller.
+func (c *Core) SetWorld(w World) { c.world = w }
+
+// Online reports whether the core is powered on.
+func (c *Core) Online() bool { return c.online }
+
+// Cycles returns the total cycles charged to this core since reset.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// Charge adds n cycles of simulated work to the core.
+func (c *Core) Charge(n uint64) { c.cycles += n }
+
+// ChargeDuration charges the cycle equivalent of d at this core's clock.
+func (c *Core) ChargeDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.cycles += uint64(d.Nanoseconds()) * c.hz / 1_000_000_000
+}
+
+// Elapsed converts the core's cycle counter to simulated time.
+func (c *Core) Elapsed() time.Duration {
+	return time.Duration(float64(c.cycles) / float64(c.hz) * 1e9)
+}
+
+// ResetCycles zeroes the cycle counter; measurement harnesses use it to
+// delimit intervals.
+func (c *Core) ResetCycles() { c.cycles = 0 }
+
+// L1 returns the core's private L1 data cache model.
+func (c *Core) L1() *Cache { return c.l1 }
+
+// PowerOff powers the core down, charging the shutdown cost to the core that
+// initiates it (by in SANCTUARY's flow, the commodity OS core). The core's
+// architectural state (world) resets to normal.
+func (c *Core) PowerOff(initiator *Core) error {
+	if !c.online {
+		return fmt.Errorf("hw: core %d already offline", c.id)
+	}
+	c.online = false
+	c.world = NormalWorld
+	if initiator != nil {
+		initiator.ChargeDuration(CoreShutdownTime)
+	}
+	return nil
+}
+
+// PowerOn boots the core. SANCTUARY boots enclave cores with the SL image;
+// the boot latency is charged to the booted core itself (it is the one that
+// runs the boot ROM and SL init).
+func (c *Core) PowerOn() error {
+	if c.online {
+		return fmt.Errorf("hw: core %d already online", c.id)
+	}
+	c.online = true
+	c.ChargeDuration(CoreBootTime)
+	return nil
+}
+
+// InvalidateL1 flushes the core's L1 cache, as SANCTUARY's teardown step
+// requires before handing the core back to the commodity OS.
+func (c *Core) InvalidateL1() {
+	c.l1.Flush()
+	c.Charge(uint64(L1Sets*L1Ways) * 2)
+}

@@ -1,0 +1,82 @@
+// Package hw simulates the hardware platform the OMG paper evaluates on: an
+// ARM HiKey 960 development board with an octa-core big.LITTLE SoC
+// (4 cores @ 2.4 GHz, 4 cores @ 1.8 GHz), 3 GB of DRAM, a TrustZone address
+// space controller (TZASC), per-core L1 caches, a shared L2 cache, and
+// TrustZone-aware peripherals (microphone, flash storage).
+//
+// The simulator is functional plus cycle-approximate: every memory access and
+// every modelled operation charges cycles to the core that performs it, and a
+// per-core clock converts cycles to simulated time. Access control (which
+// world and which core may touch which memory and which peripheral) is
+// enforced on every access, which is what the OMG / SANCTUARY security
+// argument rests on.
+//
+// The package is deliberately free of any TrustZone *policy*: it provides the
+// mechanisms (TZASC regions, secure/non-secure accesses, peripheral
+// assignment, core power control) and the packages trustzone and sanctuary
+// implement the firmware and enclave logic on top.
+package hw
+
+import "fmt"
+
+// PhysAddr is a physical address on the simulated SoC bus.
+type PhysAddr uint64
+
+// World identifies a TrustZone security state. Every bus access is tagged
+// with the world of the initiating core (the NS bit in real hardware).
+type World int
+
+const (
+	// NormalWorld is the non-secure state running the commodity OS.
+	NormalWorld World = iota
+	// SecureWorld is the secure state running the trusted OS.
+	SecureWorld
+)
+
+// String returns the conventional TrustZone name of the world.
+func (w World) String() string {
+	switch w {
+	case NormalWorld:
+		return "normal"
+	case SecureWorld:
+		return "secure"
+	default:
+		return fmt.Sprintf("World(%d)", int(w))
+	}
+}
+
+// Access describes a single bus transaction for access-control checks.
+type Access struct {
+	Core  int      // initiating core ID, or -1 for a DMA master
+	World World    // security state of the initiator
+	Addr  PhysAddr // first byte touched
+	Len   int      // number of bytes
+	Write bool     // true for stores, false for loads
+}
+
+// String renders the access for fault messages.
+func (a Access) String() string {
+	op := "read"
+	if a.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("%s-world core %d %s [%#x, %#x)", a.World, a.Core, op, uint64(a.Addr), uint64(a.Addr)+uint64(a.Len))
+}
+
+// BusFault is returned when the TZASC or a peripheral controller rejects an
+// access. It is the simulated equivalent of an external abort.
+type BusFault struct {
+	Access Access
+	Reason string
+}
+
+// Error implements the error interface.
+func (f *BusFault) Error() string {
+	return fmt.Sprintf("hw: bus fault: %s: %s", f.Access, f.Reason)
+}
+
+// IsBusFault reports whether err is a *BusFault.
+func IsBusFault(err error) bool {
+	_, ok := err.(*BusFault)
+	return ok
+}

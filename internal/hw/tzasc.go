@@ -1,0 +1,201 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegionAttr describes the access policy of one TZASC region.
+//
+// SANCTUARY's key trick is that the TZASC can bind a physical memory range
+// to a single CPU core in addition to the usual secure/non-secure split:
+// the enclave's memory is normal-world memory, but only the enclave's
+// dedicated core may access it.
+type RegionAttr struct {
+	// NormalRead / NormalWrite permit non-secure accesses.
+	NormalRead  bool
+	NormalWrite bool
+	// SecureRead / SecureWrite permit secure-world accesses.
+	SecureRead  bool
+	SecureWrite bool
+	// CoreLock restricts all accesses to the given core ID. -1 disables the
+	// restriction. The lock applies to both worlds: even secure-world code on
+	// another core is refused, which keeps the enclave's TCB free of the
+	// (potentially large) secure-world stack.
+	CoreLock int
+	// NoDMA blocks bus masters other than CPU cores (DMA attack protection,
+	// inherited from TrustZone per §III-B).
+	NoDMA bool
+}
+
+// AnyCore is the CoreLock value that allows all cores.
+const AnyCore = -1
+
+// Region is a contiguous physical range with an access policy.
+type Region struct {
+	Name string
+	Base PhysAddr
+	Size uint64
+	Attr RegionAttr
+}
+
+// End returns the first address past the region.
+func (r Region) End() PhysAddr { return r.Base + PhysAddr(r.Size) }
+
+func (r Region) contains(a PhysAddr) bool { return a >= r.Base && a < r.End() }
+
+// TZASC models the TrustZone Address Space Controller: an ordered list of
+// regions where the highest-numbered (most recently programmed) matching
+// region wins, mirroring the priority scheme of the real TZC-400. A default
+// background region makes all of DRAM normal-world accessible.
+//
+// Programming the TZASC is itself a privileged operation: on the simulated
+// platform only secure-world callers may add or remove regions, which the
+// Program/Unprogram methods enforce.
+type TZASC struct {
+	regions []Region
+	nextID  int
+}
+
+// NewTZASC returns a TZASC with the default all-permissive background region
+// for a DRAM of the given size.
+func NewTZASC(dramSize uint64) *TZASC {
+	t := &TZASC{}
+	t.regions = append(t.regions, Region{
+		Name: "background",
+		Base: 0,
+		Size: dramSize,
+		Attr: RegionAttr{
+			NormalRead: true, NormalWrite: true,
+			SecureRead: true, SecureWrite: true,
+			CoreLock: AnyCore,
+		},
+	})
+	return t
+}
+
+// Program installs a region with higher priority than all existing regions.
+// Only secure-world callers may program the TZASC; normal-world attempts get
+// a bus fault, exactly the property SANCTUARY relies on to keep the
+// commodity OS from unlocking enclave memory.
+func (t *TZASC) Program(by World, r Region) error {
+	if by != SecureWorld {
+		return &BusFault{
+			Access: Access{Core: -1, World: by, Write: true},
+			Reason: "TZASC programming from non-secure world",
+		}
+	}
+	if r.Size == 0 {
+		return fmt.Errorf("hw: TZASC region %q has zero size", r.Name)
+	}
+	t.regions = append(t.regions, r)
+	return nil
+}
+
+// Unprogram removes the highest-priority region with the given name. Only
+// secure-world callers may do so.
+func (t *TZASC) Unprogram(by World, name string) error {
+	if by != SecureWorld {
+		return &BusFault{
+			Access: Access{Core: -1, World: by, Write: true},
+			Reason: "TZASC programming from non-secure world",
+		}
+	}
+	for i := len(t.regions) - 1; i >= 1; i-- { // region 0 is the background
+		if t.regions[i].Name == name {
+			t.regions = append(t.regions[:i], t.regions[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("hw: TZASC region %q not programmed", name)
+}
+
+// Lookup returns the highest-priority region containing addr.
+func (t *TZASC) Lookup(addr PhysAddr) (Region, bool) {
+	for i := len(t.regions) - 1; i >= 0; i-- {
+		if t.regions[i].contains(addr) {
+			return t.regions[i], true
+		}
+	}
+	return Region{}, false
+}
+
+// Check validates a bus access against the programmed regions. Accesses that
+// span region boundaries are checked per byte range; every byte must be
+// permitted.
+func (t *TZASC) Check(a Access) error {
+	if a.Len <= 0 {
+		return nil
+	}
+	addr := a.Addr
+	remaining := uint64(a.Len)
+	for remaining > 0 {
+		r, ok := t.Lookup(addr)
+		if !ok {
+			return &BusFault{Access: a, Reason: "address outside DRAM"}
+		}
+		if err := t.checkRegion(a, r); err != nil {
+			return err
+		}
+		// Advance only to the nearest boundary of *any* region, since a
+		// higher-priority region may begin inside the one that matched.
+		span := uint64(t.nextBoundary(addr) - addr)
+		if span > remaining {
+			span = remaining
+		}
+		addr += PhysAddr(span)
+		remaining -= span
+	}
+	return nil
+}
+
+// nextBoundary returns the smallest region base or end strictly above addr.
+func (t *TZASC) nextBoundary(addr PhysAddr) PhysAddr {
+	best := PhysAddr(^uint64(0))
+	for _, r := range t.regions {
+		if r.Base > addr && r.Base < best {
+			best = r.Base
+		}
+		if e := r.End(); e > addr && e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+func (t *TZASC) checkRegion(a Access, r Region) error {
+	if a.Core < 0 && r.Attr.NoDMA {
+		return &BusFault{Access: a, Reason: fmt.Sprintf("DMA blocked by region %q", r.Name)}
+	}
+	if a.Core >= 0 && r.Attr.CoreLock != AnyCore && r.Attr.CoreLock != a.Core {
+		return &BusFault{Access: a, Reason: fmt.Sprintf("region %q locked to core %d", r.Name, r.Attr.CoreLock)}
+	}
+	var allowed bool
+	switch {
+	case a.World == NormalWorld && !a.Write:
+		allowed = r.Attr.NormalRead
+	case a.World == NormalWorld && a.Write:
+		allowed = r.Attr.NormalWrite
+	case a.World == SecureWorld && !a.Write:
+		allowed = r.Attr.SecureRead
+	default:
+		allowed = r.Attr.SecureWrite
+	}
+	if !allowed {
+		op := "read"
+		if a.Write {
+			op = "write"
+		}
+		return &BusFault{Access: a, Reason: fmt.Sprintf("%s-world %s denied by region %q", a.World, op, r.Name)}
+	}
+	return nil
+}
+
+// Regions returns a copy of the programmed regions ordered base-ascending,
+// for diagnostics and the F1 architecture rendering.
+func (t *TZASC) Regions() []Region {
+	out := make([]Region, len(t.regions))
+	copy(out, t.regions)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}

@@ -1,0 +1,202 @@
+// Package intnet extracts an integer-arithmetic view of the tiny_conv
+// tflm model for the cryptographic baselines (internal/he, internal/mpc).
+//
+// Both baselines evaluate the network over exact integers — int8 weights,
+// int32 biases, full-width accumulators — without TFLite's inter-layer
+// requantization, because requantization (a truncating fixed-point rescale)
+// is the expensive part of secure protocols and early HE/MPC inference
+// systems avoided it the same way. The class decision (argmax over logits)
+// is preserved: positive rescaling between layers does not change the sign
+// structure ReLU depends on, and the final argmax is scale-invariant per
+// layer. Package tests verify prediction agreement against the int8 model.
+package intnet
+
+import (
+	"fmt"
+
+	"repro/internal/tflm"
+)
+
+// Spec is the integer tiny_conv: one convolution (fused ReLU) and one fully
+// connected layer, as produced by train.Quantize.
+type Spec struct {
+	InH, InW         int
+	Filters          int
+	KH, KW           int
+	SH, SW           int
+	PadT, PadL       int
+	InZP             int64 // input zero point (0 for the paper pipeline)
+	ConvW            []int64
+	ConvB            []int64
+	FCW              []int64
+	FCB              []int64
+	NumClasses       int
+	OutH, OutW       int
+	FlatLen, InputLn int
+}
+
+// FromModel extracts the spec from a quantized tiny_conv model.
+func FromModel(m *tflm.Model) (*Spec, error) {
+	var convNode, fcNode *tflm.Node
+	for i := range m.Nodes {
+		switch m.Nodes[i].Op {
+		case tflm.OpConv2D:
+			if convNode != nil {
+				return nil, fmt.Errorf("intnet: multiple convolutions unsupported")
+			}
+			convNode = &m.Nodes[i]
+		case tflm.OpFullyConnected:
+			if fcNode != nil {
+				return nil, fmt.Errorf("intnet: multiple FC layers unsupported")
+			}
+			fcNode = &m.Nodes[i]
+		}
+	}
+	if convNode == nil || fcNode == nil {
+		return nil, fmt.Errorf("intnet: model is not conv+fc shaped")
+	}
+	in := m.Tensor(convNode.Inputs[0])
+	w := m.Tensor(convNode.Inputs[1])
+	bias := m.Tensor(convNode.Inputs[2])
+	fcW := m.Tensor(fcNode.Inputs[1])
+	fcB := m.Tensor(fcNode.Inputs[2])
+	p, ok := convNode.Params.(tflm.Conv2DParams)
+	if !ok {
+		return nil, fmt.Errorf("intnet: conv params missing")
+	}
+	if p.Padding != tflm.PaddingSame {
+		return nil, fmt.Errorf("intnet: only SAME padding supported")
+	}
+	if in.Quant == nil {
+		return nil, fmt.Errorf("intnet: unquantized input")
+	}
+	s := &Spec{
+		InH: in.Dim(1), InW: in.Dim(2),
+		Filters: w.Dim(0), KH: w.Dim(1), KW: w.Dim(2),
+		SH: p.StrideH, SW: p.StrideW,
+		InZP:       int64(in.Quant.ZeroPoint),
+		NumClasses: fcW.Dim(0),
+	}
+	s.OutH = (s.InH + s.SH - 1) / s.SH
+	s.OutW = (s.InW + s.SW - 1) / s.SW
+	s.FlatLen = s.OutH * s.OutW * s.Filters
+	s.InputLn = s.InH * s.InW
+	if fcW.Dim(1) != s.FlatLen {
+		return nil, fmt.Errorf("intnet: FC input %d != conv output %d", fcW.Dim(1), s.FlatLen)
+	}
+	totalPadH := (s.OutH-1)*s.SH + s.KH - s.InH
+	if totalPadH < 0 {
+		totalPadH = 0
+	}
+	totalPadW := (s.OutW-1)*s.SW + s.KW - s.InW
+	if totalPadW < 0 {
+		totalPadW = 0
+	}
+	s.PadT, s.PadL = totalPadH/2, totalPadW/2
+
+	s.ConvW = make([]int64, len(w.I8))
+	for i, v := range w.I8 {
+		s.ConvW[i] = int64(v)
+	}
+	s.ConvB = make([]int64, len(bias.I32))
+	for i, v := range bias.I32 {
+		s.ConvB[i] = int64(v)
+	}
+	s.FCW = make([]int64, len(fcW.I8))
+	for i, v := range fcW.I8 {
+		s.FCW[i] = int64(v)
+	}
+	s.FCB = make([]int64, len(fcB.I32))
+	for i, v := range fcB.I32 {
+		s.FCB[i] = int64(v)
+	}
+	return s, nil
+}
+
+// InputFromFeatures converts frontend features to the integer input domain
+// (int8 input values minus the zero point).
+func (s *Spec) InputFromFeatures(features []uint8) []int64 {
+	x := make([]int64, len(features))
+	for i, f := range features {
+		x[i] = int64(int32(f)-128) - s.InZP
+	}
+	return x
+}
+
+// ConvWith computes the convolution of x with arbitrary weights/bias of the
+// spec's geometry. The MPC baseline evaluates it on secret shares and
+// opened differences, exploiting the bilinearity of convolution; a nil bias
+// means zero.
+func (s *Spec) ConvWith(x, w, bias []int64) []int64 {
+	out := make([]int64, s.FlatLen)
+	for oy := 0; oy < s.OutH; oy++ {
+		iy0 := oy*s.SH - s.PadT
+		for ox := 0; ox < s.OutW; ox++ {
+			ix0 := ox*s.SW - s.PadL
+			for f := 0; f < s.Filters; f++ {
+				var acc int64
+				if bias != nil {
+					acc = bias[f]
+				}
+				wBase := f * s.KH * s.KW
+				for ky := 0; ky < s.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= s.InH {
+						continue
+					}
+					for kx := 0; kx < s.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= s.InW {
+							continue
+						}
+						acc += x[iy*s.InW+ix] * w[wBase+ky*s.KW+kx]
+					}
+				}
+				out[(oy*s.OutW+ox)*s.Filters+f] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Conv computes the model's convolution accumulators (no ReLU).
+func (s *Spec) Conv(x []int64) []int64 { return s.ConvWith(x, s.ConvW, s.ConvB) }
+
+// FCWith computes a fully connected layer with arbitrary weights/bias of
+// the spec's geometry.
+func (s *Spec) FCWith(flat, w, bias []int64) []int64 {
+	out := make([]int64, s.NumClasses)
+	for o := 0; o < s.NumClasses; o++ {
+		var acc int64
+		if bias != nil {
+			acc = bias[o]
+		}
+		wBase := o * s.FlatLen
+		for i := 0; i < s.FlatLen; i++ {
+			acc += flat[i] * w[wBase+i]
+		}
+		out[o] = acc
+	}
+	return out
+}
+
+// FC computes the model's fully connected logits.
+func (s *Spec) FC(flat []int64) []int64 { return s.FCWith(flat, s.FCW, s.FCB) }
+
+// Forward is the plaintext integer reference: conv → ReLU → FC → argmax.
+func (s *Spec) Forward(x []int64) (logits []int64, prediction int) {
+	conv := s.Conv(x)
+	for i, v := range conv {
+		if v < 0 {
+			conv[i] = 0
+		}
+	}
+	logits = s.FC(conv)
+	prediction = 0
+	for i, v := range logits {
+		if v > logits[prediction] {
+			prediction = i
+		}
+	}
+	return logits, prediction
+}

@@ -1,0 +1,169 @@
+package intnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tflm"
+)
+
+func paperSpec(t *testing.T) *Spec {
+	t.Helper()
+	m, err := tflm.BuildRandomTinyConv(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestFromModelPaperGeometry(t *testing.T) {
+	spec := paperSpec(t)
+	if spec.InH != 49 || spec.InW != 43 || spec.Filters != 8 {
+		t.Fatalf("geometry %+v", spec)
+	}
+	if spec.OutH != 25 || spec.OutW != 22 || spec.FlatLen != 4400 {
+		t.Fatalf("conv geometry %+v", spec)
+	}
+	if spec.NumClasses != 12 || spec.InputLn != 49*43 {
+		t.Fatalf("io geometry %+v", spec)
+	}
+	if spec.PadT != 4 || spec.PadL != 3 {
+		t.Fatalf("padding %d,%d", spec.PadT, spec.PadL)
+	}
+	if len(spec.ConvW) != 640 || len(spec.FCW) != 12*4400 {
+		t.Fatalf("weights %d/%d", len(spec.ConvW), len(spec.FCW))
+	}
+}
+
+// TestForwardMatchesTFLMArgmax: the integer-domain evaluation (no
+// requantization) must agree with the int8 interpreter's prediction on
+// most inputs — the property that makes the HE/MPC baselines comparable.
+func TestForwardMatchesTFLMArgmax(t *testing.T) {
+	m, err := tflm.BuildRandomTinyConv(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := tflm.NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	agree := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		features := make([]uint8, spec.InputLn)
+		for i := range features {
+			features[i] = uint8(r.Intn(256))
+		}
+		_, intPred := spec.Forward(spec.InputFromFeatures(features))
+		for i, f := range features {
+			ip.Input(0).I8[i] = int8(int32(f) - 128)
+		}
+		if err := ip.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		if intPred == tflm.Argmax(ip.Output(0)) {
+			agree++
+		}
+	}
+	if agree < trials*8/10 {
+		t.Fatalf("integer reference agrees with int8 model on only %d/%d inputs", agree, trials)
+	}
+}
+
+// TestConvBilinearity is the algebraic property the MPC convolution triple
+// relies on: conv(a+c, b+d) = conv(a,b)+conv(a,d)+conv(c,b)+conv(c,d).
+func TestConvBilinearity(t *testing.T) {
+	spec := paperSpec(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(r.Intn(2001) - 1000)
+			}
+			return out
+		}
+		a, c := mk(spec.InputLn), mk(spec.InputLn)
+		b, d := mk(len(spec.ConvW)), mk(len(spec.ConvW))
+		sumIn := make([]int64, spec.InputLn)
+		for i := range sumIn {
+			sumIn[i] = a[i] + c[i]
+		}
+		sumW := make([]int64, len(spec.ConvW))
+		for i := range sumW {
+			sumW[i] = b[i] + d[i]
+		}
+		lhs := spec.ConvWith(sumIn, sumW, nil)
+		ab := spec.ConvWith(a, b, nil)
+		ad := spec.ConvWith(a, d, nil)
+		cb := spec.ConvWith(c, b, nil)
+		cd := spec.ConvWith(c, d, nil)
+		for i := range lhs {
+			if lhs[i] != ab[i]+ad[i]+cb[i]+cd[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromModelRejectsNonTinyConv(t *testing.T) {
+	// A model without a convolution.
+	b := tflm.NewBuilder("fc-only", 1)
+	q := tflm.QuantParams{Scale: 1.0 / 128, ZeroPoint: 0}
+	in := b.Tensor(&tflm.Tensor{Name: "in", Type: tflm.Int8, Shape: []int{1, 4}, Quant: &q})
+	b.Input(in)
+	wQ := tflm.SymmetricWeightParams(1)
+	w := &tflm.Tensor{Name: "w", Type: tflm.Int8, Shape: []int{2, 4}, Quant: &wQ}
+	w.Alloc()
+	bias := &tflm.Tensor{Name: "b", Type: tflm.Int32, Shape: []int{2}, Quant: &tflm.QuantParams{Scale: q.Scale * wQ.Scale}}
+	bias.Alloc()
+	wi, bi := b.Const(w), b.Const(bias)
+	outQ := tflm.QuantParams{Scale: 1, ZeroPoint: 0}
+	out := b.Tensor(&tflm.Tensor{Name: "out", Type: tflm.Int8, Shape: []int{1, 2}, Quant: &outQ})
+	b.Node(tflm.OpFullyConnected, tflm.FullyConnectedParams{}, []int{in, wi, bi}, []int{out})
+	b.Output(out)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromModel(m); err == nil {
+		t.Fatal("FC-only model accepted")
+	}
+}
+
+func TestReLUInForward(t *testing.T) {
+	spec := paperSpec(t)
+	x := make([]int64, spec.InputLn)
+	for i := range x {
+		x[i] = int64(i%256) - 128
+	}
+	logits, pred := spec.Forward(x)
+	if len(logits) != spec.NumClasses {
+		t.Fatalf("logits length %d", len(logits))
+	}
+	if pred < 0 || pred >= spec.NumClasses {
+		t.Fatalf("prediction %d", pred)
+	}
+	for i, v := range logits {
+		if i == pred {
+			continue
+		}
+		if v > logits[pred] {
+			t.Fatal("argmax wrong")
+		}
+	}
+}

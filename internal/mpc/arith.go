@@ -1,0 +1,106 @@
+package mpc
+
+import "math/rand"
+
+// AVec is an additively shared vector over Z_2^64: value[i] = P0[i] + P1[i]
+// (mod 2^64). The simulation holds both parties' shares; protocol code only
+// ever combines them through Open, which pays communication.
+type AVec struct {
+	P0, P1 []uint64
+}
+
+// Len returns the vector length.
+func (v AVec) Len() int { return len(v.P0) }
+
+// NewAVec allocates a zero-shared vector.
+func NewAVec(n int) AVec {
+	return AVec{P0: make([]uint64, n), P1: make([]uint64, n)}
+}
+
+// ShareVec splits plaintext values into fresh additive shares using r.
+func ShareVec(r *rand.Rand, xs []int64) AVec {
+	v := NewAVec(len(xs))
+	for i, x := range xs {
+		s0 := r.Uint64()
+		v.P0[i] = s0
+		v.P1[i] = uint64(x) - s0
+	}
+	return v
+}
+
+// ShareKnownTo creates shares of values known in clear to one party: that
+// party holds the value, the other holds zero. No communication needed.
+func ShareKnownTo(party int, xs []int64) AVec {
+	v := NewAVec(len(xs))
+	for i, x := range xs {
+		if party == 0 {
+			v.P0[i] = uint64(x)
+		} else {
+			v.P1[i] = uint64(x)
+		}
+	}
+	return v
+}
+
+// Open reconstructs the plaintext: both parties exchange shares (one round,
+// 8 bytes per element per direction).
+func (v AVec) Open(net *Net) []int64 {
+	n := v.Len()
+	net.Round(n*8, n*8)
+	net.openElem += int64(n)
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = int64(v.P0[i] + v.P1[i])
+	}
+	return out
+}
+
+// openValues reconstructs without charging the network; used internally by
+// the dealer and tests, never by protocol steps.
+func (v AVec) openValues() []int64 {
+	out := make([]int64, v.Len())
+	for i := range out {
+		out[i] = int64(v.P0[i] + v.P1[i])
+	}
+	return out
+}
+
+// Add returns the element-wise sum of two shared vectors (local).
+func (v AVec) Add(o AVec) AVec {
+	out := NewAVec(v.Len())
+	for i := range out.P0 {
+		out.P0[i] = v.P0[i] + o.P0[i]
+		out.P1[i] = v.P1[i] + o.P1[i]
+	}
+	return out
+}
+
+// Sub returns the element-wise difference (local).
+func (v AVec) Sub(o AVec) AVec {
+	out := NewAVec(v.Len())
+	for i := range out.P0 {
+		out.P0[i] = v.P0[i] - o.P0[i]
+		out.P1[i] = v.P1[i] - o.P1[i]
+	}
+	return out
+}
+
+// AddConst adds public constants (P0 adjusts its share; local).
+func (v AVec) AddConst(cs []int64) AVec {
+	out := NewAVec(v.Len())
+	copy(out.P1, v.P1)
+	for i := range out.P0 {
+		out.P0[i] = v.P0[i] + uint64(cs[i])
+	}
+	return out
+}
+
+// Neg returns the element-wise negation (local).
+func (v AVec) Neg() AVec {
+	out := NewAVec(v.Len())
+	for i := range out.P0 {
+		out.P0[i] = -v.P0[i]
+		out.P1[i] = -v.P1[i]
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package mpc
+
+import "repro/internal/intnet"
+
+// MulVec multiplies two shared vectors element-wise with Beaver triples:
+// open d = x−a and e = y−b (one combined round), then
+// z = c + d·b + e·a + d·e, the last term added publicly by P0.
+func MulVec(net *Net, d *Dealer, x, y AVec) AVec {
+	n := x.Len()
+	a, b, c := d.TripleVec(n)
+	dv := x.Sub(a)
+	ev := y.Sub(b)
+	// Both differences open in a single synchronous round.
+	net.Round(2*n*8, 2*n*8)
+	dPub := dv.openValues()
+	ePub := ev.openValues()
+	out := NewAVec(n)
+	for i := 0; i < n; i++ {
+		du := uint64(dPub[i])
+		eu := uint64(ePub[i])
+		out.P0[i] = c.P0[i] + du*b.P0[i] + eu*a.P0[i] + du*eu
+		out.P1[i] = c.P1[i] + du*b.P1[i] + eu*a.P1[i]
+	}
+	return out
+}
+
+// ConvSecure evaluates the convolution on shares using a convolution
+// triple and the bilinearity of conv:
+//
+//	conv(x, w) = conv(d, e) + conv(d, B) + conv(A, e) + C
+//
+// with d = x−A, e = w−B opened publicly (one round). The model bias is a
+// public-to-P0 constant folded in locally.
+func ConvSecure(net *Net, dealer *Dealer, spec *intnet.Spec, x, w AVec) AVec {
+	a, b, c := dealer.ConvTriple(spec)
+	dv := x.Sub(a)
+	ev := w.Sub(b)
+	n := dv.Len() + ev.Len()
+	net.Round(n*8, n*8)
+	dPub := dv.openValues()
+	ePub := ev.openValues()
+
+	out := NewAVec(spec.FlatLen)
+	// Party-0 share: conv(d,e) + conv(d, B0) + conv(A0, e) + C0 + bias.
+	p0 := spec.ConvWith(dPub, ePub, spec.ConvB)
+	p0b := spec.ConvWith(dPub, asInt64(b.P0), nil)
+	p0a := spec.ConvWith(asInt64(a.P0), ePub, nil)
+	// Party-1 share: conv(d, B1) + conv(A1, e) + C1.
+	p1b := spec.ConvWith(dPub, asInt64(b.P1), nil)
+	p1a := spec.ConvWith(asInt64(a.P1), ePub, nil)
+	for i := 0; i < spec.FlatLen; i++ {
+		out.P0[i] = uint64(p0[i]) + uint64(p0b[i]) + uint64(p0a[i]) + c.P0[i]
+		out.P1[i] = uint64(p1b[i]) + uint64(p1a[i]) + c.P1[i]
+	}
+	return out
+}
+
+// FCSecure evaluates the fully connected layer on shares with a matrix
+// triple, analogous to ConvSecure.
+func FCSecure(net *Net, dealer *Dealer, spec *intnet.Spec, flat, w AVec) AVec {
+	a, b, c := dealer.FCTriple(spec)
+	dv := flat.Sub(a)
+	ev := w.Sub(b)
+	n := dv.Len() + ev.Len()
+	net.Round(n*8, n*8)
+	dPub := dv.openValues()
+	ePub := ev.openValues()
+
+	out := NewAVec(spec.NumClasses)
+	p0 := spec.FCWith(dPub, ePub, spec.FCB)
+	p0b := spec.FCWith(dPub, asInt64(b.P0), nil)
+	p0a := spec.FCWith(asInt64(a.P0), ePub, nil)
+	p1b := spec.FCWith(dPub, asInt64(b.P1), nil)
+	p1a := spec.FCWith(asInt64(a.P1), ePub, nil)
+	for i := 0; i < spec.NumClasses; i++ {
+		out.P0[i] = uint64(p0[i]) + uint64(p0b[i]) + uint64(p0a[i]) + c.P0[i]
+		out.P1[i] = uint64(p1b[i]) + uint64(p1a[i]) + c.P1[i]
+	}
+	return out
+}
+
+func asInt64(xs []uint64) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = int64(x)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package mpc
+
+// BVec is an XOR-shared vector of 64-bit words: word[i] = P0[i] ^ P1[i].
+// Each word packs the 64 bits of one ring element, so bitwise circuit
+// evaluation (the GMW part of the protocol) is bit-sliced and cheap.
+type BVec struct {
+	P0, P1 []uint64
+}
+
+// NewBVec allocates a zero-shared boolean vector.
+func NewBVec(n int) BVec {
+	return BVec{P0: make([]uint64, n), P1: make([]uint64, n)}
+}
+
+// Len returns the vector length in words.
+func (v BVec) Len() int { return len(v.P0) }
+
+// Xor is the free XOR of shares (local).
+func (v BVec) Xor(o BVec) BVec {
+	out := NewBVec(v.Len())
+	for i := range out.P0 {
+		out.P0[i] = v.P0[i] ^ o.P0[i]
+		out.P1[i] = v.P1[i] ^ o.P1[i]
+	}
+	return out
+}
+
+// Shl shifts every shared word left by k bits (local).
+func (v BVec) Shl(k uint) BVec {
+	out := NewBVec(v.Len())
+	for i := range out.P0 {
+		out.P0[i] = v.P0[i] << k
+		out.P1[i] = v.P1[i] << k
+	}
+	return out
+}
+
+// Shr shifts every shared word right by k bits (local, logical).
+func (v BVec) Shr(k uint) BVec {
+	out := NewBVec(v.Len())
+	for i := range out.P0 {
+		out.P0[i] = v.P0[i] >> k
+		out.P1[i] = v.P1[i] >> k
+	}
+	return out
+}
+
+// openWords reconstructs the plaintext words without paying communication;
+// for tests only.
+func (v BVec) openWords() []uint64 {
+	out := make([]uint64, v.Len())
+	for i := range out {
+		out[i] = v.P0[i] ^ v.P1[i]
+	}
+	return out
+}
+
+// AndVec computes the bitwise AND of two shared vectors with bit triples:
+// open d = x^a and e = y^b (one combined round), then
+// z = c ^ (d & b) ^ (e & a) ^ (d & e), the last term folded by P0.
+func AndVec(net *Net, dealer *Dealer, x, y BVec) BVec {
+	n := x.Len()
+	a, b, c := dealer.BitTripleVec(n)
+	out := NewBVec(n)
+	// Opening d and e costs 8 bytes per word per value per direction.
+	net.Round(2*n*8, 2*n*8)
+	for i := 0; i < n; i++ {
+		d := (x.P0[i] ^ a.P0[i]) ^ (x.P1[i] ^ a.P1[i])
+		e := (y.P0[i] ^ b.P0[i]) ^ (y.P1[i] ^ b.P1[i])
+		out.P0[i] = c.P0[i] ^ (d & b.P0[i]) ^ (e & a.P0[i]) ^ (d & e)
+		out.P1[i] = c.P1[i] ^ (d & b.P1[i]) ^ (e & a.P1[i])
+	}
+	return out
+}
+
+// concatB concatenates two boolean share vectors (for batching two AND
+// evaluations into one round).
+func concatB(a, b BVec) BVec {
+	out := NewBVec(a.Len() + b.Len())
+	copy(out.P0, a.P0)
+	copy(out.P0[a.Len():], b.P0)
+	copy(out.P1, a.P1)
+	copy(out.P1[a.Len():], b.P1)
+	return out
+}
+
+func splitB(v BVec, n int) (BVec, BVec) {
+	return BVec{P0: v.P0[:n], P1: v.P1[:n]}, BVec{P0: v.P0[n:], P1: v.P1[n:]}
+}
+
+// A2B converts arithmetic shares to boolean shares of the same values by
+// evaluating a Kogge–Stone carry-lookahead adder over the two addends
+// (P0's share and P1's share), each of which enters the circuit as a
+// trivially XOR-shared input. Cost: 7 rounds (1 initial AND + 6 prefix
+// levels), with both ANDs of each level batched into a single round.
+func A2B(net *Net, dealer *Dealer, x AVec) BVec {
+	n := x.Len()
+	xa := BVec{P0: append([]uint64(nil), x.P0...), P1: make([]uint64, n)}
+	xb := BVec{P0: make([]uint64, n), P1: append([]uint64(nil), x.P1...)}
+
+	// Level 0: generate g = a&b, propagate p = a^b.
+	g := AndVec(net, dealer, xa, xb)
+	p := xa.Xor(xb)
+	// Kogge–Stone prefix: the invariant g&p = 0 lets OR be XOR.
+	for k := uint(1); k < 64; k <<= 1 {
+		gk := g.Shl(k)
+		pk := p.Shl(k)
+		// Two ANDs per level, batched into one round: p&gk and p&pk.
+		both := AndVec(net, dealer, concatB(p, p), concatB(gk, pk))
+		pg, pp := splitB(both, n)
+		g = g.Xor(pg)
+		p = pp
+	}
+	// Carries enter one position left; sum = a ^ b ^ carries.
+	carries := g.Shl(1)
+	return xa.Xor(xb).Xor(carries)
+}
+
+// MSB extracts the sign bit of each shared ring element as an XOR-shared
+// 0/1 word.
+func MSB(net *Net, dealer *Dealer, x AVec) BVec {
+	bits := A2B(net, dealer, x)
+	return bits.Shr(63)
+}
+
+// B2A converts XOR-shared bits (0/1 words) to arithmetic shares:
+// b = b0 + b1 − 2·b0·b1, with the cross term from one Beaver
+// multiplication of the parties' locally-known bit values.
+func B2A(net *Net, dealer *Dealer, bit BVec) AVec {
+	n := bit.Len()
+	b0 := make([]int64, n)
+	b1 := make([]int64, n)
+	for i := 0; i < n; i++ {
+		b0[i] = int64(bit.P0[i] & 1)
+		b1[i] = int64(bit.P1[i] & 1)
+	}
+	x := ShareKnownTo(0, b0)
+	y := ShareKnownTo(1, b1)
+	cross := MulVec(net, dealer, x, y)
+	out := NewAVec(n)
+	for i := 0; i < n; i++ {
+		out.P0[i] = uint64(b0[i]) - 2*cross.P0[i]
+		out.P1[i] = uint64(b1[i]) - 2*cross.P1[i]
+	}
+	return out
+}

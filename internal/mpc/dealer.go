@@ -1,0 +1,96 @@
+package mpc
+
+import (
+	"math/rand"
+
+	"repro/internal/intnet"
+)
+
+// Dealer is the semi-honest correlated-randomness provider (Chameleon's
+// "semi-trusted third party"): it pre-distributes Beaver triples during an
+// offline phase and never sees protocol inputs. The report tracks how much
+// randomness the online phase consumed so E7 can cost the offline phase.
+type Dealer struct {
+	r *rand.Rand
+	// Tallies of generated material, in ring elements / bit-words.
+	ArithTripleElems int64
+	BitTripleWords   int64
+}
+
+// NewDealer seeds a dealer.
+func NewDealer(seed int64) *Dealer {
+	return &Dealer{r: rand.New(rand.NewSource(seed))}
+}
+
+func (d *Dealer) shareVals(xs []int64) AVec {
+	return ShareVec(d.r, xs)
+}
+
+// TripleVec emits n element-wise Beaver triples (a, b, c) with c = a·b.
+func (d *Dealer) TripleVec(n int) (a, b, c AVec) {
+	av := make([]int64, n)
+	bv := make([]int64, n)
+	cv := make([]int64, n)
+	for i := 0; i < n; i++ {
+		av[i] = int64(d.r.Uint64())
+		bv[i] = int64(d.r.Uint64())
+		cv[i] = av[i] * bv[i] // wraps mod 2^64, as intended
+	}
+	d.ArithTripleElems += int64(3 * n)
+	return d.shareVals(av), d.shareVals(bv), d.shareVals(cv)
+}
+
+// ConvTriple emits a convolution triple for the spec's geometry:
+// A input-shaped, B weight-shaped, C = conv(A, B). Convolution triples cost
+// |in|+|w|+|out| elements instead of one triple per MAC, the standard
+// optimization for secure linear layers.
+func (d *Dealer) ConvTriple(spec *intnet.Spec) (a, b, c AVec) {
+	av := make([]int64, spec.InputLn)
+	bv := make([]int64, len(spec.ConvW))
+	for i := range av {
+		av[i] = int64(d.r.Uint64())
+	}
+	for i := range bv {
+		bv[i] = int64(d.r.Uint64())
+	}
+	cv := spec.ConvWith(av, bv, nil)
+	d.ArithTripleElems += int64(len(av) + len(bv) + len(cv))
+	return d.shareVals(av), d.shareVals(bv), d.shareVals(cv)
+}
+
+// FCTriple emits a matrix triple for the fully connected layer:
+// A flat-shaped, B weight-shaped, C = B·A.
+func (d *Dealer) FCTriple(spec *intnet.Spec) (a, b, c AVec) {
+	av := make([]int64, spec.FlatLen)
+	bv := make([]int64, len(spec.FCW))
+	for i := range av {
+		av[i] = int64(d.r.Uint64())
+	}
+	for i := range bv {
+		bv[i] = int64(d.r.Uint64())
+	}
+	cv := spec.FCWith(av, bv, nil)
+	d.ArithTripleElems += int64(len(av) + len(bv) + len(cv))
+	return d.shareVals(av), d.shareVals(bv), d.shareVals(cv)
+}
+
+// BitTripleVec emits n bitwise AND triples on 64-bit words, XOR-shared:
+// c = a & b.
+func (d *Dealer) BitTripleVec(n int) (a, b, c BVec) {
+	a = NewBVec(n)
+	b = NewBVec(n)
+	c = NewBVec(n)
+	for i := 0; i < n; i++ {
+		av := d.r.Uint64()
+		bv := d.r.Uint64()
+		cv := av & bv
+		a0 := d.r.Uint64()
+		b0 := d.r.Uint64()
+		c0 := d.r.Uint64()
+		a.P0[i], a.P1[i] = a0, av^a0
+		b.P0[i], b.P1[i] = b0, bv^b0
+		c.P0[i], c.P1[i] = c0, cv^c0
+	}
+	d.BitTripleWords += int64(3 * n)
+	return a, b, c
+}

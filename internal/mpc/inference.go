@@ -1,0 +1,87 @@
+package mpc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/intnet"
+)
+
+// Report tallies one secure inference.
+type Report struct {
+	Rounds           int
+	BytesOnWire      int64
+	SetupBytes       int64 // one-time weight-sharing traffic (amortized)
+	ArithTripleElems int64
+	BitTripleWords   int64
+	Prediction       int
+	LANTime          time.Duration
+	WANTime          time.Duration
+}
+
+// Protocol is the two-party inference: the client (P1) holds the
+// fingerprint, the server (P0) holds the model weights; the dealer supplies
+// correlated randomness. Outputs (logits) open toward the client.
+type Protocol struct {
+	spec   *intnet.Spec
+	dealer *Dealer
+	r      *rand.Rand
+	// wShared caches the one-time sharing of the server's weights.
+	convW, fcW AVec
+	setupBytes int64
+}
+
+// NewProtocol prepares a protocol instance for the model.
+func NewProtocol(spec *intnet.Spec, seed int64) (*Protocol, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("mpc: nil spec")
+	}
+	p := &Protocol{
+		spec:   spec,
+		dealer: NewDealer(seed),
+		r:      rand.New(rand.NewSource(seed + 1)),
+	}
+	// One-time setup: the server shares its weights with the client. Each
+	// element costs 8 bytes toward P1.
+	p.convW = ShareVec(p.r, spec.ConvW)
+	p.fcW = ShareVec(p.r, spec.FCW)
+	p.setupBytes = int64(len(spec.ConvW)+len(spec.FCW)) * 8
+	return p, nil
+}
+
+// Infer runs one secure inference over the fingerprint.
+func (p *Protocol) Infer(features []uint8) (*Report, error) {
+	spec := p.spec
+	net := &Net{}
+	tripleElems0 := p.dealer.ArithTripleElems
+	bitWords0 := p.dealer.BitTripleWords
+
+	// Round 1: the client shares its input (8 bytes per element to P0).
+	x := ShareVec(p.r, spec.InputFromFeatures(features))
+	net.Round(0, len(features)*8)
+
+	conv := ConvSecure(net, p.dealer, spec, x, p.convW)
+	relu := ReLUVec(net, p.dealer, conv)
+	logits := FCSecure(net, p.dealer, spec, relu, p.fcW)
+
+	// Final round: logits open toward the client.
+	vals := logits.Open(net)
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	rep := &Report{
+		Rounds:           net.Rounds(),
+		BytesOnWire:      net.TotalBytes(),
+		SetupBytes:       p.setupBytes,
+		ArithTripleElems: p.dealer.ArithTripleElems - tripleElems0,
+		BitTripleWords:   p.dealer.BitTripleWords - bitWords0,
+		Prediction:       best,
+		LANTime:          net.TimeOn(LAN()),
+		WANTime:          net.TimeOn(WAN()),
+	}
+	return rep, nil
+}

@@ -1,0 +1,321 @@
+package mpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/intnet"
+	"repro/internal/tflm"
+)
+
+func TestShareOpenRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(xs []int64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		net := &Net{}
+		v := ShareVec(r, xs)
+		got := v.Open(net)
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return net.Rounds() == 1 && net.TotalBytes() == int64(len(xs)*16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalArithmeticOnShares(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := []int64{5, -7, 1 << 40, -(1 << 50)}
+	ys := []int64{3, 9, -(1 << 39), 1 << 20}
+	x := ShareVec(r, xs)
+	y := ShareVec(r, ys)
+	sum := x.Add(y).openValues()
+	diff := x.Sub(y).openValues()
+	neg := x.Neg().openValues()
+	withC := x.AddConst([]int64{1, 1, 1, 1}).openValues()
+	for i := range xs {
+		if sum[i] != xs[i]+ys[i] || diff[i] != xs[i]-ys[i] || neg[i] != -xs[i] || withC[i] != xs[i]+1 {
+			t.Fatalf("element %d: got %d %d %d %d", i, sum[i], diff[i], neg[i], withC[i])
+		}
+	}
+}
+
+func TestBeaverMulVec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dealer := NewDealer(seed + 7)
+		net := &Net{}
+		n := 1 + r.Intn(20)
+		xs := make([]int64, n)
+		ys := make([]int64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = int64(r.Uint64())
+			ys[i] = int64(r.Uint64())
+		}
+		z := MulVec(net, dealer, ShareVec(r, xs), ShareVec(r, ys)).openValues()
+		for i := 0; i < n; i++ {
+			if z[i] != xs[i]*ys[i] {
+				return false
+			}
+		}
+		return net.Rounds() == 1 // batched element-wise multiply: one round
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndVec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dealer := NewDealer(seed)
+		net := &Net{}
+		n := 1 + r.Intn(10)
+		x := NewBVec(n)
+		y := NewBVec(n)
+		wantX := make([]uint64, n)
+		wantY := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			wantX[i] = r.Uint64()
+			wantY[i] = r.Uint64()
+			x.P0[i] = r.Uint64()
+			x.P1[i] = wantX[i] ^ x.P0[i]
+			y.P0[i] = r.Uint64()
+			y.P1[i] = wantY[i] ^ y.P0[i]
+		}
+		z := AndVec(net, dealer, x, y).openWords()
+		for i := 0; i < n; i++ {
+			if z[i] != wantX[i]&wantY[i] {
+				return false
+			}
+		}
+		return net.Rounds() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestA2BMatchesAddition: the Kogge–Stone adder on shares must reproduce
+// ring addition bit-exactly, including carries and negative values.
+func TestA2BMatchesAddition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dealer := NewDealer(seed ^ 0x5a)
+		net := &Net{}
+		n := 1 + r.Intn(8)
+		xs := make([]int64, n)
+		for i := range xs {
+			switch r.Intn(4) {
+			case 0:
+				xs[i] = int64(r.Uint64()) // full range
+			case 1:
+				xs[i] = int64(r.Intn(1000) - 500)
+			case 2:
+				xs[i] = -1
+			default:
+				xs[i] = 0
+			}
+		}
+		bits := A2B(net, dealer, ShareVec(r, xs)).openWords()
+		for i := range xs {
+			if bits[i] != uint64(xs[i]) {
+				return false
+			}
+		}
+		// 1 initial AND + 6 prefix levels = 7 rounds.
+		return net.Rounds() == 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSBAndB2A(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	dealer := NewDealer(99)
+	net := &Net{}
+	xs := []int64{1, -1, 0, 1 << 62, -(1 << 62), 12345, -99999}
+	sign := MSB(net, dealer, ShareVec(r, xs))
+	signA := B2A(net, dealer, sign).openValues()
+	for i, x := range xs {
+		want := int64(0)
+		if x < 0 {
+			want = 1
+		}
+		if signA[i] != want {
+			t.Fatalf("sign(%d) = %d, want %d", x, signA[i], want)
+		}
+	}
+}
+
+func TestReLUVec(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dealer := NewDealer(seed + 13)
+		net := &Net{}
+		n := 1 + r.Intn(12)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(r.Intn(1<<30) - 1<<29)
+		}
+		got := ReLUVec(net, dealer, ShareVec(r, xs)).openValues()
+		for i, x := range xs {
+			want := x
+			if want < 0 {
+				want = 0
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		// Rounds independent of n: 7 (MSB) + 1 (B2A) + 1 (mult) = 9.
+		return net.Rounds() == 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// miniSpec builds a small integer network directly.
+func miniSpec(t *testing.T) *intnet.Spec {
+	t.Helper()
+	r := rand.New(rand.NewSource(17))
+	b := tflm.NewBuilder("mini", 1)
+	inQ := tflm.QuantParams{Scale: 1.0 / 128, ZeroPoint: 0}
+	in := b.Tensor(&tflm.Tensor{Name: "in", Type: tflm.Int8, Shape: []int{1, 6, 5, 1}, Quant: &inQ})
+	b.Input(in)
+	wQ := tflm.SymmetricWeightParams(0.5)
+	w := &tflm.Tensor{Name: "w", Type: tflm.Int8, Shape: []int{2, 3, 3, 1}, Quant: &wQ}
+	w.Alloc()
+	for i := range w.I8 {
+		w.I8[i] = int8(r.Intn(200) - 100)
+	}
+	bias := &tflm.Tensor{Name: "b", Type: tflm.Int32, Shape: []int{2}, Quant: &tflm.QuantParams{Scale: inQ.Scale * wQ.Scale}}
+	bias.Alloc()
+	bias.I32[0], bias.I32[1] = 17, -9
+	wi, bi := b.Const(w), b.Const(bias)
+	convQ := tflm.QuantParams{Scale: 0.05, ZeroPoint: -128}
+	conv := b.Tensor(&tflm.Tensor{Name: "conv", Type: tflm.Int8, Shape: []int{1, 3, 3, 2}, Quant: &convQ})
+	b.Node(tflm.OpConv2D, tflm.Conv2DParams{StrideH: 2, StrideW: 2, Padding: tflm.PaddingSame, Activation: tflm.ActReLU},
+		[]int{in, wi, bi}, []int{conv})
+	flat := b.Tensor(&tflm.Tensor{Name: "flat", Type: tflm.Int8, Shape: []int{1, 18}, Quant: &convQ})
+	b.Node(tflm.OpReshape, tflm.ReshapeParams{NewShape: []int{1, 18}}, []int{conv}, []int{flat})
+	fcWQ := tflm.SymmetricWeightParams(0.25)
+	fcW := &tflm.Tensor{Name: "fcw", Type: tflm.Int8, Shape: []int{3, 18}, Quant: &fcWQ}
+	fcW.Alloc()
+	for i := range fcW.I8 {
+		fcW.I8[i] = int8(r.Intn(200) - 100)
+	}
+	fcB := &tflm.Tensor{Name: "fcb", Type: tflm.Int32, Shape: []int{3}, Quant: &tflm.QuantParams{Scale: convQ.Scale * fcWQ.Scale}}
+	fcB.Alloc()
+	fwi, fbi := b.Const(fcW), b.Const(fcB)
+	logitQ := tflm.QuantParams{Scale: 0.5, ZeroPoint: 0}
+	logits := b.Tensor(&tflm.Tensor{Name: "logits", Type: tflm.Int8, Shape: []int{1, 3}, Quant: &logitQ})
+	b.Node(tflm.OpFullyConnected, tflm.FullyConnectedParams{}, []int{flat, fwi, fbi}, []int{logits})
+	b.Output(logits)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := intnet.FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestConvAndFCSecureMatchPlain(t *testing.T) {
+	spec := miniSpec(t)
+	r := rand.New(rand.NewSource(4))
+	dealer := NewDealer(5)
+	net := &Net{}
+	x := make([]int64, spec.InputLn)
+	for i := range x {
+		x[i] = int64(r.Intn(256) - 128)
+	}
+	xs := ShareVec(r, x)
+	ws := ShareVec(r, spec.ConvW)
+	conv := ConvSecure(net, dealer, spec, xs, ws).openValues()
+	want := spec.Conv(x)
+	for i := range want {
+		if conv[i] != want[i] {
+			t.Fatalf("conv[%d] = %d, want %d", i, conv[i], want[i])
+		}
+	}
+	// FC on the (pre-ReLU) conv outputs for a pure linear check.
+	flatShares := ShareVec(r, want)
+	fcWs := ShareVec(r, spec.FCW)
+	got := FCSecure(net, dealer, spec, flatShares, fcWs).openValues()
+	wantFC := spec.FC(want)
+	for i := range wantFC {
+		if got[i] != wantFC[i] {
+			t.Fatalf("fc[%d] = %d, want %d", i, got[i], wantFC[i])
+		}
+	}
+}
+
+// TestSecureInferenceMatchesPlainReference is the end-to-end equality gate:
+// the 2PC evaluation must reproduce the plaintext integer network exactly.
+func TestSecureInferenceMatchesPlainReference(t *testing.T) {
+	spec := miniSpec(t)
+	proto, err := NewProtocol(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5; trial++ {
+		features := make([]uint8, spec.InputLn)
+		for i := range features {
+			features[i] = uint8(r.Intn(256))
+		}
+		rep, err := proto.Infer(features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want := spec.Forward(spec.InputFromFeatures(features))
+		if rep.Prediction != want {
+			t.Fatalf("trial %d: MPC predicted %d, plaintext %d", trial, rep.Prediction, want)
+		}
+		// Round budget: 1 input + 1 conv + 9 ReLU + 1 fc + 1 open = 13.
+		if rep.Rounds != 13 {
+			t.Fatalf("rounds = %d, want 13", rep.Rounds)
+		}
+		if rep.BytesOnWire <= 0 || rep.ArithTripleElems <= 0 || rep.BitTripleWords <= 0 {
+			t.Fatal("accounting empty")
+		}
+		if rep.WANTime <= rep.LANTime {
+			t.Fatal("WAN not slower than LAN")
+		}
+	}
+}
+
+func TestNetTimeModel(t *testing.T) {
+	net := &Net{}
+	net.Round(1000, 1000)
+	net.Round(0, 0)
+	lan := net.TimeOn(LAN())
+	wan := net.TimeOn(WAN())
+	if lan >= wan {
+		t.Fatalf("LAN %v not faster than WAN %v", lan, wan)
+	}
+	if net.Rounds() != 2 || net.TotalBytes() != 2000 {
+		t.Fatalf("accounting: %s", net.String())
+	}
+	zero := LinkProfile{Name: "rounds-only", RTT: time.Duration(1e6)}
+	if net.TimeOn(zero) != 2*time.Duration(1e6) {
+		t.Fatal("zero-bandwidth profile mishandled")
+	}
+	net.Reset()
+	if net.Rounds() != 0 || net.TotalBytes() != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,19 @@
+package mpc
+
+// ReLUVec computes ReLU(x) on shares: extract the sign bit with the boolean
+// sub-protocol, convert it to arithmetic, and multiply:
+// relu(x) = x · (1 − sign(x)). All elements of a layer run in parallel, so
+// the round count is independent of the layer width — the property that
+// makes rounds (and hence WAN RTT) the dominant latency term of E7.
+func ReLUVec(net *Net, dealer *Dealer, x AVec) AVec {
+	n := x.Len()
+	sign := MSB(net, dealer, x)     // 7 rounds
+	signA := B2A(net, dealer, sign) // 1 round
+	// pos = 1 − sign.
+	ones := make([]int64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	pos := signA.Neg().AddConst(ones)
+	return MulVec(net, dealer, x, pos) // 1 round
+}

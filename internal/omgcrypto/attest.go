@@ -1,0 +1,77 @@
+package omgcrypto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Measurement is the SHA-256 hash of an enclave's initial memory content
+// ("the enclave is attested ('measured') by SANCTUARY", §V).
+type Measurement [32]byte
+
+// AttestationReport binds an enclave measurement to the enclave's public key
+// and a freshness nonce, signed by the platform key. Both the user (via
+// secure output) and the vendor (via a secure channel) verify such reports
+// before trusting the enclave (§V steps 1–2).
+type AttestationReport struct {
+	Measurement Measurement
+	EnclavePub  []byte // PKIX DER of the enclave's key PK
+	Nonce       []byte // verifier-chosen freshness nonce
+	PlatformSig []byte // platform identity signature over tbs()
+}
+
+func (r *AttestationReport) tbs() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("omg-attestation-v1")
+	buf.Write(r.Measurement[:])
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(r.EnclavePub)))
+	buf.Write(l[:])
+	buf.Write(r.EnclavePub)
+	binary.BigEndian.PutUint32(l[:], uint32(len(r.Nonce)))
+	buf.Write(l[:])
+	buf.Write(r.Nonce)
+	return buf.Bytes()
+}
+
+// SignReport produces an attestation report under the platform identity.
+func SignReport(platform *Identity, m Measurement, enclavePub, nonce []byte) (*AttestationReport, error) {
+	r := &AttestationReport{
+		Measurement: m,
+		EnclavePub:  append([]byte(nil), enclavePub...),
+		Nonce:       append([]byte(nil), nonce...),
+	}
+	sig, err := platform.Sign(r.tbs())
+	if err != nil {
+		return nil, err
+	}
+	r.PlatformSig = sig
+	return r, nil
+}
+
+// ErrBadMeasurement indicates the report is authentic but the enclave code
+// is not the expected one (tampered or outdated image).
+var ErrBadMeasurement = errors.New("omgcrypto: enclave measurement mismatch")
+
+// VerifyReport validates a report against the platform certificate chain
+// rooted at rootPub, the verifier's expected measurement, and the nonce the
+// verifier chose. On success it returns the enclave public key, which the
+// verifier may then use to wrap secrets for the enclave.
+func VerifyReport(r *AttestationReport, chain []*Certificate, rootPub []byte, expect Measurement, nonce []byte) ([]byte, error) {
+	platformPub, err := VerifyChain(chain, rootPub)
+	if err != nil {
+		return nil, fmt.Errorf("omgcrypto: attestation chain: %w", err)
+	}
+	if err := Verify(platformPub, r.tbs(), r.PlatformSig); err != nil {
+		return nil, fmt.Errorf("omgcrypto: attestation signature: %w", err)
+	}
+	if !bytes.Equal(r.Nonce, nonce) {
+		return nil, errors.New("omgcrypto: attestation nonce mismatch (replay?)")
+	}
+	if r.Measurement != expect {
+		return nil, ErrBadMeasurement
+	}
+	return r.EnclavePub, nil
+}

@@ -1,0 +1,78 @@
+package omgcrypto
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// DeterministicRSAKey derives an RSA key pair entirely from seed. The
+// platform uses it to give an enclave the *same* identity every time the
+// same image is measured on the same device (§V: the enclave key pair "is
+// derived from the platform certificate"), which is what keeps previously
+// provisioned model ciphertexts usable across enclave relaunches.
+//
+// The standard library's rsa.GenerateKey is deliberately non-deterministic
+// even with a deterministic reader (since Go 1.20), so this function runs
+// its own Miller–Rabin prime search over a DRBG stream. The security of the
+// resulting key reduces to the entropy of seed, which the caller must
+// derive from a device secret.
+func DeterministicRSAKey(seed []byte, bits int) (*rsa.PrivateKey, error) {
+	if bits < 512 {
+		return nil, fmt.Errorf("omgcrypto: RSA size %d too small", bits)
+	}
+	rng := NewDRBG("det-rsa:" + string(seed))
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for attempt := 0; attempt < 100; attempt++ {
+		p, err := drbgPrime(rng, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := drbgPrime(rng, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e not coprime with φ(n); redraw primes
+		}
+		key := &rsa.PrivateKey{
+			PublicKey: rsa.PublicKey{N: new(big.Int).Mul(p, q), E: int(e.Int64())},
+			D:         d,
+			Primes:    []*big.Int{p, q},
+		}
+		key.Precompute()
+		if err := key.Validate(); err != nil {
+			continue
+		}
+		return key, nil
+	}
+	return nil, errors.New("omgcrypto: deterministic RSA generation exhausted attempts")
+}
+
+func drbgPrime(rng io.Reader, bits int) (*big.Int, error) {
+	buf := make([]byte, (bits+7)/8)
+	for i := 0; i < 100000; i++ {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, err
+		}
+		p := new(big.Int).SetBytes(buf)
+		p.Rsh(p, uint(len(buf)*8-bits))
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, bits-2, 1) // force full-size modulus
+		p.SetBit(p, 0, 1)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("omgcrypto: prime search exhausted")
+}

@@ -1,0 +1,93 @@
+package omgcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key size (AES-256).
+const KeySize = 32
+
+// Envelope is an authenticated ciphertext produced by Seal. The nonce is
+// carried alongside the ciphertext; the associated data is not (both sides
+// must agree on it, which OMG uses to bind a model ciphertext to its version
+// and the enclave identity).
+type Envelope struct {
+	Nonce      []byte
+	Ciphertext []byte
+}
+
+// ErrDecrypt is returned when authenticated decryption fails: wrong key,
+// tampered ciphertext, or mismatched associated data. Callers treat all
+// three identically (fail closed), so a single opaque error is deliberate.
+var ErrDecrypt = errors.New("omgcrypto: decryption failed")
+
+// Seal encrypts plaintext under a 32-byte key with AES-256-GCM, binding the
+// associated data ad. The nonce is drawn from rng (Rand if nil).
+func Seal(rng io.Reader, key, plaintext, ad []byte) (Envelope, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return Envelope{}, err
+	}
+	nonce, err := RandomBytes(rng, gcm.NonceSize())
+	if err != nil {
+		return Envelope{}, err
+	}
+	ct := gcm.Seal(nil, nonce, plaintext, ad)
+	return Envelope{Nonce: nonce, Ciphertext: ct}, nil
+}
+
+// Open decrypts an envelope, verifying integrity and the associated data.
+func Open(key []byte, env Envelope, ad []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(env.Nonce) != gcm.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	pt, err := gcm.Open(nil, env.Nonce, env.Ciphertext, ad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("omgcrypto: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Marshal serializes the envelope as nonceLen || nonce || ciphertext.
+func (e Envelope) Marshal() []byte {
+	out := make([]byte, 0, 1+len(e.Nonce)+len(e.Ciphertext))
+	out = append(out, byte(len(e.Nonce)))
+	out = append(out, e.Nonce...)
+	out = append(out, e.Ciphertext...)
+	return out
+}
+
+// UnmarshalEnvelope parses the output of Marshal.
+func UnmarshalEnvelope(data []byte) (Envelope, error) {
+	if len(data) < 1 {
+		return Envelope{}, errors.New("omgcrypto: truncated envelope")
+	}
+	n := int(data[0])
+	if len(data) < 1+n {
+		return Envelope{}, errors.New("omgcrypto: truncated envelope nonce")
+	}
+	e := Envelope{
+		Nonce:      append([]byte(nil), data[1:1+n]...),
+		Ciphertext: append([]byte(nil), data[1+n:]...),
+	}
+	return e, nil
+}

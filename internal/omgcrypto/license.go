@@ -1,0 +1,45 @@
+package omgcrypto
+
+import "encoding/binary"
+
+// Model-key derivation (§V): "V uses PK and a nonce n to derive a symmetric
+// encryption key KU used only for this respective enclave and version of the
+// model." The vendor's long-term secret enters as the HKDF input keying
+// material so that neither PK nor n alone reveals anything; PK binds KU to
+// one physical enclave, n binds it to one model version (which is what
+// defeats rollback: an old ciphertext needs an old KU, which the vendor no
+// longer issues).
+
+// ModelNonce identifies one (enclave, model-version) provisioning epoch.
+type ModelNonce [16]byte
+
+// NonceForVersion derives a deterministic per-version nonce from a vendor
+// epoch seed. Real vendors would draw it randomly and store it; determinism
+// keeps simulations reproducible while preserving the uniqueness that the
+// rollback argument needs.
+func NonceForVersion(vendorSeed []byte, version uint64) ModelNonce {
+	var v [8]byte
+	binary.BigEndian.PutUint64(v[:], version)
+	out := HKDF(vendorSeed, []byte("omg-model-nonce"), v[:], 16)
+	var n ModelNonce
+	copy(n[:], out)
+	return n
+}
+
+// DeriveModelKey computes KU = KDF(vendor secret; PK, n).
+func DeriveModelKey(vendorSecret, enclavePubDER []byte, n ModelNonce) []byte {
+	info := make([]byte, 0, len(enclavePubDER)+len(n))
+	info = append(info, enclavePubDER...)
+	info = append(info, n[:]...)
+	return HKDF(vendorSecret, []byte("omg-model-key"), info, KeySize)
+}
+
+// ModelAAD is the associated data under which a model of the given version
+// is sealed, binding ciphertexts to their version so a version-v blob cannot
+// be passed off as version-w even under the correct key.
+func ModelAAD(version uint64) []byte {
+	aad := make([]byte, 8+len("omg-model"))
+	copy(aad, "omg-model")
+	binary.BigEndian.PutUint64(aad[len("omg-model"):], version)
+	return aad
+}

@@ -1,0 +1,213 @@
+package speechcmd
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/audio"
+	"repro/internal/dsp"
+)
+
+func TestLabelMapping(t *testing.T) {
+	if LabelOf("yes") != 2 || LabelOf("go") != 11 {
+		t.Fatal("target word labels wrong")
+	}
+	if LabelOf("silence") != LabelSilence || LabelOf("") != LabelSilence {
+		t.Fatal("silence label wrong")
+	}
+	if LabelOf("marvin") != LabelUnknown || LabelOf("gibberish") != LabelUnknown {
+		t.Fatal("unknown label wrong")
+	}
+	for i := 0; i < NumLabels; i++ {
+		if LabelName(i) == "" {
+			t.Fatalf("label %d unnamed", i)
+		}
+		if LabelOf(LabelName(i)) != i {
+			t.Fatalf("label %d (%s) does not round trip", i, LabelName(i))
+		}
+	}
+	if len(TargetWords) != 10 {
+		t.Fatalf("target words = %d", len(TargetWords))
+	}
+}
+
+func TestUtteranceDeterministic(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	a := g.Utterance("yes", 3, 0)
+	b := g.Utterance("yes", 3, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (word, speaker, take) produced different audio")
+	}
+	c := g.Utterance("yes", 3, 1)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different takes produced identical audio")
+	}
+	d := g.Utterance("yes", 4, 0)
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("different speakers produced identical audio")
+	}
+	if len(a) != 16000 {
+		t.Fatalf("utterance length %d", len(a))
+	}
+}
+
+func TestWordsAreLouderThanSilence(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	word := audio.RMS(g.Utterance("left", 1, 0))
+	silence := audio.RMS(g.Utterance("silence", 1, 0))
+	if word < 2*silence {
+		t.Fatalf("word RMS %v vs silence RMS %v", word, silence)
+	}
+}
+
+// TestWordsSpectrallyDistinct: fingerprints of different words must differ
+// more than fingerprints of the same word across takes, otherwise the
+// classification task is ill-posed.
+func TestWordsSpectrallyDistinct(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(a, b []uint8) float64 {
+		var acc float64
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			acc += d * d
+		}
+		return math.Sqrt(acc / float64(len(a)))
+	}
+	// Average intra-word distance (same word, different takes) vs
+	// inter-word distance (different words, same speaker/take) across
+	// several words. Individual pairs may cross at the calibrated noise
+	// level; the averages must not.
+	words := []string{"yes", "no", "up", "down", "left"}
+	var intra, inter float64
+	var intraN, interN int
+	for _, w := range words {
+		for take := 0; take < 3; take++ {
+			a := fe.Extract(g.Utterance(w, 1, take))
+			b := fe.Extract(g.Utterance(w, 1, take+10))
+			intra += dist(a, b)
+			intraN++
+			for _, w2 := range words {
+				if w2 == w {
+					continue
+				}
+				c := fe.Extract(g.Utterance(w2, 1, take))
+				inter += dist(a, c)
+				interN++
+			}
+		}
+	}
+	intra /= float64(intraN)
+	inter /= float64(interN)
+	if inter <= intra {
+		t.Fatalf("mean inter-word distance %v not larger than intra-word %v", inter, intra)
+	}
+}
+
+func TestWhichSetStableAndPartitioned(t *testing.T) {
+	counts := map[Set]int{}
+	for speaker := 0; speaker < 2000; speaker++ {
+		s := WhichSet(speaker, 10, 10)
+		if s != WhichSet(speaker, 10, 10) {
+			t.Fatal("assignment not stable")
+		}
+		counts[s]++
+	}
+	// Roughly 10/10/80 with generous tolerance.
+	if counts[ValSet] < 120 || counts[ValSet] > 280 {
+		t.Fatalf("val count %d", counts[ValSet])
+	}
+	if counts[TestSet] < 120 || counts[TestSet] > 280 {
+		t.Fatalf("test count %d", counts[TestSet])
+	}
+	if counts[TrainSet] < 1400 {
+		t.Fatalf("train count %d", counts[TrainSet])
+	}
+	if TrainSet.String() != "train" || ValSet.String() != "validation" || TestSet.String() != "test" {
+		t.Fatal("set names")
+	}
+}
+
+func TestGenerateSpeakerDisjointSplits(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	ds := g.Generate(DatasetSpec{Speakers: 30, TakesPerLabel: 1})
+	total := len(ds.Train) + len(ds.Val) + len(ds.Test)
+	if total != 30*NumLabels {
+		t.Fatalf("total examples %d", total)
+	}
+	seen := map[int]Set{}
+	check := func(exs []Example, set Set) {
+		for _, ex := range exs {
+			if prev, ok := seen[ex.Speaker]; ok && prev != set {
+				t.Fatalf("speaker %d appears in %v and %v", ex.Speaker, prev, set)
+			}
+			seen[ex.Speaker] = set
+			if ex.Label < 0 || ex.Label >= NumLabels {
+				t.Fatalf("label %d out of range", ex.Label)
+			}
+			if len(ex.Samples) != 16000 {
+				t.Fatalf("sample length %d", len(ex.Samples))
+			}
+		}
+	}
+	check(ds.Train, TrainSet)
+	check(ds.Val, ValSet)
+	check(ds.Test, TestSet)
+}
+
+func TestPaperTestSubset(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	subset := g.PaperTestSubset()
+	if len(subset) != 100 {
+		t.Fatalf("subset size %d, want 100", len(subset))
+	}
+	perClass := map[int]int{}
+	for _, ex := range subset {
+		perClass[ex.Label]++
+		if ex.Label == LabelSilence || ex.Label == LabelUnknown {
+			t.Fatal("rejection class in paper subset")
+		}
+		if WhichSet(ex.Speaker, 10, 10) != TestSet {
+			t.Fatal("subset speaker not from test partition")
+		}
+	}
+	for label := 2; label < NumLabels; label++ {
+		if perClass[label] != 10 {
+			t.Fatalf("class %d has %d examples", label, perClass[label])
+		}
+	}
+}
+
+func TestExampleUnknownDrawsFiller(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	ex := g.Example(LabelUnknown, 5, 0)
+	if ex.Label != LabelUnknown {
+		t.Fatal("label")
+	}
+	found := false
+	for _, w := range UnknownWords {
+		if ex.Word == w {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown example used word %q", ex.Word)
+	}
+	// Deterministic pick.
+	ex2 := g.Example(LabelUnknown, 5, 0)
+	if ex.Word != ex2.Word {
+		t.Fatal("unknown filler word not deterministic")
+	}
+}
+
+func TestSeedIsolatesCorpora(t *testing.T) {
+	a := NewGenerator(Config{Seed: 1, NoiseRMS: 0.05, SpeakerVariation: 1})
+	b := NewGenerator(Config{Seed: 2, NoiseRMS: 0.05, SpeakerVariation: 1})
+	if reflect.DeepEqual(a.Utterance("yes", 0, 0), b.Utterance("yes", 0, 0)) {
+		t.Fatal("different corpus seeds produced identical audio")
+	}
+}

@@ -1,0 +1,115 @@
+package speechcmd
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// Set identifies the partition an example belongs to.
+type Set int
+
+// Dataset partitions.
+const (
+	TrainSet Set = iota
+	ValSet
+	TestSet
+)
+
+// String names the set.
+func (s Set) String() string {
+	switch s {
+	case TrainSet:
+		return "train"
+	case ValSet:
+		return "validation"
+	case TestSet:
+		return "test"
+	default:
+		return fmt.Sprintf("Set(%d)", int(s))
+	}
+}
+
+// WhichSet reproduces the Speech Commands dataset's which_set() assignment:
+// the speaker identifier is hashed (SHA-1) to a stable percentage and
+// bucketed into validation/test/train. Keying on the speaker keeps all
+// recordings of one person in one partition, so evaluation measures
+// speaker-independent accuracy, exactly as Warden's recipe does.
+func WhichSet(speaker int, valPct, testPct int) Set {
+	const maxPerClass = 134217727 // 2^27 - 1, as in the original implementation
+	h := sha1.Sum([]byte(fmt.Sprintf("speaker-%d", speaker)))
+	v := binary.BigEndian.Uint64(h[:8]) % (maxPerClass + 1)
+	pct := float64(v) / maxPerClass * 100
+	switch {
+	case pct < float64(valPct):
+		return ValSet
+	case pct < float64(valPct+testPct):
+		return TestSet
+	default:
+		return TrainSet
+	}
+}
+
+// Dataset is a partitioned corpus.
+type Dataset struct {
+	Train, Val, Test []Example
+}
+
+// DatasetSpec sizes a synthesized corpus.
+type DatasetSpec struct {
+	// Speakers is the number of distinct synthetic speakers.
+	Speakers int
+	// TakesPerLabel is how many recordings each speaker contributes per
+	// class.
+	TakesPerLabel int
+	// ValPct and TestPct set the split percentages (default 10/10).
+	ValPct, TestPct int
+}
+
+// Generate synthesizes a full partitioned dataset. Examples are generated
+// per (speaker, label, take) and routed to the speaker's partition.
+func (g *Generator) Generate(spec DatasetSpec) *Dataset {
+	if spec.ValPct == 0 && spec.TestPct == 0 {
+		spec.ValPct, spec.TestPct = 10, 10
+	}
+	ds := &Dataset{}
+	for speaker := 0; speaker < spec.Speakers; speaker++ {
+		set := WhichSet(speaker, spec.ValPct, spec.TestPct)
+		for label := 0; label < NumLabels; label++ {
+			for take := 0; take < spec.TakesPerLabel; take++ {
+				ex := g.Example(label, speaker, take)
+				switch set {
+				case ValSet:
+					ds.Val = append(ds.Val, ex)
+				case TestSet:
+					ds.Test = append(ds.Test, ex)
+				default:
+					ds.Train = append(ds.Train, ex)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// PaperTestSubset mirrors the paper's evaluation subset: "10 examples for
+// each class, excluding the two rejection classes 'silence' and 'unknown'"
+// (§VI) — 100 one-second utterances, drawn from test-partition speakers.
+func (g *Generator) PaperTestSubset() []Example {
+	var out []Example
+	perClass := 10
+	for label := 2; label < NumLabels; label++ {
+		count := 0
+		for speaker := 0; count < perClass; speaker++ {
+			if speaker > 100000 {
+				panic("speechcmd: ran out of speakers for test subset")
+			}
+			if WhichSet(speaker, 10, 10) != TestSet {
+				continue
+			}
+			out = append(out, g.Example(label, speaker, 1000+count))
+			count++
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package speechcmd
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/audio"
+	"repro/internal/dsp"
+)
+
+// TestUtteranceSurvivesWAVRoundTrip: exporting an utterance to a WAV file
+// and reading it back must be lossless, so fingerprints computed from
+// exported files match the in-memory pipeline — the property that makes
+// omg-train's -export-wav corpus equivalent to the synthetic one.
+func TestUtteranceSurvivesWAVRoundTrip(t *testing.T) {
+	g := NewGenerator(DefaultConfig())
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, word := range []string{"yes", "go", "silence"} {
+		utt := g.Utterance(word, 4, 2)
+		blob := audio.EncodeWAV(utt, g.Config().SampleRate)
+		decoded, rate, err := audio.DecodeWAV(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", word, err)
+		}
+		if rate != g.Config().SampleRate {
+			t.Fatalf("%s: rate %d", word, rate)
+		}
+		if !reflect.DeepEqual(decoded, utt) {
+			t.Fatalf("%s: samples altered by WAV round trip", word)
+		}
+		a := fe.Extract(utt)
+		b := fe.Extract(decoded)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: fingerprints differ after WAV round trip", word)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package tflm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ArenaPlan is the result of memory planning: a byte offset for every
+// non-constant tensor inside a single reusable arena, such that tensors with
+// overlapping lifetimes never overlap in memory. This mirrors TFLM's
+// GreedyMemoryPlanner and yields the engine's peak-RAM figure.
+type ArenaPlan struct {
+	// Offsets maps tensor index → arena byte offset.
+	Offsets map[int]int
+	// Total is the arena size in bytes.
+	Total int
+}
+
+const arenaAlign = 16
+
+// lifetime is the half-open node interval during which a tensor must be
+// resident: [first, last]. Model inputs are born at -1; model outputs die at
+// len(nodes).
+type lifetime struct {
+	tensor      int
+	size        int
+	first, last int
+}
+
+func overlaps(a, b lifetime) bool {
+	return a.first <= b.last && b.first <= a.last
+}
+
+// PlanArena computes lifetimes for all non-constant tensors and assigns
+// offsets greedily (largest tensor first, lowest non-conflicting offset).
+func PlanArena(m *Model) (*ArenaPlan, error) {
+	first := make(map[int]int)
+	last := make(map[int]int)
+	for _, i := range m.Inputs {
+		first[i] = -1
+		last[i] = -1
+	}
+	for ni, n := range m.Nodes {
+		for _, i := range n.Inputs {
+			if m.Tensors[i].IsConst {
+				continue
+			}
+			if _, ok := first[i]; !ok {
+				return nil, fmt.Errorf("tflm: node %d reads unproduced tensor %q", ni, m.Tensors[i].Name)
+			}
+			if ni > last[i] {
+				last[i] = ni
+			}
+		}
+		for _, i := range n.Outputs {
+			if _, ok := first[i]; !ok {
+				first[i] = ni
+				last[i] = ni
+			} else if ni > last[i] {
+				last[i] = ni
+			}
+		}
+	}
+	for _, i := range m.Outputs {
+		last[i] = len(m.Nodes)
+	}
+
+	lifetimes := make([]lifetime, 0, len(first))
+	for ti, f := range first {
+		size := (m.Tensors[ti].ByteSize() + arenaAlign - 1) &^ (arenaAlign - 1)
+		lifetimes = append(lifetimes, lifetime{tensor: ti, size: size, first: f, last: last[ti]})
+	}
+	// Largest first; ties by earlier birth, then index for determinism.
+	sort.Slice(lifetimes, func(i, j int) bool {
+		if lifetimes[i].size != lifetimes[j].size {
+			return lifetimes[i].size > lifetimes[j].size
+		}
+		if lifetimes[i].first != lifetimes[j].first {
+			return lifetimes[i].first < lifetimes[j].first
+		}
+		return lifetimes[i].tensor < lifetimes[j].tensor
+	})
+
+	type placed struct {
+		lifetime
+		offset int
+	}
+	var placements []placed
+	plan := &ArenaPlan{Offsets: make(map[int]int, len(lifetimes))}
+	for _, lt := range lifetimes {
+		// Collect conflicting placements and try the gaps between them.
+		var conflicts []placed
+		for _, p := range placements {
+			if overlaps(lt, p.lifetime) {
+				conflicts = append(conflicts, p)
+			}
+		}
+		sort.Slice(conflicts, func(i, j int) bool { return conflicts[i].offset < conflicts[j].offset })
+		offset := 0
+		for _, c := range conflicts {
+			if offset+lt.size <= c.offset {
+				break
+			}
+			if end := c.offset + c.size; end > offset {
+				offset = end
+			}
+		}
+		offset = (offset + arenaAlign - 1) &^ (arenaAlign - 1)
+		placements = append(placements, placed{lifetime: lt, offset: offset})
+		plan.Offsets[lt.tensor] = offset
+		if end := offset + lt.size; end > plan.Total {
+			plan.Total = end
+		}
+	}
+	// Record offsets on the tensors for diagnostics.
+	for ti, off := range plan.Offsets {
+		m.Tensors[ti].ArenaOffset = off
+	}
+	return plan, nil
+}
+
+// Check verifies the plan's core invariant: no two tensors with overlapping
+// lifetimes occupy overlapping byte ranges. Tests and the interpreter's
+// constructor call it; it is cheap relative to planning.
+func (p *ArenaPlan) Check(m *Model) error {
+	lts := make(map[int]lifetime)
+	// Rebuild lifetimes exactly as PlanArena computes them.
+	first := make(map[int]int)
+	last := make(map[int]int)
+	for _, i := range m.Inputs {
+		first[i] = -1
+		last[i] = -1
+	}
+	for ni, n := range m.Nodes {
+		for _, i := range n.Inputs {
+			if m.Tensors[i].IsConst {
+				continue
+			}
+			if ni > last[i] {
+				last[i] = ni
+			}
+		}
+		for _, i := range n.Outputs {
+			if _, ok := first[i]; !ok {
+				first[i] = ni
+				last[i] = ni
+			} else if ni > last[i] {
+				last[i] = ni
+			}
+		}
+	}
+	for _, i := range m.Outputs {
+		last[i] = len(m.Nodes)
+	}
+	for ti := range p.Offsets {
+		size := (m.Tensors[ti].ByteSize() + arenaAlign - 1) &^ (arenaAlign - 1)
+		lts[ti] = lifetime{tensor: ti, size: size, first: first[ti], last: last[ti]}
+	}
+	tensors := make([]int, 0, len(lts))
+	for ti := range lts {
+		tensors = append(tensors, ti)
+	}
+	sort.Ints(tensors)
+	for i := 0; i < len(tensors); i++ {
+		for j := i + 1; j < len(tensors); j++ {
+			a, b := lts[tensors[i]], lts[tensors[j]]
+			if !overlaps(a, b) {
+				continue
+			}
+			ao, bo := p.Offsets[a.tensor], p.Offsets[b.tensor]
+			if ao < bo+b.size && bo < ao+a.size {
+				return fmt.Errorf("tflm: arena overlap: %q [%d,%d) vs %q [%d,%d)",
+					m.Tensors[a.tensor].Name, ao, ao+a.size,
+					m.Tensors[b.tensor].Name, bo, bo+b.size)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package tflm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chainModel builds a linear chain of Reshape nodes through n activation
+// tensors of the given sizes (bytes must be multiples of 4 for float32).
+func chainModel(t *testing.T, elemCounts []int) *Model {
+	t.Helper()
+	b := NewBuilder("chain", 1)
+	prev := b.Tensor(&Tensor{Name: "t0", Type: Float32, Shape: []int{elemCounts[0]}})
+	b.Input(prev)
+	for i := 1; i < len(elemCounts); i++ {
+		// Keep element count constant per Reshape requirement by chaining
+		// same-size tensors; vary only lifetimes.
+		cur := b.Tensor(&Tensor{Name: "t", Type: Float32, Shape: []int{elemCounts[i]}})
+		b.Node(OpReshape, ReshapeParams{NewShape: []int{elemCounts[i]}}, []int{prev}, []int{cur})
+		prev = cur
+	}
+	b.Output(prev)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArenaReusesMemoryInChain(t *testing.T) {
+	// A chain of 6 same-sized tensors: at any instant only two are live, so
+	// the arena must be far smaller than the sum of all tensors.
+	sizes := []int{1000, 1000, 1000, 1000, 1000, 1000}
+	m := chainModel(t, sizes)
+	plan, err := PlanArena(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	perTensor := 1000 * 4
+	if plan.Total > 3*perTensor {
+		t.Fatalf("arena %d bytes, expected at most ~2 live tensors (%d)", plan.Total, 2*perTensor)
+	}
+	if plan.Total < 2*perTensor {
+		t.Fatalf("arena %d bytes cannot hold 2 live tensors", plan.Total)
+	}
+}
+
+func TestArenaPlanTinyConvShape(t *testing.T) {
+	m := testTinyConvModel(t, 1)
+	plan, err := PlanArena(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	// Input (49*43) + conv output (25*22*8) dominate; everything must fit in
+	// well under the sum of all activations.
+	var sum int
+	for ti := range plan.Offsets {
+		sum += m.Tensors[ti].ByteSize()
+	}
+	if plan.Total > sum {
+		t.Fatalf("arena %d larger than no-reuse total %d", plan.Total, sum)
+	}
+}
+
+// TestArenaNoOverlapProperty: random fan-out graphs keep the invariant that
+// concurrently-live tensors never share bytes.
+func TestArenaNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBuilder("rand", 1)
+		n := 3 + r.Intn(8)
+		ids := make([]int, 0, n)
+		in := b.Tensor(&Tensor{Name: "in", Type: Int8, Shape: []int{8 + r.Intn(64)}})
+		b.Input(in)
+		ids = append(ids, in)
+		for i := 1; i < n; i++ {
+			src := ids[r.Intn(len(ids))]
+			elems := m1(b, src)
+			dst := b.Tensor(&Tensor{Name: "t", Type: Int8, Shape: []int{elems}})
+			b.Node(OpReshape, ReshapeParams{NewShape: []int{elems}}, []int{src}, []int{dst})
+			ids = append(ids, dst)
+		}
+		b.Output(ids[len(ids)-1])
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		plan, err := PlanArena(m)
+		if err != nil {
+			return false
+		}
+		return plan.Check(m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// m1 returns the element count of tensor src in builder b.
+func m1(b *Builder, src int) int {
+	return b.m.Tensors[src].NumElements()
+}
+
+func TestPlanArenaRejectsUnproducedRead(t *testing.T) {
+	m := &Model{
+		Tensors: []*Tensor{
+			{Name: "a", Type: Int8, Shape: []int{4}},
+			{Name: "b", Type: Int8, Shape: []int{4}},
+		},
+		Nodes:   []Node{{Op: OpReshape, Params: ReshapeParams{}, Inputs: []int{1}, Outputs: []int{0}}},
+		Inputs:  []int{0},
+		Outputs: []int{0},
+	}
+	if _, err := PlanArena(m); err == nil {
+		t.Fatal("planned a graph reading an unproduced tensor")
+	}
+}

@@ -1,0 +1,51 @@
+package tflm
+
+// Builder offers a fluent way to assemble models; the float→int8 converter
+// in internal/train and the tests are its main clients.
+type Builder struct {
+	m *Model
+}
+
+// NewBuilder starts a model with vendor metadata.
+func NewBuilder(description string, version uint64) *Builder {
+	return &Builder{m: &Model{Description: description, Version: version}}
+}
+
+// Tensor appends a tensor and returns its index.
+func (b *Builder) Tensor(t *Tensor) int {
+	b.m.Tensors = append(b.m.Tensors, t)
+	return len(b.m.Tensors) - 1
+}
+
+// Const appends a constant tensor (weights/bias); the tensor must already
+// carry data.
+func (b *Builder) Const(t *Tensor) int {
+	t.IsConst = true
+	return b.Tensor(t)
+}
+
+// Input declares tensor index ti as a model input.
+func (b *Builder) Input(ti int) *Builder {
+	b.m.Inputs = append(b.m.Inputs, ti)
+	return b
+}
+
+// Output declares tensor index ti as a model output.
+func (b *Builder) Output(ti int) *Builder {
+	b.m.Outputs = append(b.m.Outputs, ti)
+	return b
+}
+
+// Node appends an operator node.
+func (b *Builder) Node(op OpCode, params any, inputs, outputs []int) *Builder {
+	b.m.Nodes = append(b.m.Nodes, Node{Op: op, Inputs: inputs, Outputs: outputs, Params: params})
+	return b
+}
+
+// Build validates and returns the model.
+func (b *Builder) Build() (*Model, error) {
+	if err := b.m.Validate(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}

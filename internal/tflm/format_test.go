@@ -1,0 +1,149 @@
+package tflm
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := testTinyConvModel(t, 7)
+	blob, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 7 || got.Description != m.Description {
+		t.Fatalf("metadata: %d %q", got.Version, got.Description)
+	}
+	if len(got.Tensors) != len(m.Tensors) || len(got.Nodes) != len(m.Nodes) {
+		t.Fatalf("counts: %d tensors, %d nodes", len(got.Tensors), len(got.Nodes))
+	}
+	for i, want := range m.Tensors {
+		g := got.Tensors[i]
+		if g.Name != want.Name || g.Type != want.Type || !g.ShapeEquals(want.Shape) || g.IsConst != want.IsConst {
+			t.Fatalf("tensor %d header mismatch: %v vs %v", i, g, want)
+		}
+		if (g.Quant == nil) != (want.Quant == nil) {
+			t.Fatalf("tensor %d quant presence", i)
+		}
+		if g.Quant != nil && *g.Quant != *want.Quant {
+			t.Fatalf("tensor %d quant %v vs %v", i, *g.Quant, *want.Quant)
+		}
+		if want.IsConst {
+			switch want.Type {
+			case Int8:
+				if !reflect.DeepEqual(g.I8, want.I8) {
+					t.Fatalf("tensor %d const data mismatch", i)
+				}
+			case Int32:
+				if !reflect.DeepEqual(g.I32, want.I32) {
+					t.Fatalf("tensor %d const data mismatch", i)
+				}
+			}
+		}
+	}
+	for i, want := range m.Nodes {
+		g := got.Nodes[i]
+		if g.Op != want.Op || !reflect.DeepEqual(g.Inputs, want.Inputs) || !reflect.DeepEqual(g.Outputs, want.Outputs) {
+			t.Fatalf("node %d header mismatch", i)
+		}
+		if !reflect.DeepEqual(g.Params, want.Params) {
+			t.Fatalf("node %d params %#v vs %#v", i, g.Params, want.Params)
+		}
+	}
+	if !reflect.DeepEqual(got.Inputs, m.Inputs) || !reflect.DeepEqual(got.Outputs, m.Outputs) {
+		t.Fatal("io lists mismatch")
+	}
+
+	// The decoded model runs and agrees with the original.
+	ip1, err := NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip2, err := NewInterpreter(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for i := range ip1.Input(0).I8 {
+		v := int8(r.Intn(255) - 128)
+		ip1.Input(0).I8[i] = v
+		ip2.Input(0).I8[i] = v
+	}
+	if err := ip1.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip2.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ip1.Output(0).I8, ip2.Output(0).I8) {
+		t.Fatal("decoded model computes different outputs")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	m := testTinyConvModel(t, 3)
+	a, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoded nil")
+	}
+	if _, err := Decode([]byte("XXXX garbage")); err == nil {
+		t.Fatal("decoded bad magic")
+	}
+	m := testTinyConvModel(t, 1)
+	blob, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at various points must error, never panic.
+	for _, n := range []int{4, 5, 10, 20, 100, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decode(blob[:n]); err == nil {
+			t.Fatalf("decoded truncation at %d bytes", n)
+		}
+	}
+	// A wrong format version is refused.
+	bad := append([]byte(nil), blob...)
+	bad[4] = 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("decoded wrong format version")
+	}
+}
+
+func TestDecodeRandomCorruptionNeverPanics(t *testing.T) {
+	m := testTinyConvModel(t, 1)
+	blob, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), blob...)
+		for k := 0; k < 1+r.Intn(8); k++ {
+			bad[r.Intn(len(bad))] ^= byte(1 + r.Intn(255))
+		}
+		// Either decodes to a valid model or errors; must not panic.
+		if dm, err := Decode(bad); err == nil {
+			if err := dm.Validate(); err != nil {
+				t.Fatalf("Decode returned invalid model: %v", err)
+			}
+		}
+	}
+}

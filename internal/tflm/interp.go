@@ -1,0 +1,157 @@
+package tflm
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Meter receives cycle charges for simulated work. *hw.Core implements it;
+// a nil meter means pure functional execution (host-speed, unmetered).
+type Meter interface {
+	Charge(cycles uint64)
+}
+
+// Interpreter executes a model. It owns the arena plan and the allocated
+// activation tensors; one interpreter serves repeated Invoke calls, exactly
+// like TFLM's MicroInterpreter.
+type Interpreter struct {
+	model *Model
+	plan  *ArenaPlan
+	meter Meter
+}
+
+// NewInterpreter validates the model, plans the arena, and allocates
+// activation storage.
+func NewInterpreter(m *Model) (*Interpreter, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := PlanArena(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Check(m); err != nil {
+		return nil, err
+	}
+	for ti := range plan.Offsets {
+		m.Tensors[ti].Alloc()
+	}
+	return &Interpreter{model: m, plan: plan}, nil
+}
+
+// SetMeter routes per-op cycle costs to m (typically the enclave's core).
+func (ip *Interpreter) SetMeter(m Meter) { ip.meter = m }
+
+// Model returns the interpreted model.
+func (ip *Interpreter) Model() *Model { return ip.model }
+
+// ArenaSize returns the planned activation arena in bytes (peak RAM).
+func (ip *Interpreter) ArenaSize() int { return ip.plan.Total }
+
+// Input returns the i-th model input tensor.
+func (ip *Interpreter) Input(i int) *Tensor { return ip.model.Tensors[ip.model.Inputs[i]] }
+
+// Output returns the i-th model output tensor.
+func (ip *Interpreter) Output(i int) *Tensor { return ip.model.Tensors[ip.model.Outputs[i]] }
+
+// Invoke runs the graph once over the current input contents.
+func (ip *Interpreter) Invoke() error {
+	m := ip.model
+	for ni, n := range m.Nodes {
+		if err := ip.evalNode(n); err != nil {
+			return fmt.Errorf("tflm: node %d (%v): %w", ni, n.Op, err)
+		}
+		if ip.meter != nil {
+			ip.meter.Charge(NodeCycles(m, n))
+		}
+	}
+	return nil
+}
+
+func (ip *Interpreter) evalNode(n Node) error {
+	m := ip.model
+	switch n.Op {
+	case OpConv2D:
+		return evalConv2D(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(Conv2DParams))
+	case OpDepthwiseConv2D:
+		return evalDepthwiseConv2D(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(Conv2DParams))
+	case OpFullyConnected:
+		return evalFullyConnected(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(FullyConnectedParams))
+	case OpSoftmax:
+		p, _ := n.Params.(SoftmaxParams)
+		return evalSoftmax(m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0]), p)
+	case OpReshape:
+		return evalReshape(m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0]))
+	case OpRelu:
+		return evalRelu(m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0]))
+	case OpMaxPool2D, OpAvgPool2D:
+		return evalPool(n.Op, m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0]), n.Params.(PoolParams))
+	default:
+		return fmt.Errorf("unsupported op %v", n.Op)
+	}
+}
+
+// NodeCycles estimates the simulated-core cost of one operator application
+// using the calibrated hw cost model.
+func NodeCycles(m *Model, n Node) uint64 {
+	switch n.Op {
+	case OpConv2D, OpDepthwiseConv2D, OpFullyConnected:
+		out := m.Tensor(n.Outputs[0])
+		return nodeMACs(m, n)*hw.CyclesPerMAC + uint64(out.NumElements())*hw.CyclesPerActivation
+	case OpSoftmax:
+		return uint64(m.Tensor(n.Outputs[0]).NumElements()) * hw.CyclesPerSoftmaxTerm
+	case OpRelu:
+		return uint64(m.Tensor(n.Outputs[0]).NumElements()) * hw.CyclesPerActivation
+	case OpReshape:
+		return uint64(m.Tensor(n.Outputs[0]).ByteSize()) * hw.CyclesPerByteCopy
+	case OpMaxPool2D, OpAvgPool2D:
+		p := n.Params.(PoolParams)
+		out := m.Tensor(n.Outputs[0])
+		return uint64(out.NumElements()) * uint64(p.FilterH*p.FilterW) * hw.CyclesPerActivation
+	default:
+		return 0
+	}
+}
+
+// InferenceCycles estimates the total cost of one Invoke.
+func InferenceCycles(m *Model) uint64 {
+	var total uint64
+	for _, n := range m.Nodes {
+		total += NodeCycles(m, n)
+	}
+	return total
+}
+
+// Argmax returns the index of the maximum element of a rank-1-like tensor,
+// the classification decision rule of the keyword spotter.
+func Argmax(t *Tensor) int {
+	best := 0
+	switch t.Type {
+	case Int8:
+		for i, v := range t.I8 {
+			if v > t.I8[best] {
+				best = i
+			}
+		}
+	case UInt8:
+		for i, v := range t.U8 {
+			if v > t.U8[best] {
+				best = i
+			}
+		}
+	case Float32:
+		for i, v := range t.F32 {
+			if v > t.F32[best] {
+				best = i
+			}
+		}
+	case Int32:
+		for i, v := range t.I32 {
+			if v > t.I32[best] {
+				best = i
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+package tflm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type countingMeter struct{ cycles uint64 }
+
+func (c *countingMeter) Charge(n uint64) { c.cycles += n }
+
+func TestInterpreterTinyConvEndToEnd(t *testing.T) {
+	m := testTinyConvModel(t, 1)
+	ip, err := NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ip.Input(0)
+	r := rand.New(rand.NewSource(9))
+	for i := range in.I8 {
+		in.I8[i] = int8(r.Intn(255) - 128)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	out := ip.Output(0)
+	if !out.ShapeEquals([]int{1, 12}) {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	// Output is a probability vector: dequantized values in [0,1].
+	for i, v := range out.I8 {
+		p := out.Quant.Dequantize(v)
+		if p < 0 || p > 1 {
+			t.Fatalf("prob[%d] = %v", i, p)
+		}
+	}
+	// Determinism: same input, same output.
+	first := append([]int8(nil), out.I8...)
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if out.I8[i] != first[i] {
+			t.Fatal("non-deterministic inference")
+		}
+	}
+}
+
+func TestInterpreterMetering(t *testing.T) {
+	m := testTinyConvModel(t, 1)
+	ip, err := NewInterpreter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := &countingMeter{}
+	ip.SetMeter(meter)
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if meter.cycles != InferenceCycles(m) {
+		t.Fatalf("metered %d cycles, estimate %d", meter.cycles, InferenceCycles(m))
+	}
+	// tiny_conv: conv MACs = 4400*80 = 352000, fc = 52800. The cost estimate
+	// must be dominated by them.
+	if macs := m.NumMACs(); macs != 4400*80+12*4400 {
+		t.Fatalf("MACs = %d", macs)
+	}
+	if meter.cycles < m.NumMACs() {
+		t.Fatal("cycles below one per MAC; cost model broken")
+	}
+}
+
+func TestModelWeightBytesNearPaper(t *testing.T) {
+	m := testTinyConvModel(t, 1)
+	// conv 640 + fc 52800 int8 weights + (8+12)*4 bias bytes = 53520.
+	want := 640 + 52800 + 80
+	if got := m.WeightBytes(); got != want {
+		t.Fatalf("weight bytes = %d, want %d", got, want)
+	}
+	// Serialized model lands in the same ballpark as the paper's ~49 kB.
+	blob, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 50_000 || len(blob) > 70_000 {
+		t.Fatalf("serialized model = %d bytes, expected ~49-64 kB ballpark", len(blob))
+	}
+}
+
+func TestInterpreterValidatesModel(t *testing.T) {
+	m := testTinyConvModel(t, 1)
+	m.Outputs = []int{999}
+	if _, err := NewInterpreter(m); err == nil {
+		t.Fatal("interpreter accepted a malformed model")
+	}
+}
+
+func TestValidateCatchesGraphErrors(t *testing.T) {
+	cases := []func(m *Model){
+		func(m *Model) { m.Inputs = nil },
+		func(m *Model) { m.Outputs = nil },
+		func(m *Model) { m.Nodes[0].Inputs[0] = 999 },
+		func(m *Model) { m.Nodes[0].Outputs[0] = -1 },
+		func(m *Model) { m.Tensors[m.Nodes[0].Inputs[1]].I8 = nil }, // const without data
+		func(m *Model) { m.Inputs = []int{m.Nodes[0].Inputs[1]} },   // const as input
+	}
+	for i, mutate := range cases {
+		m := testTinyConvModel(t, 1)
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: mutation not caught", i)
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	tt := &Tensor{Type: Float32, Shape: []int{4}, F32: []float32{0.1, 0.9, 0.3, 0.2}}
+	if got := Argmax(tt); got != 1 {
+		t.Fatalf("argmax = %d", got)
+	}
+	ti := &Tensor{Type: Int8, Shape: []int{3}, I8: []int8{-5, -1, -3}}
+	if got := Argmax(ti); got != 1 {
+		t.Fatalf("argmax = %d", got)
+	}
+	tu := &Tensor{Type: UInt8, Shape: []int{3}, U8: []uint8{5, 1, 9}}
+	if got := Argmax(tu); got != 2 {
+		t.Fatalf("argmax = %d", got)
+	}
+	t32 := &Tensor{Type: Int32, Shape: []int{3}, I32: []int32{7, 1, 2}}
+	if got := Argmax(t32); got != 0 {
+		t.Fatalf("argmax = %d", got)
+	}
+}

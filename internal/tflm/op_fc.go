@@ -1,0 +1,55 @@
+package tflm
+
+import "fmt"
+
+// evalFullyConnected computes out[b,o] = act(Σ_i in[b,i]·w[o,i] + bias[o]).
+// Weights are [outN, inN]; the input's trailing dimensions are flattened.
+func evalFullyConnected(in, w, bias, out *Tensor, p FullyConnectedParams) error {
+	outN, inN := w.Dim(0), w.Dim(1)
+	total := in.NumElements()
+	if total%inN != 0 {
+		return fmt.Errorf("tflm: FullyConnected input %d elements not divisible by %d", total, inN)
+	}
+	batches := total / inN
+	if out.NumElements() != batches*outN {
+		return fmt.Errorf("tflm: FullyConnected output %v, want %d×%d", out.Shape, batches, outN)
+	}
+	switch in.Type {
+	case Int8:
+		mult, err := requantMultiplier(in, w, out)
+		if err != nil {
+			return err
+		}
+		inZP, outZP := in.Quant.ZeroPoint, out.Quant.ZeroPoint
+		lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
+		src, flt, dst, b32 := in.I8, w.I8, out.I8, bias.I32
+		for b := 0; b < batches; b++ {
+			sBase := b * inN
+			for o := 0; o < outN; o++ {
+				acc := b32[o]
+				wBase := o * inN
+				for i := 0; i < inN; i++ {
+					acc += (int32(src[sBase+i]) - inZP) * int32(flt[wBase+i])
+				}
+				dst[b*outN+o] = int8(clampInt32(mult.Apply(acc)+outZP, lo, hi))
+			}
+		}
+		return nil
+	case Float32:
+		src, flt, dst, b32 := in.F32, w.F32, out.F32, bias.F32
+		for b := 0; b < batches; b++ {
+			sBase := b * inN
+			for o := 0; o < outN; o++ {
+				acc := b32[o]
+				wBase := o * inN
+				for i := 0; i < inN; i++ {
+					acc += src[sBase+i] * flt[wBase+i]
+				}
+				dst[b*outN+o] = activationApplyFloat(p.Activation, acc)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("tflm: FullyConnected unsupported input type %v", in.Type)
+	}
+}

@@ -1,0 +1,140 @@
+package tflm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fixed-point requantization arithmetic, bit-compatible with TFLite /
+// gemmlowp. Quantized kernels accumulate in int32 and rescale with an
+// integer multiplier and shift; reproducing TFLite's exact rounding is what
+// makes our int8 results match the original toolchain's behaviour.
+
+// QuantizedMultiplier represents a real multiplier as
+// real = M * 2^(Shift-31) with M in [2^30, 2^31).
+type QuantizedMultiplier struct {
+	Multiplier int32
+	Shift      int
+}
+
+// NewQuantizedMultiplier decomposes a positive real multiplier, mirroring
+// TFLite's QuantizeMultiplier.
+func NewQuantizedMultiplier(real float64) (QuantizedMultiplier, error) {
+	if real <= 0 || math.IsNaN(real) || math.IsInf(real, 0) {
+		return QuantizedMultiplier{}, fmt.Errorf("tflm: multiplier %v not representable", real)
+	}
+	frac, exp := math.Frexp(real) // real = frac * 2^exp, frac in [0.5, 1)
+	q := int64(math.Round(frac * (1 << 31)))
+	if q == 1<<31 { // rounding overflowed: frac was ~1
+		q /= 2
+		exp++
+	}
+	if exp < -31 { // underflow to zero multiplier
+		return QuantizedMultiplier{Multiplier: 0, Shift: 0}, nil
+	}
+	return QuantizedMultiplier{Multiplier: int32(q), Shift: exp}, nil
+}
+
+// Real returns the represented real multiplier (for tests).
+func (m QuantizedMultiplier) Real() float64 {
+	return float64(m.Multiplier) * math.Pow(2, float64(m.Shift-31))
+}
+
+// saturatingRoundingDoublingHighMul is gemmlowp's SQRDMULH. Note the
+// truncating (not flooring) division, which matters for negative products.
+func saturatingRoundingDoublingHighMul(a, b int32) int32 {
+	if a == math.MinInt32 && b == math.MinInt32 {
+		return math.MaxInt32
+	}
+	ab := int64(a) * int64(b)
+	nudge := int64(1 << 30)
+	if ab < 0 {
+		nudge = 1 - (1 << 30)
+	}
+	return int32((ab + nudge) / (1 << 31))
+}
+
+// roundingDivideByPOT divides by 2^exponent with round-half-away-from-zero,
+// gemmlowp's RoundingDivideByPOT.
+func roundingDivideByPOT(x int32, exponent int) int32 {
+	if exponent == 0 {
+		return x
+	}
+	mask := int32(1<<uint(exponent)) - 1
+	remainder := x & mask
+	threshold := mask >> 1
+	if x < 0 {
+		threshold++
+	}
+	result := x >> uint(exponent)
+	if remainder > threshold {
+		result++
+	}
+	return result
+}
+
+// Apply rescales an int32 accumulator: round(acc * real_multiplier) in
+// TFLite's fixed-point semantics (MultiplyByQuantizedMultiplier).
+func (m QuantizedMultiplier) Apply(acc int32) int32 {
+	leftShift := m.Shift
+	if leftShift < 0 {
+		leftShift = 0
+	}
+	rightShift := -m.Shift
+	if rightShift < 0 {
+		rightShift = 0
+	}
+	x := acc
+	if leftShift > 0 {
+		x = int32(uint32(x) << uint(leftShift)) // TFLite shifts without saturation here
+	}
+	x = saturatingRoundingDoublingHighMul(x, m.Multiplier)
+	return roundingDivideByPOT(x, rightShift)
+}
+
+// clampInt32 saturates v into [lo, hi].
+func clampInt32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ChooseQuantParams derives affine int8 parameters covering [minVal, maxVal],
+// as post-training quantization calibration does. The range is nudged to
+// include zero exactly (TFLite requirement).
+func ChooseQuantParams(minVal, maxVal float64) QuantParams {
+	if minVal > 0 {
+		minVal = 0
+	}
+	if maxVal < 0 {
+		maxVal = 0
+	}
+	if maxVal == minVal { // all-zero tensor
+		return QuantParams{Scale: 1, ZeroPoint: 0}
+	}
+	const qmin, qmax = -128.0, 127.0
+	scale := (maxVal - minVal) / (qmax - qmin)
+	zpReal := qmin - minVal/scale
+	zp := int32(math.Round(zpReal))
+	if zp < -128 {
+		zp = -128
+	}
+	if zp > 127 {
+		zp = 127
+	}
+	return QuantParams{Scale: scale, ZeroPoint: zp}
+}
+
+// SymmetricWeightParams derives symmetric (zero-point 0) int8 parameters for
+// a weight tensor with the given absolute maximum, TFLite's convention for
+// int8 weights.
+func SymmetricWeightParams(absMax float64) QuantParams {
+	if absMax == 0 {
+		absMax = 1e-8
+	}
+	return QuantParams{Scale: absMax / 127, ZeroPoint: 0}
+}

@@ -1,0 +1,164 @@
+package tflm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizedMultiplierRepresentation(t *testing.T) {
+	for _, real := range []float64{0.25, 0.5, 0.9999, 1.0, 1.5, 0.0005, 123.456, 1e-9} {
+		m, err := NewQuantizedMultiplier(real)
+		if err != nil {
+			t.Fatalf("NewQuantizedMultiplier(%v): %v", real, err)
+		}
+		if got := m.Real(); math.Abs(got-real)/real > 1e-9 {
+			t.Errorf("Real() = %v, want %v", got, real)
+		}
+		if m.Multiplier < 1<<30 || int64(m.Multiplier) >= 1<<31 {
+			t.Errorf("multiplier %d out of normalized range for %v", m.Multiplier, real)
+		}
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewQuantizedMultiplier(bad); err == nil {
+			t.Errorf("NewQuantizedMultiplier(%v) succeeded", bad)
+		}
+	}
+}
+
+// TestApplyMatchesFloatReference: the fixed-point rescale must agree with
+// round(acc*real) within one unit across the int32 range actually used by
+// accumulators.
+func TestApplyMatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		real := math.Exp(r.Float64()*12 - 10) // ~[4.5e-5, 7.4]
+		m, err := NewQuantizedMultiplier(real)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			acc := int32(r.Intn(1<<22) - 1<<21)
+			want := math.Round(float64(acc) * real)
+			if math.Abs(want) > float64(math.MaxInt32)/2 {
+				continue
+			}
+			got := float64(m.Apply(acc))
+			if math.Abs(got-want) > 1.0 {
+				t.Logf("real=%v acc=%d got=%v want=%v", real, acc, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundingDivideByPOT(t *testing.T) {
+	cases := []struct {
+		x        int32
+		exp      int
+		expected int32
+	}{
+		{0, 3, 0},
+		{8, 3, 1},
+		{12, 3, 2}, // 1.5 rounds away from zero
+		{11, 3, 1}, // 1.375 rounds down
+		{-8, 3, -1},
+		{-12, 3, -2}, // -1.5 rounds away from zero
+		{-11, 3, -1},
+		{5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := roundingDivideByPOT(c.x, c.exp); got != c.expected {
+			t.Errorf("roundingDivideByPOT(%d, %d) = %d, want %d", c.x, c.exp, got, c.expected)
+		}
+	}
+}
+
+func TestSaturatingRoundingDoublingHighMulOverflow(t *testing.T) {
+	if got := saturatingRoundingDoublingHighMul(math.MinInt32, math.MinInt32); got != math.MaxInt32 {
+		t.Fatalf("min*min = %d, want MaxInt32", got)
+	}
+	// 0.5 in Q31 times 0.5 in Q31 is 0.25 doubled = 0.5.
+	half := int32(1 << 30)
+	if got := saturatingRoundingDoublingHighMul(half, half); got != 1<<29 {
+		t.Fatalf("0.5*0.5 = %d, want %d", got, 1<<29)
+	}
+}
+
+func TestChooseQuantParams(t *testing.T) {
+	q := ChooseQuantParams(-1, 1)
+	if q.Scale <= 0 {
+		t.Fatal("non-positive scale")
+	}
+	// Zero must be exactly representable.
+	if got := q.Dequantize(int8(q.ZeroPoint)); got != 0 {
+		t.Fatalf("zero dequantizes to %v", got)
+	}
+	// Round trip error bounded by scale/2 inside the range.
+	for _, x := range []float64{-1, -0.5, 0, 0.3, 0.9999, 1} {
+		back := q.Dequantize(q.Quantize(x))
+		if math.Abs(back-x) > q.Scale/2+1e-12 {
+			t.Errorf("round trip %v -> %v (scale %v)", x, back, q.Scale)
+		}
+	}
+	// Positive-only and negative-only ranges are widened to include zero.
+	qp := ChooseQuantParams(2, 5)
+	if qp.Dequantize(qp.Quantize(0)) != 0 {
+		t.Error("positive-only range lost zero")
+	}
+	qz := ChooseQuantParams(0, 0)
+	if qz.Scale != 1 || qz.ZeroPoint != 0 {
+		t.Errorf("degenerate range params = %+v", qz)
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	q := QuantParams{Scale: 0.1, ZeroPoint: 0}
+	if got := q.Quantize(1e9); got != 127 {
+		t.Fatalf("huge value quantized to %d", got)
+	}
+	if got := q.Quantize(-1e9); got != -128 {
+		t.Fatalf("huge negative quantized to %d", got)
+	}
+}
+
+func TestSymmetricWeightParams(t *testing.T) {
+	q := SymmetricWeightParams(2.54)
+	if q.ZeroPoint != 0 {
+		t.Fatal("weight zero point must be 0")
+	}
+	if got := q.Quantize(2.54); got != 127 {
+		t.Fatalf("absmax quantized to %d", got)
+	}
+	if q2 := SymmetricWeightParams(0); q2.Scale <= 0 {
+		t.Fatal("degenerate weight scale")
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	f := func(lo, hi float32) bool {
+		minV, maxV := float64(lo), float64(hi)
+		if math.IsNaN(minV) || math.IsNaN(maxV) || math.IsInf(minV, 0) || math.IsInf(maxV, 0) {
+			return true
+		}
+		if minV > maxV {
+			minV, maxV = maxV, minV
+		}
+		if maxV-minV > 1e12 {
+			return true
+		}
+		q := ChooseQuantParams(minV, maxV)
+		mid := (minV + maxV) / 2
+		back := q.Dequantize(q.Quantize(mid))
+		return math.Abs(back-mid) <= q.Scale*1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package tflm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BuildRandomTinyConv constructs the paper's tiny_conv architecture
+// (Conv2D 8·mul filters 10×8 stride 2×2 SAME + fused ReLU → Reshape →
+// FullyConnected(12) → Softmax over a 1×49×43×1 int8 fingerprint) with
+// deterministic random weights. Protocol tests, benchmarks and the scaling
+// experiment use it where a *trained* model is unnecessary: weight values
+// do not affect latency, size or protocol behaviour.
+func BuildRandomTinyConv(mul int, seed int64) (*Model, error) {
+	if mul <= 0 {
+		return nil, fmt.Errorf("tflm: filter multiplier %d", mul)
+	}
+	r := rand.New(rand.NewSource(seed))
+	filters := 8 * mul
+	b := NewBuilder(fmt.Sprintf("tiny_conv %dx (random weights)", mul), 1)
+	inQ := QuantParams{Scale: 1.0 / 128, ZeroPoint: 0}
+	in := b.Tensor(&Tensor{Name: "fingerprint", Type: Int8, Shape: []int{1, 49, 43, 1}, Quant: &inQ})
+	b.Input(in)
+
+	wQ := SymmetricWeightParams(0.5)
+	convW := &Tensor{Name: "conv_w", Type: Int8, Shape: []int{filters, 10, 8, 1}, Quant: &wQ}
+	convW.Alloc()
+	for i := range convW.I8 {
+		convW.I8[i] = int8(r.Intn(255) - 127)
+	}
+	convB := &Tensor{Name: "conv_b", Type: Int32, Shape: []int{filters}, Quant: &QuantParams{Scale: inQ.Scale * wQ.Scale}}
+	convB.Alloc()
+	wi, bi := b.Const(convW), b.Const(convB)
+
+	convQ := QuantParams{Scale: 0.2, ZeroPoint: -128}
+	flatLen := 25 * 22 * filters
+	convOut := b.Tensor(&Tensor{Name: "conv_out", Type: Int8, Shape: []int{1, 25, 22, filters}, Quant: &convQ})
+	b.Node(OpConv2D, Conv2DParams{StrideH: 2, StrideW: 2, Padding: PaddingSame, Activation: ActReLU},
+		[]int{in, wi, bi}, []int{convOut})
+	flat := b.Tensor(&Tensor{Name: "flat", Type: Int8, Shape: []int{1, flatLen}, Quant: &convQ})
+	b.Node(OpReshape, ReshapeParams{NewShape: []int{1, flatLen}}, []int{convOut}, []int{flat})
+
+	fcWQ := SymmetricWeightParams(0.25)
+	fcW := &Tensor{Name: "fc_w", Type: Int8, Shape: []int{12, flatLen}, Quant: &fcWQ}
+	fcW.Alloc()
+	for i := range fcW.I8 {
+		fcW.I8[i] = int8(r.Intn(255) - 127)
+	}
+	fcB := &Tensor{Name: "fc_b", Type: Int32, Shape: []int{12}, Quant: &QuantParams{Scale: convQ.Scale * fcWQ.Scale}}
+	fcB.Alloc()
+	fwi, fbi := b.Const(fcW), b.Const(fcB)
+
+	logitQ := QuantParams{Scale: 0.5, ZeroPoint: 0}
+	logits := b.Tensor(&Tensor{Name: "logits", Type: Int8, Shape: []int{1, 12}, Quant: &logitQ})
+	b.Node(OpFullyConnected, FullyConnectedParams{}, []int{flat, fwi, fbi}, []int{logits})
+	probQ := SoftmaxOutputParams()
+	probs := b.Tensor(&Tensor{Name: "probs", Type: Int8, Shape: []int{1, 12}, Quant: &probQ})
+	b.Node(OpSoftmax, SoftmaxParams{Beta: 1}, []int{logits}, []int{probs})
+	b.Output(probs)
+	return b.Build()
+}

@@ -1,0 +1,70 @@
+package tflm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testTinyConvModel constructs the paper's tiny_conv architecture with
+// deterministic random weights: Conv2D(8 filters 10×8, stride 2×2, SAME,
+// fused ReLU) → Reshape → FullyConnected(12) → Softmax over a 1×49×43×1
+// int8 fingerprint.
+func testTinyConvModel(t testing.TB, version uint64) *Model {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	b := NewBuilder("tiny_conv test", version)
+
+	inQ := QuantParams{Scale: 25.6 / 256, ZeroPoint: -128} // uint8 features shifted to int8
+	in := b.Tensor(&Tensor{Name: "fingerprint", Type: Int8, Shape: []int{1, 49, 43, 1}, Quant: &inQ})
+	b.Input(in)
+
+	wQ := SymmetricWeightParams(0.5)
+	convW := &Tensor{Name: "conv_w", Type: Int8, Shape: []int{8, 10, 8, 1}, Quant: &wQ}
+	convW.Alloc()
+	for i := range convW.I8 {
+		convW.I8[i] = int8(r.Intn(255) - 127)
+	}
+	convB := &Tensor{Name: "conv_b", Type: Int32, Shape: []int{8},
+		Quant: &QuantParams{Scale: inQ.Scale * wQ.Scale}}
+	convB.Alloc()
+	for i := range convB.I32 {
+		convB.I32[i] = int32(r.Intn(2048) - 1024)
+	}
+	wi := b.Const(convW)
+	bi := b.Const(convB)
+
+	convOutQ := QuantParams{Scale: 0.2, ZeroPoint: -128}
+	convOut := b.Tensor(&Tensor{Name: "conv_out", Type: Int8, Shape: []int{1, 25, 22, 8}, Quant: &convOutQ})
+	b.Node(OpConv2D, Conv2DParams{StrideH: 2, StrideW: 2, Padding: PaddingSame, Activation: ActReLU},
+		[]int{in, wi, bi}, []int{convOut})
+
+	flat := b.Tensor(&Tensor{Name: "flat", Type: Int8, Shape: []int{1, 4400}, Quant: &convOutQ})
+	b.Node(OpReshape, ReshapeParams{NewShape: []int{1, 4400}}, []int{convOut}, []int{flat})
+
+	fcWQ := SymmetricWeightParams(0.25)
+	fcW := &Tensor{Name: "fc_w", Type: Int8, Shape: []int{12, 4400}, Quant: &fcWQ}
+	fcW.Alloc()
+	for i := range fcW.I8 {
+		fcW.I8[i] = int8(r.Intn(255) - 127)
+	}
+	fcB := &Tensor{Name: "fc_b", Type: Int32, Shape: []int{12},
+		Quant: &QuantParams{Scale: convOutQ.Scale * fcWQ.Scale}}
+	fcB.Alloc()
+	fwi := b.Const(fcW)
+	fbi := b.Const(fcB)
+
+	logitsQ := QuantParams{Scale: 0.5, ZeroPoint: 0}
+	logits := b.Tensor(&Tensor{Name: "logits", Type: Int8, Shape: []int{1, 12}, Quant: &logitsQ})
+	b.Node(OpFullyConnected, FullyConnectedParams{}, []int{flat, fwi, fbi}, []int{logits})
+
+	probQ := SoftmaxOutputParams()
+	probs := b.Tensor(&Tensor{Name: "probs", Type: Int8, Shape: []int{1, 12}, Quant: &probQ})
+	b.Node(OpSoftmax, SoftmaxParams{Beta: 1}, []int{logits}, []int{probs})
+	b.Output(probs)
+
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

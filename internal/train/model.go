@@ -1,0 +1,308 @@
+// Package train re-implements the paper's model pipeline (§VI): the
+// tiny_conv keyword-spotting network is "first trained using TensorFlow and
+// subsequently converted to a TensorFlow Lite and 'micro' model". Here the
+// float32 network is trained with plain SGD + momentum and dropout, then
+// post-training-quantized to an int8 tflm.Model, reproducing the
+// TF → TFLite → micro conversion path end to end.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TinyConvConfig describes the network: a single 2-D convolution ("8
+// filters, 8×10, x and y stride of 2"), ReLU, dropout during training, and
+// a fully connected layer onto the output labels.
+type TinyConvConfig struct {
+	InputH, InputW   int // fingerprint geometry (49 × 43)
+	Filters          int
+	KernelH, KernelW int
+	StrideH, StrideW int
+	NumClasses       int
+	DropoutRate      float64
+}
+
+// PaperTinyConv returns the exact architecture of §VI.
+func PaperTinyConv() TinyConvConfig {
+	return TinyConvConfig{
+		InputH: 49, InputW: 43,
+		Filters: 8,
+		KernelH: 10, KernelW: 8,
+		StrideH: 2, StrideW: 2,
+		NumClasses:  12,
+		DropoutRate: 0.5,
+	}
+}
+
+// OutH returns the convolution output height (SAME padding).
+func (c TinyConvConfig) OutH() int { return (c.InputH + c.StrideH - 1) / c.StrideH }
+
+// OutW returns the convolution output width (SAME padding).
+func (c TinyConvConfig) OutW() int { return (c.InputW + c.StrideW - 1) / c.StrideW }
+
+// FlatLen returns the flattened convolution output length.
+func (c TinyConvConfig) FlatLen() int { return c.OutH() * c.OutW() * c.Filters }
+
+func (c TinyConvConfig) padTop() int {
+	total := (c.OutH()-1)*c.StrideH + c.KernelH - c.InputH
+	if total < 0 {
+		total = 0
+	}
+	return total / 2
+}
+
+func (c TinyConvConfig) padLeft() int {
+	total := (c.OutW()-1)*c.StrideW + c.KernelW - c.InputW
+	if total < 0 {
+		total = 0
+	}
+	return total / 2
+}
+
+// TinyConv is the float32 network. Weight layouts match tflm: ConvW is
+// OHWI [Filters, KernelH, KernelW, 1], FCW is [NumClasses, FlatLen].
+type TinyConv struct {
+	Cfg   TinyConvConfig
+	ConvW []float32
+	ConvB []float32
+	FCW   []float32
+	FCB   []float32
+}
+
+// NewTinyConv initializes a network with He-uniform weights.
+func NewTinyConv(cfg TinyConvConfig, r *rand.Rand) *TinyConv {
+	m := &TinyConv{
+		Cfg:   cfg,
+		ConvW: make([]float32, cfg.Filters*cfg.KernelH*cfg.KernelW),
+		ConvB: make([]float32, cfg.Filters),
+		FCW:   make([]float32, cfg.NumClasses*cfg.FlatLen()),
+		FCB:   make([]float32, cfg.NumClasses),
+	}
+	convLimit := float32(math.Sqrt(6.0 / float64(cfg.KernelH*cfg.KernelW)))
+	for i := range m.ConvW {
+		m.ConvW[i] = (r.Float32()*2 - 1) * convLimit
+	}
+	fcLimit := float32(math.Sqrt(6.0 / float64(cfg.FlatLen())))
+	for i := range m.FCW {
+		m.FCW[i] = (r.Float32()*2 - 1) * fcLimit
+	}
+	return m
+}
+
+// NumParams returns the parameter count (the paper's ~53 k for tiny_conv).
+func (m *TinyConv) NumParams() int {
+	return len(m.ConvW) + len(m.ConvB) + len(m.FCW) + len(m.FCB)
+}
+
+// fwdCache holds the activations Backward needs.
+type fwdCache struct {
+	input   []float32
+	convOut []float32 // post-ReLU, post-dropout
+	mask    []float32 // dropout mask incl. inverted scaling (1/(1-p) or 0)
+	logits  []float32
+}
+
+// Forward runs the network on one fingerprint (length InputH×InputW,
+// already normalized to [-1, 1)). With dropout=true the conv output is
+// masked using inverted dropout driven by r.
+func (m *TinyConv) Forward(x []float32, dropout bool, r *rand.Rand) *fwdCache {
+	cfg := m.Cfg
+	outH, outW := cfg.OutH(), cfg.OutW()
+	padT, padL := cfg.padTop(), cfg.padLeft()
+	cache := &fwdCache{
+		input:   x,
+		convOut: make([]float32, cfg.FlatLen()),
+		logits:  make([]float32, cfg.NumClasses),
+	}
+	// Convolution with fused ReLU.
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*cfg.StrideH - padT
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*cfg.StrideW - padL
+			for f := 0; f < cfg.Filters; f++ {
+				acc := m.ConvB[f]
+				wBase := f * cfg.KernelH * cfg.KernelW
+				for ky := 0; ky < cfg.KernelH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= cfg.InputH {
+						continue
+					}
+					rowIn := iy * cfg.InputW
+					rowW := wBase + ky*cfg.KernelW
+					for kx := 0; kx < cfg.KernelW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= cfg.InputW {
+							continue
+						}
+						acc += x[rowIn+ix] * m.ConvW[rowW+kx]
+					}
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				cache.convOut[(oy*outW+ox)*cfg.Filters+f] = acc
+			}
+		}
+	}
+	// Dropout (inverted scaling keeps inference-time scale identical).
+	if dropout && cfg.DropoutRate > 0 {
+		cache.mask = make([]float32, len(cache.convOut))
+		keep := 1 - cfg.DropoutRate
+		scale := float32(1 / keep)
+		for i := range cache.convOut {
+			if r.Float64() < keep {
+				cache.mask[i] = scale
+				cache.convOut[i] *= scale
+			} else {
+				cache.mask[i] = 0
+				cache.convOut[i] = 0
+			}
+		}
+	}
+	// Fully connected.
+	flatLen := cfg.FlatLen()
+	for o := 0; o < cfg.NumClasses; o++ {
+		acc := m.FCB[o]
+		wBase := o * flatLen
+		for i := 0; i < flatLen; i++ {
+			acc += cache.convOut[i] * m.FCW[wBase+i]
+		}
+		cache.logits[o] = acc
+	}
+	return cache
+}
+
+// Softmax converts logits to probabilities (numerically stabilized).
+func Softmax(logits []float32) []float32 {
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float32, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxV))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
+
+// grads accumulates parameter gradients for one batch.
+type grads struct {
+	convW, convB []float32
+	fcW, fcB     []float32
+}
+
+func newGrads(cfg TinyConvConfig) *grads {
+	return &grads{
+		convW: make([]float32, cfg.Filters*cfg.KernelH*cfg.KernelW),
+		convB: make([]float32, cfg.Filters),
+		fcW:   make([]float32, cfg.NumClasses*cfg.FlatLen()),
+		fcB:   make([]float32, cfg.NumClasses),
+	}
+}
+
+// backward accumulates gradients for one example given dLogits =
+// softmax(logits) − onehot(label).
+func (m *TinyConv) backward(cache *fwdCache, dLogits []float32, g *grads) {
+	cfg := m.Cfg
+	flatLen := cfg.FlatLen()
+	dFlat := make([]float32, flatLen)
+	for o := 0; o < cfg.NumClasses; o++ {
+		d := dLogits[o]
+		g.fcB[o] += d
+		wBase := o * flatLen
+		for i := 0; i < flatLen; i++ {
+			g.fcW[wBase+i] += d * cache.convOut[i]
+			dFlat[i] += d * m.FCW[wBase+i]
+		}
+	}
+	// Back through dropout and ReLU: convOut holds the post-ReLU (and
+	// post-dropout) value, so convOut > 0 identifies surviving ReLU-active
+	// units; the mask reapplies the inverted-dropout scale.
+	for i := range dFlat {
+		if cache.mask != nil {
+			dFlat[i] *= cache.mask[i]
+		}
+		if cache.convOut[i] <= 0 {
+			dFlat[i] = 0
+		}
+	}
+	// Back through the convolution (weights and bias only; no dInput needed
+	// for the first layer).
+	outH, outW := cfg.OutH(), cfg.OutW()
+	padT, padL := cfg.padTop(), cfg.padLeft()
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*cfg.StrideH - padT
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*cfg.StrideW - padL
+			for f := 0; f < cfg.Filters; f++ {
+				d := dFlat[(oy*outW+ox)*cfg.Filters+f]
+				if d == 0 {
+					continue
+				}
+				g.convB[f] += d
+				wBase := f * cfg.KernelH * cfg.KernelW
+				for ky := 0; ky < cfg.KernelH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= cfg.InputH {
+						continue
+					}
+					rowIn := iy * cfg.InputW
+					rowW := wBase + ky*cfg.KernelW
+					for kx := 0; kx < cfg.KernelW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= cfg.InputW {
+							continue
+						}
+						g.convW[rowW+kx] += d * cache.input[rowIn+ix]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Predict returns the argmax class for a normalized fingerprint.
+func (m *TinyConv) Predict(x []float32) int {
+	cache := m.Forward(x, false, nil)
+	best := 0
+	for i, v := range cache.logits {
+		if v > cache.logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Loss returns the cross-entropy of one example (diagnostics).
+func (m *TinyConv) Loss(x []float32, label int) float64 {
+	cache := m.Forward(x, false, nil)
+	probs := Softmax(cache.logits)
+	p := float64(probs[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}
+
+func (c TinyConvConfig) validate() error {
+	if c.InputH <= 0 || c.InputW <= 0 || c.Filters <= 0 || c.NumClasses <= 0 {
+		return fmt.Errorf("train: non-positive dimensions in %+v", c)
+	}
+	if c.KernelH <= 0 || c.KernelW <= 0 || c.StrideH <= 0 || c.StrideW <= 0 {
+		return fmt.Errorf("train: non-positive kernel/stride in %+v", c)
+	}
+	if c.DropoutRate < 0 || c.DropoutRate >= 1 {
+		return fmt.Errorf("train: dropout rate %v out of [0,1)", c.DropoutRate)
+	}
+	return nil
+}

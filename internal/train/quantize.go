@@ -1,0 +1,155 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tflm"
+)
+
+// InputQuant is the int8 quantization of the fingerprint input tensor. It
+// is the exact inverse of Normalize: q = f − 128, scale 1/128, zero point 0,
+// so the quantized model consumes the frontend's uint8 features without any
+// information loss.
+func InputQuant() tflm.QuantParams {
+	return tflm.QuantParams{Scale: 1.0 / 128.0, ZeroPoint: 0}
+}
+
+// FeaturesToInt8 converts frontend features to the model's int8 input.
+func FeaturesToInt8(features []uint8, dst []int8) {
+	for i, f := range features {
+		dst[i] = int8(int32(f) - 128)
+	}
+}
+
+// Quantize performs post-training quantization of the float network and
+// emits the int8 tflm model — the "TensorFlow Lite and 'micro' model"
+// conversion step of §VI. Activation ranges are calibrated by running the
+// float network over the calibration samples.
+func Quantize(m *TinyConv, calib []Sample, description string, version uint64) (*tflm.Model, error) {
+	if err := m.Cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("train: quantization needs calibration samples")
+	}
+	cfg := m.Cfg
+
+	// Calibrate activation ranges on the float model.
+	var convMin, convMax, logitMin, logitMax float64
+	for _, s := range calib {
+		cache := m.Forward(Normalize(s.Features), false, nil)
+		for _, v := range cache.convOut {
+			convMin = math.Min(convMin, float64(v))
+			convMax = math.Max(convMax, float64(v))
+		}
+		for _, v := range cache.logits {
+			logitMin = math.Min(logitMin, float64(v))
+			logitMax = math.Max(logitMax, float64(v))
+		}
+	}
+	convQ := tflm.ChooseQuantParams(convMin, convMax)
+	logitQ := tflm.ChooseQuantParams(logitMin, logitMax)
+	inQ := InputQuant()
+
+	b := tflm.NewBuilder(description, version)
+	in := b.Tensor(&tflm.Tensor{Name: "fingerprint", Type: tflm.Int8,
+		Shape: []int{1, cfg.InputH, cfg.InputW, 1}, Quant: &inQ})
+	b.Input(in)
+
+	// Convolution weights: symmetric int8.
+	convW, convWQ := quantizeSymmetric("conv_w", []int{cfg.Filters, cfg.KernelH, cfg.KernelW, 1}, m.ConvW)
+	convB := quantizeBias("conv_b", m.ConvB, inQ.Scale*convWQ.Scale)
+	wi, bi := b.Const(convW), b.Const(convB)
+	convOut := b.Tensor(&tflm.Tensor{Name: "conv_out", Type: tflm.Int8,
+		Shape: []int{1, cfg.OutH(), cfg.OutW(), cfg.Filters}, Quant: &convQ})
+	b.Node(tflm.OpConv2D, tflm.Conv2DParams{
+		StrideH: cfg.StrideH, StrideW: cfg.StrideW,
+		Padding: tflm.PaddingSame, Activation: tflm.ActReLU,
+	}, []int{in, wi, bi}, []int{convOut})
+
+	flat := b.Tensor(&tflm.Tensor{Name: "flat", Type: tflm.Int8,
+		Shape: []int{1, cfg.FlatLen()}, Quant: &convQ})
+	b.Node(tflm.OpReshape, tflm.ReshapeParams{NewShape: []int{1, cfg.FlatLen()}},
+		[]int{convOut}, []int{flat})
+
+	fcW, fcWQ := quantizeSymmetric("fc_w", []int{cfg.NumClasses, cfg.FlatLen()}, m.FCW)
+	fcB := quantizeBias("fc_b", m.FCB, convQ.Scale*fcWQ.Scale)
+	fwi, fbi := b.Const(fcW), b.Const(fcB)
+	logits := b.Tensor(&tflm.Tensor{Name: "logits", Type: tflm.Int8,
+		Shape: []int{1, cfg.NumClasses}, Quant: &logitQ})
+	b.Node(tflm.OpFullyConnected, tflm.FullyConnectedParams{}, []int{flat, fwi, fbi}, []int{logits})
+
+	probQ := tflm.SoftmaxOutputParams()
+	probs := b.Tensor(&tflm.Tensor{Name: "probs", Type: tflm.Int8,
+		Shape: []int{1, cfg.NumClasses}, Quant: &probQ})
+	b.Node(tflm.OpSoftmax, tflm.SoftmaxParams{Beta: 1}, []int{logits}, []int{probs})
+	b.Output(probs)
+
+	return b.Build()
+}
+
+func quantizeSymmetric(name string, shape []int, w []float32) (*tflm.Tensor, tflm.QuantParams) {
+	absMax := 0.0
+	for _, v := range w {
+		if a := math.Abs(float64(v)); a > absMax {
+			absMax = a
+		}
+	}
+	q := tflm.SymmetricWeightParams(absMax)
+	t := &tflm.Tensor{Name: name, Type: tflm.Int8, Shape: shape, Quant: &q}
+	t.Alloc()
+	for i, v := range w {
+		t.I8[i] = q.Quantize(float64(v))
+	}
+	return t, q
+}
+
+func quantizeBias(name string, b []float32, scale float64) *tflm.Tensor {
+	t := &tflm.Tensor{Name: name, Type: tflm.Int32, Shape: []int{len(b)},
+		Quant: &tflm.QuantParams{Scale: scale}}
+	t.Alloc()
+	for i, v := range b {
+		t.I32[i] = int32(math.Round(float64(v) / scale))
+	}
+	return t
+}
+
+// EvaluateQuantized returns top-1 accuracy of an int8 model on samples.
+func EvaluateQuantized(model *tflm.Model, samples []Sample) (float64, error) {
+	ip, err := tflm.NewInterpreter(model)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, s := range samples {
+		FeaturesToInt8(s.Features, ip.Input(0).I8)
+		if err := ip.Invoke(); err != nil {
+			return 0, err
+		}
+		if tflm.Argmax(ip.Output(0)) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}
+
+// AgreementRate measures how often the quantized model predicts the same
+// class as the float model — the conversion-fidelity metric.
+func AgreementRate(m *TinyConv, model *tflm.Model, samples []Sample) (float64, error) {
+	ip, err := tflm.NewInterpreter(model)
+	if err != nil {
+		return 0, err
+	}
+	agree := 0
+	for _, s := range samples {
+		FeaturesToInt8(s.Features, ip.Input(0).I8)
+		if err := ip.Invoke(); err != nil {
+			return 0, err
+		}
+		if tflm.Argmax(ip.Output(0)) == m.Predict(Normalize(s.Features)) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(samples)), nil
+}

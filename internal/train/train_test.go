@@ -1,0 +1,244 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/speechcmd"
+)
+
+func TestPaperTinyConvGeometry(t *testing.T) {
+	cfg := PaperTinyConv()
+	if cfg.OutH() != 25 || cfg.OutW() != 22 {
+		t.Fatalf("conv output %dx%d, want 25x22", cfg.OutH(), cfg.OutW())
+	}
+	if cfg.FlatLen() != 4400 {
+		t.Fatalf("flat length %d, want 4400", cfg.FlatLen())
+	}
+	m := NewTinyConv(cfg, rand.New(rand.NewSource(1)))
+	// 640 conv + 8 bias + 52800 fc + 12 bias = 53460 parameters.
+	if m.NumParams() != 53460 {
+		t.Fatalf("params = %d, want 53460", m.NumParams())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := PaperTinyConv()
+	bad.DropoutRate = 1.0
+	if err := bad.validate(); err == nil {
+		t.Fatal("dropout 1.0 accepted")
+	}
+	bad = PaperTinyConv()
+	bad.StrideH = 0
+	if err := bad.validate(); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	bad = PaperTinyConv()
+	bad.Filters = -1
+	if err := bad.validate(); err == nil {
+		t.Fatal("negative filters accepted")
+	}
+}
+
+// TestGradientCheck verifies backward() against numerical differentiation
+// on a tiny network — the canonical correctness test for hand-written
+// backprop.
+func TestGradientCheck(t *testing.T) {
+	cfg := TinyConvConfig{
+		InputH: 6, InputW: 5, Filters: 2,
+		KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2,
+		NumClasses: 3, DropoutRate: 0,
+	}
+	r := rand.New(rand.NewSource(2))
+	m := NewTinyConv(cfg, r)
+	x := make([]float32, cfg.InputH*cfg.InputW)
+	for i := range x {
+		x[i] = r.Float32()*2 - 1
+	}
+	label := 1
+
+	analytic := newGrads(cfg)
+	cache := m.Forward(x, false, nil)
+	probs := Softmax(cache.logits)
+	dLogits := append([]float32(nil), probs...)
+	dLogits[label] -= 1
+	m.backward(cache, dLogits, analytic)
+
+	loss := func() float64 { return m.Loss(x, label) }
+	const eps = 1e-3
+	check := func(name string, w []float32, g []float32) {
+		for _, idx := range []int{0, len(w) / 2, len(w) - 1} {
+			orig := w[idx]
+			w[idx] = orig + eps
+			up := loss()
+			w[idx] = orig - eps
+			down := loss()
+			w[idx] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-float64(g[idx])) > 1e-2*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: numeric %v vs analytic %v", name, idx, numeric, g[idx])
+			}
+		}
+	}
+	check("convW", m.ConvW, analytic.convW)
+	check("convB", m.ConvB, analytic.convB)
+	check("fcW", m.FCW, analytic.fcW)
+	check("fcB", m.FCB, analytic.fcB)
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	probs := Softmax([]float32{1, 2, 3, 4})
+	var sum float64
+	for i := 1; i < len(probs); i++ {
+		if probs[i] <= probs[i-1] {
+			t.Fatal("softmax not monotone")
+		}
+	}
+	for _, p := range probs {
+		sum += float64(p)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	// Stability under large logits.
+	big := Softmax([]float32{1000, 1001})
+	if math.IsNaN(float64(big[0])) || big[1] <= big[0] {
+		t.Fatal("softmax unstable for large logits")
+	}
+}
+
+// trainTinyTask fits a reduced network on a trivially separable 3-class
+// synthetic problem: training must drive accuracy to ~100 %.
+func TestFitLearnsSeparableTask(t *testing.T) {
+	cfg := TinyConvConfig{
+		InputH: 12, InputW: 10, Filters: 4,
+		KernelH: 4, KernelW: 4, StrideH: 2, StrideW: 2,
+		NumClasses: 3, DropoutRate: 0.1,
+	}
+	r := rand.New(rand.NewSource(3))
+	mk := func(label int, jitter float64) Sample {
+		f := make([]uint8, cfg.InputH*cfg.InputW)
+		for i := range f {
+			f[i] = uint8(10 + r.Intn(int(20+jitter*20)))
+		}
+		// Each class lights up a distinct band of rows.
+		for row := label * 4; row < label*4+3; row++ {
+			for col := 0; col < cfg.InputW; col++ {
+				f[row*cfg.InputW+col] = uint8(200 + r.Intn(40))
+			}
+		}
+		return Sample{Features: f, Label: label}
+	}
+	var trainSet, testSet []Sample
+	for i := 0; i < 60; i++ {
+		trainSet = append(trainSet, mk(i%3, 1))
+	}
+	for i := 0; i < 30; i++ {
+		testSet = append(testSet, mk(i%3, 1))
+	}
+	m := NewTinyConv(cfg, r)
+	err := Fit(m, trainSet, nil, TrainConfig{Epochs: 15, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := EvaluateFloat(m, testSet); acc < 0.95 {
+		t.Fatalf("separable task accuracy %.2f, want ≥0.95", acc)
+	}
+}
+
+func TestFitRejectsBadInputs(t *testing.T) {
+	cfg := PaperTinyConv()
+	m := NewTinyConv(cfg, rand.New(rand.NewSource(1)))
+	if err := Fit(m, nil, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	bad := []Sample{{Features: make([]uint8, 10), Label: 0}}
+	if err := Fit(m, bad, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("wrong feature length accepted")
+	}
+	ok := []Sample{{Features: make([]uint8, 49*43), Label: 0}}
+	if err := Fit(m, ok, nil, TrainConfig{Epochs: 0, BatchSize: 4}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+func TestNormalizeAndInt8AreConsistent(t *testing.T) {
+	features := make([]uint8, 256)
+	for i := range features {
+		features[i] = uint8(i)
+	}
+	norm := Normalize(features)
+	asInt8 := make([]int8, len(features))
+	FeaturesToInt8(features, asInt8)
+	q := InputQuant()
+	for i := range features {
+		fromQuant := q.Dequantize(asInt8[i])
+		if math.Abs(fromQuant-float64(norm[i])) > 1e-9 {
+			t.Fatalf("feature %d: float %v vs dequant %v", i, norm[i], fromQuant)
+		}
+	}
+}
+
+func TestQuantizeRequiresCalibration(t *testing.T) {
+	m := NewTinyConv(PaperTinyConv(), rand.New(rand.NewSource(1)))
+	if _, err := Quantize(m, nil, "x", 1); err == nil {
+		t.Fatal("quantize without calibration accepted")
+	}
+}
+
+// TestQuantizedModelAgreesWithFloat trains a small real task and checks the
+// int8 conversion preserves predictions (the "accuracy with and without
+// OMG protection is 75 %" row relies on quantization fidelity).
+func TestQuantizedModelAgreesWithFloat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline training in -short mode")
+	}
+	cfg := DefaultPipeline()
+	cfg.Spec = speechcmd.DatasetSpec{Speakers: 20, TakesPerLabel: 1, ValPct: 15, TestPct: 25}
+	cfg.Train.Epochs = 4
+	res, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agreement < 0.9 {
+		t.Fatalf("float/int8 agreement %.2f, want ≥0.90", res.Agreement)
+	}
+	if math.Abs(res.FloatTestAcc-res.QuantTestAcc) > 0.15 {
+		t.Fatalf("float acc %.2f vs quant acc %.2f diverge", res.FloatTestAcc, res.QuantTestAcc)
+	}
+	// The serialized model size must be in the paper's ballpark (~49 kB).
+	if res.Model.WeightBytes() < 40_000 || res.Model.WeightBytes() > 70_000 {
+		t.Fatalf("weight bytes = %d", res.Model.WeightBytes())
+	}
+}
+
+// TestPipelineReachesPaperOperatingPoint is the accuracy calibration gate
+// for Table I: the full pipeline must land in a band around the paper's
+// 75 % on the 100-utterance evaluation subset.
+func TestPipelineReachesPaperOperatingPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline training in -short mode")
+	}
+	cfg := DefaultPipeline()
+	res, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := speechcmd.NewGenerator(cfg.Corpus)
+	fe, err := dsp.NewFrontend(cfg.Frontend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := Featurize(gen.PaperTestSubset(), fe)
+	acc, err := EvaluateQuantized(res.Model, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("paper-subset accuracy: %.0f%% (paper: 75%%); float test acc %.2f, quant test acc %.2f",
+		acc*100, res.FloatTestAcc, res.QuantTestAcc)
+	if acc < 0.60 || acc > 0.92 {
+		t.Fatalf("paper-subset accuracy %.0f%% outside the calibrated band [60%%, 92%%]", acc*100)
+	}
+}

@@ -1,0 +1,40 @@
+package trustzone
+
+import (
+	"io"
+
+	"repro/internal/omgcrypto"
+)
+
+// PlatformKeys holds the device's attestation key material: the platform
+// identity and its certificate issued by the device vendor's root, "a
+// certificate hierarchy similar to SSL certificates" (§V).
+type PlatformKeys struct {
+	Platform     *omgcrypto.Identity
+	PlatformCert *omgcrypto.Certificate
+	RootCert     *omgcrypto.Certificate
+}
+
+// NewPlatformKeys provisions a platform identity certified by root, as the
+// device vendor does in the factory.
+func NewPlatformKeys(rng io.Reader, root *omgcrypto.Identity, deviceName string) (*PlatformKeys, error) {
+	platform, err := omgcrypto.NewIdentity(rng, deviceName+"/platform")
+	if err != nil {
+		return nil, err
+	}
+	platformCert, err := omgcrypto.IssueCertificate(root, platform.Subject, platform.Public())
+	if err != nil {
+		return nil, err
+	}
+	rootCert, err := omgcrypto.SelfSign(root)
+	if err != nil {
+		return nil, err
+	}
+	return &PlatformKeys{Platform: platform, PlatformCert: platformCert, RootCert: rootCert}, nil
+}
+
+// Chain returns the certificate chain a verifier needs alongside an
+// attestation report: platform cert then root cert.
+func (k *PlatformKeys) Chain() []*omgcrypto.Certificate {
+	return []*omgcrypto.Certificate{k.PlatformCert, k.RootCert}
+}
