@@ -1,0 +1,29 @@
+# Build/test/verification entry points. `make ci` is the tier-1 gate:
+# build + vet + gofmt cleanliness + tests.
+
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Hot-path and evaluation benchmarks with allocation reporting.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+ci: build vet fmt-check test
+	@echo "ci: OK"

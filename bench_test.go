@@ -19,6 +19,7 @@ package repro
 // reports simulated device time where meaningful.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -380,6 +381,7 @@ func BenchmarkFFTFixed512(b *testing.B) {
 		re[i] = int32((i*2654435761 + 123) % 32768)
 	}
 	work := make([]int32, 512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(work, re)
@@ -392,16 +394,19 @@ func BenchmarkFFTFixed512(b *testing.B) {
 	}
 }
 
-// BenchmarkFrontendExtract measures full fingerprint extraction.
+// BenchmarkFrontendExtract measures full fingerprint extraction through the
+// zero-alloc ExtractInto path (Extract itself adds only the result slice).
 func BenchmarkFrontendExtract(b *testing.B) {
 	fixture(b)
 	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
 	if err != nil {
 		b.Fatal(err)
 	}
+	dst := make([]uint8, fe.Config().FingerprintLen())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fe.Extract(fixUtt)
+		fe.ExtractInto(dst, fixUtt)
 	}
 }
 
@@ -419,11 +424,50 @@ func BenchmarkInterpreterInvoke(b *testing.B) {
 	for i := range ip.Input(0).I8 {
 		ip.Input(0).I8[i] = int8(i % 251)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ip.Invoke(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchInference measures the concurrent serving path: a batch of
+// utterances fanned across core.Pipeline worker pools of increasing size.
+// The per-op time is for the whole batch; the utt/s metric is the
+// throughput figure, which should scale near-linearly with workers.
+func BenchmarkBatchInference(b *testing.B) {
+	fixture(b)
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+	const batch = 64
+	utts := make([][]int16, batch)
+	for i := range utts {
+		utts[i] = gen.Example(i%speechcmd.NumLabels, i/speechcmd.NumLabels, 0).Samples
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p, err := core.NewPipeline(model, core.PipelineConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := p.RunBatch(utts)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "utt/s")
+		})
 	}
 }
 

@@ -12,4 +12,27 @@
 // figure of the paper's evaluation; run them with
 //
 //	go test -bench=. -benchmem .
+//
+// # Inference hot path
+//
+// The engine's linear-algebra hot path is an im2col+GEMM pipeline
+// (internal/tflm/gemm.go): convolutions pack receptive fields into a column
+// matrix (padding is absorbed by the packer, which fills border patches
+// with the input zero point) and run a blocked int8×int8→int32 GEMM with
+// per-filter zero-point corrections bias[oc] − inZP·Σw[oc] folded into the
+// accumulator seeds. Interpreters prep every node at construction —
+// requantization multipliers, correction terms, im2col and softmax scratch
+// — so Invoke is allocation-free. Every optimized kernel has a scalar
+// reference twin (internal/tflm/op_ref.go) and is kept bit-exact against
+// it by randomized equivalence tests; new operators must ship the same
+// pair. The simulated-device cycle model (NodeCycles) is untouched by all
+// of this: host kernels are fast, modeled hardware costs are calibrated.
+//
+// # Batch serving
+//
+// internal/core.Pipeline is the host-throughput layer: a pool of workers,
+// each owning a private interpreter over a weight-sharing tflm.Model.Clone
+// plus a private zero-alloc DSP frontend (dsp.Frontend.ExtractInto), fans
+// batches of utterances across GOMAXPROCS workers via RunBatch. Experiment
+// E11 (omg-bench) and BenchmarkBatchInference measure its scaling.
 package repro

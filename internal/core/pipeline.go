@@ -1,0 +1,136 @@
+// Batch inference pipeline: the host-throughput layer of the engine. Where
+// KWSApp runs one utterance at a time inside a simulated enclave, Pipeline
+// serves many utterances concurrently at host speed — the "as fast as the
+// hardware allows" serving path for experiments, calibration sweeps and
+// load generation. It owns a pool of workers, each with a private
+// interpreter (over a weight-sharing model clone), a private DSP frontend
+// and private fingerprint scratch, so the per-utterance hot path performs
+// no heap allocation beyond the caller-visible result probabilities.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dsp"
+	"repro/internal/tflm"
+)
+
+// PipelineConfig parameterizes NewPipeline.
+type PipelineConfig struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Frontend configures feature extraction; the zero value means
+	// dsp.DefaultFrontend().
+	Frontend dsp.FrontendConfig
+	// WithProbs requests dequantized class probabilities in each Result
+	// (one allocation per utterance); when false only labels are produced.
+	WithProbs bool
+}
+
+// Result is the outcome of one utterance in a batch.
+type Result struct {
+	// Label is the argmax class, or -1 when Err is set.
+	Label int
+	// Probs holds dequantized class probabilities when requested.
+	Probs []float64
+	// Err reports a per-utterance failure; other utterances are unaffected.
+	Err error
+}
+
+// pipeWorker is one worker's private execution state.
+type pipeWorker struct {
+	fe *dsp.Frontend
+	ip *tflm.Interpreter
+	fp []uint8 // fingerprint scratch, reused across utterances
+}
+
+// Pipeline fans batches of utterances across a fixed worker pool.
+type Pipeline struct {
+	workers   []*pipeWorker
+	withProbs bool
+}
+
+// NewPipeline builds a pool of workers over clones of model (constant
+// weight tensors are shared, activations are private per worker).
+func NewPipeline(model *tflm.Model, cfg PipelineConfig) (*Pipeline, error) {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	feCfg := cfg.Frontend
+	if feCfg == (dsp.FrontendConfig{}) {
+		feCfg = dsp.DefaultFrontend()
+	}
+	p := &Pipeline{withProbs: cfg.WithProbs}
+	for i := 0; i < n; i++ {
+		ip, err := tflm.NewInterpreter(model.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline worker %d: %w", i, err)
+		}
+		fe, err := dsp.NewFrontend(feCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: pipeline worker %d: %w", i, err)
+		}
+		in := ip.Input(0)
+		if in.Type != tflm.Int8 || in.NumElements() != feCfg.FingerprintLen() {
+			return nil, fmt.Errorf("core: model input %s incompatible with %d-feature fingerprint", in, feCfg.FingerprintLen())
+		}
+		p.workers = append(p.workers, &pipeWorker{
+			fe: fe,
+			ip: ip,
+			fp: make([]uint8, feCfg.FingerprintLen()),
+		})
+	}
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *Pipeline) Workers() int { return len(p.workers) }
+
+// RunBatch classifies every utterance and returns one Result per input, in
+// order. Utterances are distributed dynamically over the worker pool, so a
+// slow utterance never stalls the rest of the batch.
+func (p *Pipeline) RunBatch(utts [][]int16) []Result {
+	results := make([]Result, len(utts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *pipeWorker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(utts) {
+					return
+				}
+				results[i] = w.run(utts[i], p.withProbs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// run executes one utterance on this worker's private state.
+func (w *pipeWorker) run(samples []int16, withProbs bool) Result {
+	w.fp = w.fe.ExtractInto(w.fp, samples)
+	in := w.ip.Input(0)
+	for i, f := range w.fp {
+		in.I8[i] = int8(int32(f) - 128)
+	}
+	if err := w.ip.Invoke(); err != nil {
+		return Result{Label: -1, Err: err}
+	}
+	out := w.ip.Output(0)
+	res := Result{Label: tflm.Argmax(out)}
+	if withProbs {
+		res.Probs = make([]float64, out.NumElements())
+		for i, q := range out.I8 {
+			res.Probs[i] = out.Quant.Dequantize(q)
+		}
+	}
+	return res
+}

@@ -61,31 +61,33 @@ func bitReverseF(re, im []float64) {
 	}
 }
 
-// twiddle tables for the fixed-point FFT, Q15, cached per size.
-var (
-	twMu    sync.Mutex
-	twCache = map[int]*twiddles{}
-)
+// twiddle tables for the fixed-point FFT, Q15, cached per size. The cache
+// is a sync.Map so concurrent FFTs (one per pipeline worker) hit a
+// lock-free read path; frontends additionally pin their table at
+// construction and bypass the cache entirely.
+var twCache sync.Map // int → *twiddles
 
 type twiddles struct {
 	cos []int32 // Q15
 	sin []int32 // Q15
 }
 
-func twiddlesFor(n int) *twiddles {
-	twMu.Lock()
-	defer twMu.Unlock()
-	if tw, ok := twCache[n]; ok {
-		return tw
-	}
+func computeTwiddles(n int) *twiddles {
 	tw := &twiddles{cos: make([]int32, n/2), sin: make([]int32, n/2)}
 	for k := 0; k < n/2; k++ {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		tw.cos[k] = int32(math.Round(math.Cos(ang) * 32767))
 		tw.sin[k] = int32(math.Round(math.Sin(ang) * 32767))
 	}
-	twCache[n] = tw
 	return tw
+}
+
+func twiddlesFor(n int) *twiddles {
+	if v, ok := twCache.Load(n); ok {
+		return v.(*twiddles)
+	}
+	v, _ := twCache.LoadOrStore(n, computeTwiddles(n))
+	return v.(*twiddles)
 }
 
 // FFTFixed computes an in-place fixed-point radix-2 FFT. Inputs are Q15-ish
@@ -101,8 +103,16 @@ func FFTFixed(re, im []int32) error {
 	if n == 0 || n&(n-1) != 0 {
 		return fmt.Errorf("dsp: FFT size %d not a power of two", n)
 	}
+	fftFixed(re, im, twiddlesFor(n))
+	return nil
+}
+
+// fftFixed is the FFTFixed core with a caller-provided twiddle table; the
+// frontend precomputes its table once so the hot loop never touches the
+// shared cache.
+func fftFixed(re, im []int32, tw *twiddles) {
+	n := len(re)
 	bitReverseI(re, im)
-	tw := twiddlesFor(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
 		stride := n / size
@@ -126,7 +136,6 @@ func FFTFixed(re, im []int32) error {
 			}
 		}
 	}
-	return nil
 }
 
 func bitReverseI(re, im []int32) {

@@ -66,11 +66,19 @@ func (c FrontendConfig) validate() error {
 }
 
 // Frontend extracts uint8 spectrogram fingerprints from PCM16 audio with
-// fixed-point arithmetic throughout, as a microcontroller build would.
+// fixed-point arithmetic throughout, as a microcontroller build would. All
+// per-utterance state is preallocated at construction: the Q15 Hann window,
+// the FFT scratch, the twiddle table for the configured FFT size, and the
+// feature bin sub-ranges of the log-compression stage. ExtractInto is
+// therefore allocation-free; a frontend is cheap to keep per worker.
 type Frontend struct {
 	cfg    FrontendConfig
 	window []int32 // Q15 Hann window
 	re, im []int32 // scratch
+	tw     *twiddles
+	// binLo/binHi are the precomputed [lo, hi) spectrum sub-range of each
+	// feature (the final feature may cover fewer than AvgWidth bins).
+	binLo, binHi []int
 }
 
 // NewFrontend builds a frontend; nil-safe defaults come from
@@ -79,16 +87,28 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	features := cfg.NumFeatures()
 	f := &Frontend{
 		cfg:    cfg,
 		window: make([]int32, cfg.WindowSamples),
 		re:     make([]int32, cfg.FFTSize),
 		im:     make([]int32, cfg.FFTSize),
+		tw:     twiddlesFor(cfg.FFTSize),
+		binLo:  make([]int, features),
+		binHi:  make([]int, features),
 	}
 	for i := range f.window {
 		// Hann window in Q15.
 		w := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(cfg.WindowSamples-1))
 		f.window[i] = int32(math.Round(w * 32767))
+	}
+	for feat := 0; feat < features; feat++ {
+		lo := feat * cfg.AvgWidth
+		hi := lo + cfg.AvgWidth
+		if hi > cfg.NumBins {
+			hi = cfg.NumBins
+		}
+		f.binLo[feat], f.binHi[feat] = lo, hi
 	}
 	return f, nil
 }
@@ -100,30 +120,45 @@ func (f *Frontend) Config() FrontendConfig { return f.cfg }
 // UtteranceSamples is zero-padded; longer input is truncated. The returned
 // slice has FingerprintLen() elements in frame-major order.
 func (f *Frontend) Extract(samples []int16) []uint8 {
+	return f.ExtractInto(make([]uint8, f.cfg.FingerprintLen()), samples)
+}
+
+// ExtractInto is Extract writing into caller-owned storage: dst is resliced
+// to FingerprintLen() when its capacity suffices (the zero-allocation hot
+// path) and reallocated otherwise. It returns the fingerprint slice.
+func (f *Frontend) ExtractInto(dst []uint8, samples []int16) []uint8 {
 	cfg := f.cfg
 	features := cfg.NumFeatures()
-	out := make([]uint8, cfg.FingerprintLen())
+	if n := cfg.FingerprintLen(); cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]uint8, n)
+	}
 	for frame := 0; frame < cfg.NumFrames; frame++ {
 		start := frame * cfg.StrideSamples
-		// Windowed, zero-padded frame in Q15.
-		for i := 0; i < cfg.FFTSize; i++ {
+		// Windowed frame in Q15. The window multiply covers the samples
+		// actually present; the tail (zero padding up to FFTSize) and the
+		// imaginary scratch are cleared with branch-free memclr loops.
+		n := cfg.WindowSamples
+		if rem := len(samples) - start; rem < n {
+			n = rem
+		}
+		if n < 0 {
+			n = 0
+		}
+		for i := 0; i < n; i++ {
+			f.re[i] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
+		}
+		tail := f.re[n:]
+		for i := range tail {
+			tail[i] = 0
+		}
+		for i := range f.im {
 			f.im[i] = 0
-			if i < cfg.WindowSamples && start+i < len(samples) {
-				f.re[i] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
-			} else {
-				f.re[i] = 0
-			}
 		}
-		// The fixed-point FFT cannot fail here: size was validated.
-		if err := FFTFixed(f.re, f.im); err != nil {
-			panic("dsp: " + err.Error())
-		}
+		fftFixed(f.re, f.im, f.tw)
 		for feat := 0; feat < features; feat++ {
-			lo := feat * cfg.AvgWidth
-			hi := lo + cfg.AvgWidth
-			if hi > cfg.NumBins {
-				hi = cfg.NumBins
-			}
+			lo, hi := f.binLo[feat], f.binHi[feat]
 			var acc uint64
 			for bin := lo; bin < hi; bin++ {
 				r := int64(f.re[bin])
@@ -131,10 +166,10 @@ func (f *Frontend) Extract(samples []int16) []uint8 {
 				acc += uint64(r*r + i*i)
 			}
 			avg := acc / uint64(hi-lo)
-			out[frame*features+feat] = logCompress(avg)
+			dst[frame*features+feat] = logCompress(avg)
 		}
 	}
-	return out
+	return dst
 }
 
 // logCompress maps an averaged power value to a uint8 feature:

@@ -102,16 +102,8 @@ func (f *Fixture) newSession(seed string, version uint64) (*core.Session, error)
 	return s, nil
 }
 
-// cloneModel deep-copies a model via its serialized form so experiments
-// can't interfere through shared tensors.
+// cloneModel gives an experiment its own activation tensors over shared
+// immutable weights, so concurrent interpreters can't interfere.
 func cloneModel(m *tflm.Model) *tflm.Model {
-	blob, err := tflm.Encode(m)
-	if err != nil {
-		panic("harness: encode model: " + err.Error())
-	}
-	out, err := tflm.Decode(blob)
-	if err != nil {
-		panic("harness: decode model: " + err.Error())
-	}
-	return out
+	return m.Clone()
 }

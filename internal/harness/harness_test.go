@@ -15,8 +15,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 	ctx := NewCtx(true, nil)
 	exps := Experiments()
-	if len(exps) != 12 { // E1..E10, F1, F2
-		t.Fatalf("registered experiments = %d, want 12", len(exps))
+	if len(exps) != 13 { // E1..E11, F1, F2
+		t.Fatalf("registered experiments = %d, want 13", len(exps))
 	}
 	for _, e := range exps {
 		e := e
@@ -116,9 +116,9 @@ func TestRegistryOrdering(t *testing.T) {
 	for _, e := range exps {
 		ids = append(ids, e.ID)
 	}
-	wantTail := []string{"E10", "F1", "F2"}
+	wantTail := []string{"E10", "E11", "F1", "F2"}
 	for i, w := range wantTail {
-		if ids[len(ids)-3+i] != w {
+		if ids[len(ids)-len(wantTail)+i] != w {
 			t.Fatalf("tail ordering = %v", ids)
 		}
 	}

@@ -1,0 +1,359 @@
+package tflm
+
+import "fmt"
+
+// Optimized linear-algebra hot path: Conv2D and FullyConnected are lowered
+// onto one blocked GEMM primitive over im2col-packed patches. The packer
+// absorbs all padding handling (border patches are filled with the input
+// zero point, interior rows are contiguous copies), so the MAC loops carry
+// no bounds checks or zero-point subtractions. Per-filter zero-point
+// corrections acc0[oc] = bias[oc] - inZP·Σw[oc] are precomputed once, which
+// is exact because int32 accumulation is associative modulo 2^32.
+//
+// Every kernel here is bit-exact with its scalar reference in op_ref.go;
+// kernels_equiv_test.go enforces that over randomized geometries.
+
+// convGeom is the resolved geometry of one convolution, computed once at
+// prep time instead of per Invoke.
+type convGeom struct {
+	batches, inH, inW, inC int
+	outC, kH, kW           int
+	outH, outW             int
+	padT, padL             int
+	strideH, strideW       int
+	// K is the im2col depth kH·kW·inC; M is outH·outW patches per batch.
+	K, M int
+}
+
+// colLen returns the im2col scratch length for one batch.
+func (g convGeom) colLen() int { return g.M * g.K }
+
+func resolveConvGeom(in, w, out *Tensor, p Conv2DParams) (convGeom, error) {
+	if p.StrideH <= 0 || p.StrideW <= 0 {
+		return convGeom{}, fmt.Errorf("tflm: Conv2D stride %dx%d invalid", p.StrideH, p.StrideW)
+	}
+	if w.Dim(3) != in.Dim(3) {
+		return convGeom{}, fmt.Errorf("tflm: Conv2D filter input channels %d != input channels %d", w.Dim(3), in.Dim(3))
+	}
+	g := convGeom{
+		batches: in.Dim(0), inH: in.Dim(1), inW: in.Dim(2), inC: in.Dim(3),
+		outC: w.Dim(0), kH: w.Dim(1), kW: w.Dim(2),
+		strideH: p.StrideH, strideW: p.StrideW,
+	}
+	g.outH, g.padT = convOutputSize(g.inH, g.kH, p.StrideH, p.Padding)
+	g.outW, g.padL = convOutputSize(g.inW, g.kW, p.StrideW, p.Padding)
+	if !out.ShapeEquals([]int{g.batches, g.outH, g.outW, g.outC}) {
+		return convGeom{}, fmt.Errorf("tflm: Conv2D output shape %v, want %v", out.Shape, []int{g.batches, g.outH, g.outW, g.outC})
+	}
+	g.K = g.kH * g.kW * g.inC
+	g.M = g.outH * g.outW
+	return g, nil
+}
+
+// linearPrep carries the plan-time constants of one int8 linear op: the
+// requantization multiplier, the clamp range, and the per-output-channel
+// accumulator seeds with bias and zero-point correction folded in.
+type linearPrep struct {
+	mult       QuantizedMultiplier
+	outZP      int32
+	lo, hi     int32
+	inZP       int32
+	acc0       []int32
+	activation Activation
+}
+
+// prepLinearInt8 builds the prep for a weight matrix laid out as N rows of
+// length K (Conv2D OHWI filters flattened, or FullyConnected [out, in]).
+func prepLinearInt8(in, w, bias, out *Tensor, act Activation, n, k int) (*linearPrep, error) {
+	mult, err := requantMultiplier(in, w, out)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.I8) < n*k {
+		return nil, fmt.Errorf("tflm: weight tensor %q has %d elements, want %d", w.Name, len(w.I8), n*k)
+	}
+	if len(bias.I32) < n {
+		return nil, fmt.Errorf("tflm: bias tensor %q has %d elements, want %d", bias.Name, len(bias.I32), n)
+	}
+	lo, hi := activationRangeQuantized(act, *out.Quant)
+	pr := &linearPrep{
+		mult:       mult,
+		outZP:      out.Quant.ZeroPoint,
+		lo:         lo,
+		hi:         hi,
+		inZP:       in.Quant.ZeroPoint,
+		acc0:       make([]int32, n),
+		activation: act,
+	}
+	for o := 0; o < n; o++ {
+		var sum int32
+		for _, v := range w.I8[o*k : (o+1)*k] {
+			sum += int32(v)
+		}
+		pr.acc0[o] = bias.I32[o] - pr.inZP*sum
+	}
+	return pr, nil
+}
+
+// im2col packs the receptive fields of one batch into col, one patch per
+// GEMM row in (ky, kx, ic) order. Out-of-bounds positions are filled with
+// the input zero point (int8) or zero (float32), making padded patches
+// behave exactly like interior ones under the corrected accumulator seeds.
+// Interior rows reduce to contiguous copies.
+func im2col[T int8 | float32](col, src []T, g convGeom, b int, fill T) {
+	rowLen := g.kW * g.inC
+	m := 0
+	for oy := 0; oy < g.outH; oy++ {
+		iy0 := oy*g.strideH - g.padT
+		for ox := 0; ox < g.outW; ox++ {
+			ix0 := ox*g.strideW - g.padL
+			patch := col[m*g.K : (m+1)*g.K]
+			for ky := 0; ky < g.kH; ky++ {
+				iy := iy0 + ky
+				row := patch[ky*rowLen : (ky+1)*rowLen]
+				if iy < 0 || iy >= g.inH {
+					fillSlice(row, fill)
+					continue
+				}
+				// Clip kx to the valid input columns [0, inW).
+				kxLo, kxHi := 0, g.kW
+				if ix0 < 0 {
+					kxLo = -ix0
+				}
+				if ix0+g.kW > g.inW {
+					kxHi = g.inW - ix0
+				}
+				if kxHi <= kxLo {
+					fillSlice(row, fill)
+					continue
+				}
+				fillSlice(row[:kxLo*g.inC], fill)
+				srcBase := ((b*g.inH+iy)*g.inW + ix0 + kxLo) * g.inC
+				copy(row[kxLo*g.inC:kxHi*g.inC], src[srcBase:srcBase+(kxHi-kxLo)*g.inC])
+				fillSlice(row[kxHi*g.inC:], fill)
+			}
+			m++
+		}
+	}
+}
+
+func fillSlice[T int8 | float32](s []T, v T) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// dotInt8 is the int8×int8→int32 dot product, 4-way unrolled. Partial sums
+// reassociate freely: int32 addition is commutative modulo 2^32, so the
+// result is bit-identical to in-order accumulation.
+func dotInt8(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i <= len(a)-4; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// gemmInt8Requant computes dst[m*n] = requant(acc0[n] + A[m]·B[n]) where A
+// is M rows of K packed patches and B is N rows of K weights. The A row is
+// register/L1-resident across the N dot products (the blocking that
+// matters at these sizes); requantization and activation clamping are fused
+// into the output write.
+func gemmInt8Requant(mRows, nRows, k int, a, b []int8, dst []int8, pr *linearPrep) {
+	for m := 0; m < mRows; m++ {
+		ar := a[m*k : (m+1)*k]
+		drow := dst[m*nRows : (m+1)*nRows]
+		for n := 0; n < nRows; n++ {
+			acc := pr.acc0[n] + dotInt8(ar, b[n*k:(n+1)*k])
+			drow[n] = int8(clampInt32(pr.mult.Apply(acc)+pr.outZP, pr.lo, pr.hi))
+		}
+	}
+}
+
+// gemmFloat computes dst[m*n] = act(bias[n] + A[m]·B[n]). Each accumulator
+// adds its K products strictly in order, so results match the scalar
+// reference bit-for-bit (padded positions contribute exact zeros); the
+// 4-row blocking over B only shares the A row, it never reassociates sums.
+func gemmFloat(mRows, nRows, k int, a, b, bias []float32, act Activation, dst []float32) {
+	for m := 0; m < mRows; m++ {
+		ar := a[m*k : (m+1)*k]
+		drow := dst[m*nRows : (m+1)*nRows]
+		n := 0
+		for ; n <= nRows-4; n += 4 {
+			b0 := b[n*k : (n+1)*k]
+			b1 := b[(n+1)*k : (n+2)*k]
+			b2 := b[(n+2)*k : (n+3)*k]
+			b3 := b[(n+3)*k : (n+4)*k]
+			acc0, acc1, acc2, acc3 := bias[n], bias[n+1], bias[n+2], bias[n+3]
+			for i, av := range ar {
+				acc0 += av * b0[i]
+				acc1 += av * b1[i]
+				acc2 += av * b2[i]
+				acc3 += av * b3[i]
+			}
+			drow[n] = activationApplyFloat(act, acc0)
+			drow[n+1] = activationApplyFloat(act, acc1)
+			drow[n+2] = activationApplyFloat(act, acc2)
+			drow[n+3] = activationApplyFloat(act, acc3)
+		}
+		for ; n < nRows; n++ {
+			br := b[n*k : (n+1)*k]
+			acc := bias[n]
+			for i, av := range ar {
+				acc += av * br[i]
+			}
+			drow[n] = activationApplyFloat(act, acc)
+		}
+	}
+}
+
+// convInt8Gemm runs the full int8 convolution: per batch, im2col into col
+// then one fused GEMM into the output tensor.
+func convInt8Gemm(in, w, out *Tensor, g convGeom, pr *linearPrep, col []int8) {
+	zpFill := int8(pr.inZP) // int8 zero points are in [-128, 127] by construction
+	for b := 0; b < g.batches; b++ {
+		im2col(col[:g.colLen()], in.I8, g, b, zpFill)
+		gemmInt8Requant(g.M, g.outC, g.K, col, w.I8, out.I8[b*g.M*g.outC:(b+1)*g.M*g.outC], pr)
+	}
+}
+
+// convFloatGemm is the float32 counterpart of convInt8Gemm.
+func convFloatGemm(in, w, bias, out *Tensor, g convGeom, act Activation, col []float32) {
+	for b := 0; b < g.batches; b++ {
+		im2col(col[:g.colLen()], in.F32, g, b, 0)
+		gemmFloat(g.M, g.outC, g.K, col, w.F32, bias.F32, act, out.F32[b*g.M*g.outC:(b+1)*g.M*g.outC])
+	}
+}
+
+// depthwisePrep is the plan-time state of an int8 DepthwiseConv2D: geometry
+// plus per-channel zero-point corrections (the filter layout is [1, kH, kW,
+// outC], so the weight sums stride by outC rather than being row-major).
+type depthwisePrep struct {
+	g   convGeom
+	lp  linearPrep
+	mul int // depth multiplier
+}
+
+func prepDepthwiseInt8(in, w, bias, out *Tensor, p Conv2DParams) (*depthwisePrep, error) {
+	if p.StrideH <= 0 || p.StrideW <= 0 {
+		return nil, fmt.Errorf("tflm: DepthwiseConv2D stride %dx%d invalid", p.StrideH, p.StrideW)
+	}
+	mul := p.DepthMultiplier
+	if mul <= 0 {
+		mul = 1
+	}
+	g := convGeom{
+		batches: in.Dim(0), inH: in.Dim(1), inW: in.Dim(2), inC: in.Dim(3),
+		outC: w.Dim(3), kH: w.Dim(1), kW: w.Dim(2),
+		strideH: p.StrideH, strideW: p.StrideW,
+	}
+	if g.outC != g.inC*mul {
+		return nil, fmt.Errorf("tflm: DepthwiseConv2D filter channels %d != %d*%d", g.outC, g.inC, mul)
+	}
+	g.outH, g.padT = convOutputSize(g.inH, g.kH, p.StrideH, p.Padding)
+	g.outW, g.padL = convOutputSize(g.inW, g.kW, p.StrideW, p.Padding)
+	if !out.ShapeEquals([]int{g.batches, g.outH, g.outW, g.outC}) {
+		return nil, fmt.Errorf("tflm: DepthwiseConv2D output shape %v, want %v", out.Shape, []int{g.batches, g.outH, g.outW, g.outC})
+	}
+	if in.Type != Int8 {
+		return nil, fmt.Errorf("tflm: DepthwiseConv2D unsupported input type %v", in.Type)
+	}
+	mult, err := requantMultiplier(in, w, out)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.I8) < g.kH*g.kW*g.outC {
+		return nil, fmt.Errorf("tflm: depthwise weight tensor %q too small", w.Name)
+	}
+	if len(bias.I32) < g.outC {
+		return nil, fmt.Errorf("tflm: depthwise bias tensor %q too small", bias.Name)
+	}
+	lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
+	dp := &depthwisePrep{
+		g:   g,
+		mul: mul,
+		lp: linearPrep{
+			mult:  mult,
+			outZP: out.Quant.ZeroPoint,
+			lo:    lo,
+			hi:    hi,
+			inZP:  in.Quant.ZeroPoint,
+			acc0:  make([]int32, g.outC),
+		},
+	}
+	for oc := 0; oc < g.outC; oc++ {
+		var sum int32
+		for i := 0; i < g.kH*g.kW; i++ {
+			sum += int32(w.I8[i*g.outC+oc])
+		}
+		dp.lp.acc0[oc] = bias.I32[oc] - dp.lp.inZP*sum
+	}
+	return dp, nil
+}
+
+// depthwiseInt8Opt evaluates an int8 DepthwiseConv2D with the padding-free
+// interior split from the border: interior windows run branchless strided
+// MAC loops seeded with the precomputed corrections; border windows fall
+// back to reference-style skip-and-subtract accumulation (bit-identical,
+// both equal the true sum modulo 2^32).
+func depthwiseInt8Opt(in, w, bias, out *Tensor, dp *depthwisePrep) {
+	g, lp := dp.g, &dp.lp
+	src, flt, dst, b32 := in.I8, w.I8, out.I8, bias.I32
+	for b := 0; b < g.batches; b++ {
+		for oy := 0; oy < g.outH; oy++ {
+			iy0 := oy*g.strideH - g.padT
+			rowInterior := iy0 >= 0 && iy0+g.kH <= g.inH
+			for ox := 0; ox < g.outW; ox++ {
+				ix0 := ox*g.strideW - g.padL
+				dBase := ((b*g.outH+oy)*g.outW + ox) * g.outC
+				if rowInterior && ix0 >= 0 && ix0+g.kW <= g.inW {
+					for ic := 0; ic < g.inC; ic++ {
+						for m := 0; m < dp.mul; m++ {
+							oc := ic*dp.mul + m
+							acc := lp.acc0[oc]
+							for ky := 0; ky < g.kH; ky++ {
+								sRow := ((b*g.inH+iy0+ky)*g.inW+ix0)*g.inC + ic
+								wRow := ky*g.kW*g.outC + oc
+								for kx := 0; kx < g.kW; kx++ {
+									acc += int32(src[sRow+kx*g.inC]) * int32(flt[wRow+kx*g.outC])
+								}
+							}
+							dst[dBase+oc] = int8(clampInt32(lp.mult.Apply(acc)+lp.outZP, lp.lo, lp.hi))
+						}
+					}
+					continue
+				}
+				for ic := 0; ic < g.inC; ic++ {
+					for m := 0; m < dp.mul; m++ {
+						oc := ic*dp.mul + m
+						acc := b32[oc]
+						for ky := 0; ky < g.kH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= g.inH {
+								continue
+							}
+							for kx := 0; kx < g.kW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= g.inW {
+									continue
+								}
+								sIdx := ((b*g.inH+iy)*g.inW+ix)*g.inC + ic
+								wIdx := (ky*g.kW+kx)*g.outC + oc
+								acc += (int32(src[sIdx]) - lp.inZP) * int32(flt[wIdx])
+							}
+						}
+						dst[dBase+oc] = int8(clampInt32(lp.mult.Apply(acc)+lp.outZP, lp.lo, lp.hi))
+					}
+				}
+			}
+		}
+	}
+}

@@ -120,6 +120,36 @@ type Model struct {
 // graph caught at validation time).
 func (m *Model) Tensor(i int) *Tensor { return m.Tensors[i] }
 
+// Clone returns a copy of the model that shares constant (weight/bias)
+// tensors with the receiver but carries fresh, unallocated non-constant
+// tensors. Weights are immutable at inference time, so multiple
+// interpreters — one per pipeline worker — can run concurrently over clones
+// of one model without duplicating the weight storage.
+func (m *Model) Clone() *Model {
+	out := &Model{
+		Description: m.Description,
+		Version:     m.Version,
+		Tensors:     make([]*Tensor, len(m.Tensors)),
+		Nodes:       append([]Node(nil), m.Nodes...),
+		Inputs:      append([]int(nil), m.Inputs...),
+		Outputs:     append([]int(nil), m.Outputs...),
+	}
+	for i, t := range m.Tensors {
+		if t.IsConst {
+			out.Tensors[i] = t
+			continue
+		}
+		out.Tensors[i] = &Tensor{
+			Name:        t.Name,
+			Type:        t.Type,
+			Shape:       append([]int(nil), t.Shape...),
+			Quant:       t.Quant,
+			ArenaOffset: -1,
+		}
+	}
+	return out
+}
+
 // Validate checks structural invariants: index ranges, constant tensors
 // allocated, non-constant tensors produced before use, IO lists sane.
 func (m *Model) Validate() error {

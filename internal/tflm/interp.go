@@ -12,17 +12,35 @@ type Meter interface {
 	Charge(cycles uint64)
 }
 
-// Interpreter executes a model. It owns the arena plan and the allocated
-// activation tensors; one interpreter serves repeated Invoke calls, exactly
-// like TFLM's MicroInterpreter.
+// Interpreter executes a model. It owns the arena plan, the allocated
+// activation tensors, and all kernel scratch; one interpreter serves
+// repeated Invoke calls, exactly like TFLM's MicroInterpreter.
+//
+// At construction the interpreter "preps" every node it can: requantization
+// multipliers are decomposed once, per-filter zero-point corrections
+// (bias[oc] - inZP·Σw[oc]) are folded into accumulator seeds, and the
+// im2col/softmax scratch is sized to the largest node. Invoke therefore
+// performs no heap allocation and no floating-point requant setup on the
+// hot path. Prep assumes constant tensors are immutable after construction
+// (they are baked into the model); nodes that cannot be prepped — exotic
+// shapes, missing quantization — fall back to the unprepped dispatch path
+// with identical error behavior.
 type Interpreter struct {
 	model *Model
 	plan  *ArenaPlan
 	meter Meter
+	// execs[i] runs node i through its prepped fast path; nil entries fall
+	// back to evalNode.
+	execs []func() error
+	// Shared kernel scratch, sized at plan time to the largest consumer.
+	colI8    []int8
+	colF32   []float32
+	smLogits []float64
+	smProbs  []float64
 }
 
-// NewInterpreter validates the model, plans the arena, and allocates
-// activation storage.
+// NewInterpreter validates the model, plans the arena, allocates activation
+// storage, and preps the kernel fast paths.
 func NewInterpreter(m *Model) (*Interpreter, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -37,7 +55,134 @@ func NewInterpreter(m *Model) (*Interpreter, error) {
 	for ti := range plan.Offsets {
 		m.Tensors[ti].Alloc()
 	}
-	return &Interpreter{model: m, plan: plan}, nil
+	ip := &Interpreter{model: m, plan: plan}
+	ip.prepNodes()
+	return ip, nil
+}
+
+// prepNodes builds the per-node fast paths and sizes the shared scratch.
+// Prep failures are not errors: the node keeps a nil exec and Invoke runs
+// it through the generic dispatcher, which reports the same diagnostics the
+// unprepped engine would.
+func (ip *Interpreter) prepNodes() {
+	m := ip.model
+	ip.execs = make([]func() error, len(m.Nodes))
+	maxColI8, maxColF32, maxDepth := 0, 0, 0
+	for ni, n := range m.Nodes {
+		switch n.Op {
+		case OpConv2D:
+			p, ok := n.Params.(Conv2DParams)
+			if !ok {
+				continue
+			}
+			in, w, bias, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0])
+			g, err := resolveConvGeom(in, w, out, p)
+			if err != nil {
+				continue
+			}
+			switch in.Type {
+			case Int8:
+				// acc0 bakes weight/bias contents; only valid when both
+				// are model constants (graphs may legally produce them).
+				if !w.IsConst || !bias.IsConst {
+					continue
+				}
+				pr, err := prepLinearInt8(in, w, bias, out, p.Activation, g.outC, g.K)
+				if err != nil {
+					continue
+				}
+				// Out-of-int8-range zero points can't be packed as padding
+				// fill; leave such nodes on the exact scalar fallback.
+				if pr.inZP < -128 || pr.inZP > 127 {
+					continue
+				}
+				if g.colLen() > maxColI8 {
+					maxColI8 = g.colLen()
+				}
+				ip.execs[ni] = func() error {
+					convInt8Gemm(in, w, out, g, pr, ip.colI8)
+					return nil
+				}
+			case Float32:
+				if g.colLen() > maxColF32 {
+					maxColF32 = g.colLen()
+				}
+				ip.execs[ni] = func() error {
+					convFloatGemm(in, w, bias, out, g, p.Activation, ip.colF32)
+					return nil
+				}
+			}
+		case OpDepthwiseConv2D:
+			p, ok := n.Params.(Conv2DParams)
+			if !ok {
+				continue
+			}
+			in, w, bias, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0])
+			if !w.IsConst || !bias.IsConst {
+				continue
+			}
+			dp, err := prepDepthwiseInt8(in, w, bias, out, p)
+			if err != nil {
+				continue
+			}
+			ip.execs[ni] = func() error {
+				depthwiseInt8Opt(in, w, bias, out, dp)
+				return nil
+			}
+		case OpFullyConnected:
+			p, ok := n.Params.(FullyConnectedParams)
+			if !ok {
+				continue
+			}
+			in, w, bias, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0])
+			batches, outN, inN, err := fcGeom(in, w, out)
+			if err != nil {
+				continue
+			}
+			switch in.Type {
+			case Int8:
+				if !w.IsConst || !bias.IsConst {
+					continue
+				}
+				pr, err := prepLinearInt8(in, w, bias, out, p.Activation, outN, inN)
+				if err != nil {
+					continue
+				}
+				ip.execs[ni] = func() error {
+					gemmInt8Requant(batches, outN, inN, in.I8, w.I8, out.I8, pr)
+					return nil
+				}
+			case Float32:
+				ip.execs[ni] = func() error {
+					gemmFloat(batches, outN, inN, in.F32, w.F32, bias.F32, p.Activation, out.F32)
+					return nil
+				}
+			}
+		case OpSoftmax:
+			p, _ := n.Params.(SoftmaxParams)
+			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
+			if len(in.Shape) == 0 {
+				continue
+			}
+			depth := in.Shape[len(in.Shape)-1]
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			ip.execs[ni] = func() error {
+				return evalSoftmaxScratch(in, out, p, ip.smLogits, ip.smProbs)
+			}
+		}
+	}
+	if maxColI8 > 0 {
+		ip.colI8 = make([]int8, maxColI8)
+	}
+	if maxColF32 > 0 {
+		ip.colF32 = make([]float32, maxColF32)
+	}
+	if maxDepth > 0 {
+		ip.smLogits = make([]float64, maxDepth)
+		ip.smProbs = make([]float64, maxDepth)
+	}
 }
 
 // SetMeter routes per-op cycle costs to m (typically the enclave's core).
@@ -49,17 +194,30 @@ func (ip *Interpreter) Model() *Model { return ip.model }
 // ArenaSize returns the planned activation arena in bytes (peak RAM).
 func (ip *Interpreter) ArenaSize() int { return ip.plan.Total }
 
+// ScratchSize returns the bytes of kernel scratch (im2col columns, softmax
+// staging) the interpreter owns on top of the activation arena.
+func (ip *Interpreter) ScratchSize() int {
+	return len(ip.colI8) + 4*len(ip.colF32) + 8*len(ip.smLogits) + 8*len(ip.smProbs)
+}
+
 // Input returns the i-th model input tensor.
 func (ip *Interpreter) Input(i int) *Tensor { return ip.model.Tensors[ip.model.Inputs[i]] }
 
 // Output returns the i-th model output tensor.
 func (ip *Interpreter) Output(i int) *Tensor { return ip.model.Tensors[ip.model.Outputs[i]] }
 
-// Invoke runs the graph once over the current input contents.
+// Invoke runs the graph once over the current input contents. It performs
+// no heap allocations; all scratch was sized at plan time.
 func (ip *Interpreter) Invoke() error {
 	m := ip.model
 	for ni, n := range m.Nodes {
-		if err := ip.evalNode(n); err != nil {
+		var err error
+		if ex := ip.execs[ni]; ex != nil {
+			err = ex()
+		} else {
+			err = ip.evalNode(n)
+		}
+		if err != nil {
 			return fmt.Errorf("tflm: node %d (%v): %w", ni, n.Op, err)
 		}
 		if ip.meter != nil {
@@ -69,15 +227,18 @@ func (ip *Interpreter) Invoke() error {
 	return nil
 }
 
+// evalNode is the fallback for unprepped nodes. Linear ops run the scalar
+// reference kernels here: they are exact for any quantization, read live
+// (possibly graph-produced) weights, and allocate nothing per Invoke.
 func (ip *Interpreter) evalNode(n Node) error {
 	m := ip.model
 	switch n.Op {
 	case OpConv2D:
-		return evalConv2D(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(Conv2DParams))
+		return evalConv2DRef(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(Conv2DParams))
 	case OpDepthwiseConv2D:
-		return evalDepthwiseConv2D(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(Conv2DParams))
+		return evalDepthwiseConv2DRef(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(Conv2DParams))
 	case OpFullyConnected:
-		return evalFullyConnected(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(FullyConnectedParams))
+		return evalFullyConnectedRef(m.Tensor(n.Inputs[0]), m.Tensor(n.Inputs[1]), m.Tensor(n.Inputs[2]), m.Tensor(n.Outputs[0]), n.Params.(FullyConnectedParams))
 	case OpSoftmax:
 		p, _ := n.Params.(SoftmaxParams)
 		return evalSoftmax(m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0]), p)
@@ -93,7 +254,9 @@ func (ip *Interpreter) evalNode(n Node) error {
 }
 
 // NodeCycles estimates the simulated-core cost of one operator application
-// using the calibrated hw cost model.
+// using the calibrated hw cost model. The cost model is a property of the
+// modeled device, not of the host kernels: the im2col/GEMM rewrite speeds
+// up the simulator, it does not change the simulated cycle counts.
 func NodeCycles(m *Model, n Node) uint64 {
 	switch n.Op {
 	case OpConv2D, OpDepthwiseConv2D, OpFullyConnected:
@@ -124,31 +287,35 @@ func InferenceCycles(m *Model) uint64 {
 }
 
 // Argmax returns the index of the maximum element of a rank-1-like tensor,
-// the classification decision rule of the keyword spotter.
+// the classification decision rule of the keyword spotter. A nil, empty, or
+// unallocated tensor yields -1.
 func Argmax(t *Tensor) int {
-	best := 0
+	if t == nil {
+		return -1
+	}
+	best := -1
 	switch t.Type {
 	case Int8:
 		for i, v := range t.I8 {
-			if v > t.I8[best] {
+			if best < 0 || v > t.I8[best] {
 				best = i
 			}
 		}
 	case UInt8:
 		for i, v := range t.U8 {
-			if v > t.U8[best] {
+			if best < 0 || v > t.U8[best] {
 				best = i
 			}
 		}
 	case Float32:
 		for i, v := range t.F32 {
-			if v > t.F32[best] {
+			if best < 0 || v > t.F32[best] {
 				best = i
 			}
 		}
 	case Int32:
 		for i, v := range t.I32 {
-			if v > t.I32[best] {
+			if best < 0 || v > t.I32[best] {
 				best = i
 			}
 		}

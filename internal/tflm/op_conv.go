@@ -3,7 +3,9 @@ package tflm
 import "fmt"
 
 // evalConv2D dispatches Conv2D on dtype. Tensors: input NHWC, filter OHWI,
-// bias [O] (int32 for quantized, float32 for float), output NHWC.
+// bias [O] (int32 for quantized, float32 for float), output NHWC. Both
+// dtypes run the im2col+GEMM kernels from gemm.go; the scalar originals
+// live in op_ref.go and the two are kept bit-exact by tests.
 func evalConv2D(in, w, bias, out *Tensor, p Conv2DParams) error {
 	if p.StrideH <= 0 || p.StrideW <= 0 {
 		return fmt.Errorf("tflm: Conv2D stride %dx%d invalid", p.StrideH, p.StrideW)
@@ -21,164 +23,44 @@ func evalConv2D(in, w, bias, out *Tensor, p Conv2DParams) error {
 	}
 }
 
+// evalConv2DInt8 is the standalone entry point: it preps and allocates its
+// own im2col scratch per call. The interpreter instead preps once at plan
+// time and reuses its arena-owned scratch (see interp.go).
 func evalConv2DInt8(in, w, bias, out *Tensor, p Conv2DParams) error {
-	batches, inH, inW, inC := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
-	outC, kH, kW := w.Dim(0), w.Dim(1), w.Dim(2)
-	outH, padT := convOutputSize(inH, kH, p.StrideH, p.Padding)
-	outW, padL := convOutputSize(inW, kW, p.StrideW, p.Padding)
-	if !out.ShapeEquals([]int{batches, outH, outW, outC}) {
-		return fmt.Errorf("tflm: Conv2D output shape %v, want %v", out.Shape, []int{batches, outH, outW, outC})
-	}
-	mult, err := requantMultiplier(in, w, out)
+	g, err := resolveConvGeom(in, w, out, p)
 	if err != nil {
 		return err
 	}
-	inZP := in.Quant.ZeroPoint
-	outZP := out.Quant.ZeroPoint
-	lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
-
-	src, flt, dst := in.I8, w.I8, out.I8
-	b32 := bias.I32
-	oi := 0
-	for b := 0; b < batches; b++ {
-		for oy := 0; oy < outH; oy++ {
-			iy0 := oy*p.StrideH - padT
-			for ox := 0; ox < outW; ox++ {
-				ix0 := ox*p.StrideW - padL
-				for oc := 0; oc < outC; oc++ {
-					acc := b32[oc]
-					wBase := oc * kH * kW * inC
-					for ky := 0; ky < kH; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= inH {
-							continue
-						}
-						for kx := 0; kx < kW; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= inW {
-								continue
-							}
-							sBase := ((b*inH+iy)*inW + ix) * inC
-							wRow := wBase + (ky*kW+kx)*inC
-							for ic := 0; ic < inC; ic++ {
-								acc += (int32(src[sBase+ic]) - inZP) * int32(flt[wRow+ic])
-							}
-						}
-					}
-					v := clampInt32(mult.Apply(acc)+outZP, lo, hi)
-					dst[oi] = int8(v)
-					oi++
-				}
-			}
-		}
+	pr, err := prepLinearInt8(in, w, bias, out, p.Activation, g.outC, g.K)
+	if err != nil {
+		return err
 	}
+	// The im2col packer fills padding with the zero point as an int8;
+	// models with an out-of-range ZP (legal int32 in QuantParams, nothing
+	// validates it) keep the exact scalar path.
+	if pr.inZP < -128 || pr.inZP > 127 {
+		return evalConv2DInt8Ref(in, w, bias, out, p)
+	}
+	convInt8Gemm(in, w, out, g, pr, make([]int8, g.colLen()))
 	return nil
 }
 
 func evalConv2DFloat(in, w, bias, out *Tensor, p Conv2DParams) error {
-	batches, inH, inW, inC := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
-	outC, kH, kW := w.Dim(0), w.Dim(1), w.Dim(2)
-	outH, padT := convOutputSize(inH, kH, p.StrideH, p.Padding)
-	outW, padL := convOutputSize(inW, kW, p.StrideW, p.Padding)
-	if !out.ShapeEquals([]int{batches, outH, outW, outC}) {
-		return fmt.Errorf("tflm: Conv2D output shape %v, want %v", out.Shape, []int{batches, outH, outW, outC})
+	g, err := resolveConvGeom(in, w, out, p)
+	if err != nil {
+		return err
 	}
-	src, flt, dst, b32 := in.F32, w.F32, out.F32, bias.F32
-	oi := 0
-	for b := 0; b < batches; b++ {
-		for oy := 0; oy < outH; oy++ {
-			iy0 := oy*p.StrideH - padT
-			for ox := 0; ox < outW; ox++ {
-				ix0 := ox*p.StrideW - padL
-				for oc := 0; oc < outC; oc++ {
-					acc := b32[oc]
-					wBase := oc * kH * kW * inC
-					for ky := 0; ky < kH; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= inH {
-							continue
-						}
-						for kx := 0; kx < kW; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= inW {
-								continue
-							}
-							sBase := ((b*inH+iy)*inW + ix) * inC
-							wRow := wBase + (ky*kW+kx)*inC
-							for ic := 0; ic < inC; ic++ {
-								acc += src[sBase+ic] * flt[wRow+ic]
-							}
-						}
-					}
-					dst[oi] = activationApplyFloat(p.Activation, acc)
-					oi++
-				}
-			}
-		}
-	}
+	convFloatGemm(in, w, bias, out, g, p.Activation, make([]float32, g.colLen()))
 	return nil
 }
 
 // evalDepthwiseConv2D implements DepthwiseConv2D. The filter is [1, kH, kW,
 // outC] where outC = inC * DepthMultiplier.
 func evalDepthwiseConv2D(in, w, bias, out *Tensor, p Conv2DParams) error {
-	if p.StrideH <= 0 || p.StrideW <= 0 {
-		return fmt.Errorf("tflm: DepthwiseConv2D stride %dx%d invalid", p.StrideH, p.StrideW)
-	}
-	mul := p.DepthMultiplier
-	if mul <= 0 {
-		mul = 1
-	}
-	batches, inH, inW, inC := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
-	kH, kW, outC := w.Dim(1), w.Dim(2), w.Dim(3)
-	if outC != inC*mul {
-		return fmt.Errorf("tflm: DepthwiseConv2D filter channels %d != %d*%d", outC, inC, mul)
-	}
-	outH, padT := convOutputSize(inH, kH, p.StrideH, p.Padding)
-	outW, padL := convOutputSize(inW, kW, p.StrideW, p.Padding)
-	if !out.ShapeEquals([]int{batches, outH, outW, outC}) {
-		return fmt.Errorf("tflm: DepthwiseConv2D output shape %v, want %v", out.Shape, []int{batches, outH, outW, outC})
-	}
-	if in.Type != Int8 {
-		return fmt.Errorf("tflm: DepthwiseConv2D unsupported input type %v", in.Type)
-	}
-	mult, err := requantMultiplier(in, w, out)
+	dp, err := prepDepthwiseInt8(in, w, bias, out, p)
 	if err != nil {
 		return err
 	}
-	inZP, outZP := in.Quant.ZeroPoint, out.Quant.ZeroPoint
-	lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
-	src, flt, dst, b32 := in.I8, w.I8, out.I8, bias.I32
-	for b := 0; b < batches; b++ {
-		for oy := 0; oy < outH; oy++ {
-			iy0 := oy*p.StrideH - padT
-			for ox := 0; ox < outW; ox++ {
-				ix0 := ox*p.StrideW - padL
-				for ic := 0; ic < inC; ic++ {
-					for m := 0; m < mul; m++ {
-						oc := ic*mul + m
-						acc := b32[oc]
-						for ky := 0; ky < kH; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= inH {
-								continue
-							}
-							for kx := 0; kx < kW; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= inW {
-									continue
-								}
-								sIdx := ((b*inH+iy)*inW+ix)*inC + ic
-								wIdx := (ky*kW+kx)*outC + oc
-								acc += (int32(src[sIdx]) - inZP) * int32(flt[wIdx])
-							}
-						}
-						v := clampInt32(mult.Apply(acc)+outZP, lo, hi)
-						dst[((b*outH+oy)*outW+ox)*outC+oc] = int8(v)
-					}
-				}
-			}
-		}
-	}
+	depthwiseInt8Opt(in, w, bias, out, dp)
 	return nil
 }

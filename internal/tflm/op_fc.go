@@ -2,52 +2,39 @@ package tflm
 
 import "fmt"
 
-// evalFullyConnected computes out[b,o] = act(Σ_i in[b,i]·w[o,i] + bias[o]).
-// Weights are [outN, inN]; the input's trailing dimensions are flattened.
-func evalFullyConnected(in, w, bias, out *Tensor, p FullyConnectedParams) error {
-	outN, inN := w.Dim(0), w.Dim(1)
+// fcGeom resolves FullyConnected shapes: weights [outN, inN], the input's
+// trailing dimensions flattened into batches of inN.
+func fcGeom(in, w, out *Tensor) (batches, outN, inN int, err error) {
+	outN, inN = w.Dim(0), w.Dim(1)
 	total := in.NumElements()
 	if total%inN != 0 {
-		return fmt.Errorf("tflm: FullyConnected input %d elements not divisible by %d", total, inN)
+		return 0, 0, 0, fmt.Errorf("tflm: FullyConnected input %d elements not divisible by %d", total, inN)
 	}
-	batches := total / inN
+	batches = total / inN
 	if out.NumElements() != batches*outN {
-		return fmt.Errorf("tflm: FullyConnected output %v, want %d×%d", out.Shape, batches, outN)
+		return 0, 0, 0, fmt.Errorf("tflm: FullyConnected output %v, want %d×%d", out.Shape, batches, outN)
+	}
+	return batches, outN, inN, nil
+}
+
+// evalFullyConnected computes out[b,o] = act(Σ_i in[b,i]·w[o,i] + bias[o]).
+// The input already is the GEMM A matrix (batches × inN rows), so both
+// dtypes go straight to the gemm.go primitives without packing.
+func evalFullyConnected(in, w, bias, out *Tensor, p FullyConnectedParams) error {
+	batches, outN, inN, err := fcGeom(in, w, out)
+	if err != nil {
+		return err
 	}
 	switch in.Type {
 	case Int8:
-		mult, err := requantMultiplier(in, w, out)
+		pr, err := prepLinearInt8(in, w, bias, out, p.Activation, outN, inN)
 		if err != nil {
 			return err
 		}
-		inZP, outZP := in.Quant.ZeroPoint, out.Quant.ZeroPoint
-		lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
-		src, flt, dst, b32 := in.I8, w.I8, out.I8, bias.I32
-		for b := 0; b < batches; b++ {
-			sBase := b * inN
-			for o := 0; o < outN; o++ {
-				acc := b32[o]
-				wBase := o * inN
-				for i := 0; i < inN; i++ {
-					acc += (int32(src[sBase+i]) - inZP) * int32(flt[wBase+i])
-				}
-				dst[b*outN+o] = int8(clampInt32(mult.Apply(acc)+outZP, lo, hi))
-			}
-		}
+		gemmInt8Requant(batches, outN, inN, in.I8, w.I8, out.I8, pr)
 		return nil
 	case Float32:
-		src, flt, dst, b32 := in.F32, w.F32, out.F32, bias.F32
-		for b := 0; b < batches; b++ {
-			sBase := b * inN
-			for o := 0; o < outN; o++ {
-				acc := b32[o]
-				wBase := o * inN
-				for i := 0; i < inN; i++ {
-					acc += src[sBase+i] * flt[wBase+i]
-				}
-				dst[b*outN+o] = activationApplyFloat(p.Activation, acc)
-			}
-		}
+		gemmFloat(batches, outN, inN, in.F32, w.F32, bias.F32, p.Activation, out.F32)
 		return nil
 	default:
 		return fmt.Errorf("tflm: FullyConnected unsupported input type %v", in.Type)

@@ -44,6 +44,14 @@ func evalRelu(in, out *Tensor) error {
 // LUT, a substitution that changes results by <1 quantum and is documented
 // in DESIGN.md.
 func evalSoftmax(in, out *Tensor, p SoftmaxParams) error {
+	depth := in.Shape[len(in.Shape)-1]
+	return evalSoftmaxScratch(in, out, p, make([]float64, depth), make([]float64, depth))
+}
+
+// evalSoftmaxScratch is evalSoftmax with caller-owned staging buffers (at
+// least depth elements each); the interpreter passes its plan-time scratch
+// so Invoke stays allocation-free.
+func evalSoftmaxScratch(in, out *Tensor, p SoftmaxParams, logits, probs []float64) error {
 	if in.NumElements() != out.NumElements() {
 		return fmt.Errorf("tflm: Softmax shape mismatch %v vs %v", in.Shape, out.Shape)
 	}
@@ -53,9 +61,8 @@ func evalSoftmax(in, out *Tensor, p SoftmaxParams) error {
 	}
 	depth := in.Shape[len(in.Shape)-1]
 	outer := in.NumElements() / depth
-
-	logits := make([]float64, depth)
-	probs := make([]float64, depth)
+	logits = logits[:depth]
+	probs = probs[:depth]
 	for b := 0; b < outer; b++ {
 		switch in.Type {
 		case Int8:

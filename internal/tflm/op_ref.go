@@ -1,0 +1,242 @@
+package tflm
+
+import "fmt"
+
+// Reference kernels: the original scalar implementations of Conv2D,
+// DepthwiseConv2D and FullyConnected, kept verbatim as the semantic ground
+// truth for the optimized im2col/GEMM kernels in gemm.go. Every optimized
+// kernel must stay bit-exact against its reference; kernels_equiv_test.go
+// enforces this over randomized shapes, paddings, strides and activations.
+// New ops must follow the same pattern: land a reference kernel first, then
+// an optimized one that is tested against it.
+
+// evalConv2DRef dispatches to the scalar reference kernels with the same
+// validation order as evalConv2D. The interpreter routes unprepped nodes
+// here, so the fallback path costs exactly what the seed engine did — no
+// per-Invoke prep or im2col scratch allocation.
+func evalConv2DRef(in, w, bias, out *Tensor, p Conv2DParams) error {
+	if p.StrideH <= 0 || p.StrideW <= 0 {
+		return fmt.Errorf("tflm: Conv2D stride %dx%d invalid", p.StrideH, p.StrideW)
+	}
+	if w.Dim(3) != in.Dim(3) {
+		return fmt.Errorf("tflm: Conv2D filter input channels %d != input channels %d", w.Dim(3), in.Dim(3))
+	}
+	switch in.Type {
+	case Int8:
+		return evalConv2DInt8Ref(in, w, bias, out, p)
+	case Float32:
+		return evalConv2DFloatRef(in, w, bias, out, p)
+	default:
+		return fmt.Errorf("tflm: Conv2D unsupported input type %v", in.Type)
+	}
+}
+
+func evalConv2DInt8Ref(in, w, bias, out *Tensor, p Conv2DParams) error {
+	batches, inH, inW, inC := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	outC, kH, kW := w.Dim(0), w.Dim(1), w.Dim(2)
+	outH, padT := convOutputSize(inH, kH, p.StrideH, p.Padding)
+	outW, padL := convOutputSize(inW, kW, p.StrideW, p.Padding)
+	if !out.ShapeEquals([]int{batches, outH, outW, outC}) {
+		return fmt.Errorf("tflm: Conv2D output shape %v, want %v", out.Shape, []int{batches, outH, outW, outC})
+	}
+	mult, err := requantMultiplier(in, w, out)
+	if err != nil {
+		return err
+	}
+	inZP := in.Quant.ZeroPoint
+	outZP := out.Quant.ZeroPoint
+	lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
+
+	src, flt, dst := in.I8, w.I8, out.I8
+	b32 := bias.I32
+	oi := 0
+	for b := 0; b < batches; b++ {
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*p.StrideH - padT
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*p.StrideW - padL
+				for oc := 0; oc < outC; oc++ {
+					acc := b32[oc]
+					wBase := oc * kH * kW * inC
+					for ky := 0; ky < kH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < kW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							sBase := ((b*inH+iy)*inW + ix) * inC
+							wRow := wBase + (ky*kW+kx)*inC
+							for ic := 0; ic < inC; ic++ {
+								acc += (int32(src[sBase+ic]) - inZP) * int32(flt[wRow+ic])
+							}
+						}
+					}
+					v := clampInt32(mult.Apply(acc)+outZP, lo, hi)
+					dst[oi] = int8(v)
+					oi++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func evalConv2DFloatRef(in, w, bias, out *Tensor, p Conv2DParams) error {
+	batches, inH, inW, inC := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	outC, kH, kW := w.Dim(0), w.Dim(1), w.Dim(2)
+	outH, padT := convOutputSize(inH, kH, p.StrideH, p.Padding)
+	outW, padL := convOutputSize(inW, kW, p.StrideW, p.Padding)
+	if !out.ShapeEquals([]int{batches, outH, outW, outC}) {
+		return fmt.Errorf("tflm: Conv2D output shape %v, want %v", out.Shape, []int{batches, outH, outW, outC})
+	}
+	src, flt, dst, b32 := in.F32, w.F32, out.F32, bias.F32
+	oi := 0
+	for b := 0; b < batches; b++ {
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*p.StrideH - padT
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*p.StrideW - padL
+				for oc := 0; oc < outC; oc++ {
+					acc := b32[oc]
+					wBase := oc * kH * kW * inC
+					for ky := 0; ky < kH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < kW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							sBase := ((b*inH+iy)*inW + ix) * inC
+							wRow := wBase + (ky*kW+kx)*inC
+							for ic := 0; ic < inC; ic++ {
+								acc += src[sBase+ic] * flt[wRow+ic]
+							}
+						}
+					}
+					dst[oi] = activationApplyFloat(p.Activation, acc)
+					oi++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func evalDepthwiseConv2DRef(in, w, bias, out *Tensor, p Conv2DParams) error {
+	if p.StrideH <= 0 || p.StrideW <= 0 {
+		return fmt.Errorf("tflm: DepthwiseConv2D stride %dx%d invalid", p.StrideH, p.StrideW)
+	}
+	mul := p.DepthMultiplier
+	if mul <= 0 {
+		mul = 1
+	}
+	batches, inH, inW, inC := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	kH, kW, outC := w.Dim(1), w.Dim(2), w.Dim(3)
+	if outC != inC*mul {
+		return fmt.Errorf("tflm: DepthwiseConv2D filter channels %d != %d*%d", outC, inC, mul)
+	}
+	outH, padT := convOutputSize(inH, kH, p.StrideH, p.Padding)
+	outW, padL := convOutputSize(inW, kW, p.StrideW, p.Padding)
+	if !out.ShapeEquals([]int{batches, outH, outW, outC}) {
+		return fmt.Errorf("tflm: DepthwiseConv2D output shape %v, want %v", out.Shape, []int{batches, outH, outW, outC})
+	}
+	if in.Type != Int8 {
+		return fmt.Errorf("tflm: DepthwiseConv2D unsupported input type %v", in.Type)
+	}
+	mult, err := requantMultiplier(in, w, out)
+	if err != nil {
+		return err
+	}
+	inZP, outZP := in.Quant.ZeroPoint, out.Quant.ZeroPoint
+	lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
+	src, flt, dst, b32 := in.I8, w.I8, out.I8, bias.I32
+	for b := 0; b < batches; b++ {
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*p.StrideH - padT
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*p.StrideW - padL
+				for ic := 0; ic < inC; ic++ {
+					for m := 0; m < mul; m++ {
+						oc := ic*mul + m
+						acc := b32[oc]
+						for ky := 0; ky < kH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= inH {
+								continue
+							}
+							for kx := 0; kx < kW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= inW {
+									continue
+								}
+								sIdx := ((b*inH+iy)*inW+ix)*inC + ic
+								wIdx := (ky*kW+kx)*outC + oc
+								acc += (int32(src[sIdx]) - inZP) * int32(flt[wIdx])
+							}
+						}
+						v := clampInt32(mult.Apply(acc)+outZP, lo, hi)
+						dst[((b*outH+oy)*outW+ox)*outC+oc] = int8(v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func evalFullyConnectedRef(in, w, bias, out *Tensor, p FullyConnectedParams) error {
+	outN, inN := w.Dim(0), w.Dim(1)
+	total := in.NumElements()
+	if total%inN != 0 {
+		return fmt.Errorf("tflm: FullyConnected input %d elements not divisible by %d", total, inN)
+	}
+	batches := total / inN
+	if out.NumElements() != batches*outN {
+		return fmt.Errorf("tflm: FullyConnected output %v, want %d×%d", out.Shape, batches, outN)
+	}
+	switch in.Type {
+	case Int8:
+		mult, err := requantMultiplier(in, w, out)
+		if err != nil {
+			return err
+		}
+		inZP, outZP := in.Quant.ZeroPoint, out.Quant.ZeroPoint
+		lo, hi := activationRangeQuantized(p.Activation, *out.Quant)
+		src, flt, dst, b32 := in.I8, w.I8, out.I8, bias.I32
+		for b := 0; b < batches; b++ {
+			sBase := b * inN
+			for o := 0; o < outN; o++ {
+				acc := b32[o]
+				wBase := o * inN
+				for i := 0; i < inN; i++ {
+					acc += (int32(src[sBase+i]) - inZP) * int32(flt[wBase+i])
+				}
+				dst[b*outN+o] = int8(clampInt32(mult.Apply(acc)+outZP, lo, hi))
+			}
+		}
+		return nil
+	case Float32:
+		src, flt, dst, b32 := in.F32, w.F32, out.F32, bias.F32
+		for b := 0; b < batches; b++ {
+			sBase := b * inN
+			for o := 0; o < outN; o++ {
+				acc := b32[o]
+				wBase := o * inN
+				for i := 0; i < inN; i++ {
+					acc += src[sBase+i] * flt[wBase+i]
+				}
+				dst[b*outN+o] = activationApplyFloat(p.Activation, acc)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("tflm: FullyConnected unsupported input type %v", in.Type)
+	}
+}
