@@ -1,11 +1,22 @@
 # Build/test/verification entry points. `make ci` is the tier-1 gate:
-# build + vet + gofmt cleanliness + tests.
+# build + vet + gofmt cleanliness + tests. `make help` lists everything.
 
 GO ?= go
+REV := $(shell git rev-parse --short HEAD)
 
-.PHONY: all build test vet fmt-check bench ci
+.PHONY: all help build test vet fmt-check bench bench-save bench-cmp ci
 
 all: build
+
+help:
+	@echo "make build       compile all packages"
+	@echo "make test        run the test suite"
+	@echo "make vet         go vet"
+	@echo "make fmt-check   fail if gofmt would change anything"
+	@echo "make bench       run hot-path + evaluation benchmarks (-benchmem)"
+	@echo "make bench-save  run benchmarks and save BENCH_<rev>.json (perf trajectory)"
+	@echo "make bench-cmp   diff two saved runs: make bench-cmp BASE=BENCH_a.json HEAD=BENCH_b.json"
+	@echo "make ci          tier-1 gate: build + vet + fmt-check + test"
 
 build:
 	$(GO) build ./...
@@ -24,6 +35,16 @@ fmt-check:
 # Hot-path and evaluation benchmarks with allocation reporting.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Snapshot the benchmarks as BENCH_<rev>.json so regressions are diffable
+# PR over PR (cmd/benchjson parses the go test output to JSON).
+bench-save:
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -save BENCH_$(REV).json
+
+# Compare two saved snapshots: make bench-cmp BASE=BENCH_old.json HEAD=BENCH_new.json
+bench-cmp:
+	@test -n "$(BASE)" -a -n "$(HEAD)" || { echo "usage: make bench-cmp BASE=old.json HEAD=new.json"; exit 2; }
+	$(GO) run ./cmd/benchjson -cmp $(BASE) $(HEAD)
 
 ci: build vet fmt-check test
 	@echo "ci: OK"

@@ -471,6 +471,190 @@ func BenchmarkBatchInference(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingExtract contrasts the steady-state incremental frontend
+// against full fingerprint recomputation, per 20 ms hop: "full" runs
+// ExtractInto over the whole one-second window for every hop, "streamer"
+// pays one FFT plus ring rotation. The ISSUE acceptance bar is ≥10× and
+// 0 allocs/op for the streamer.
+func BenchmarkStreamingExtract(b *testing.B) {
+	fixture(b)
+	cfg := dsp.DefaultFrontend()
+	utt := cfg.UtteranceSamples()
+	hop := cfg.StrideSamples
+	signal := make([]int16, 4*utt)
+	for i := 0; i < len(signal); i += len(fixUtt) {
+		copy(signal[i:], fixUtt)
+	}
+	b.Run("full", func(b *testing.B) {
+		fe, err := dsp.NewFrontend(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]uint8, cfg.FingerprintLen())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (i % ((len(signal) - utt) / hop)) * hop
+			fe.ExtractInto(dst, signal[off:off+utt])
+		}
+	})
+	b.Run("streamer", func(b *testing.B) {
+		fe, err := dsp.NewFrontend(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := dsp.NewStreamer(fe)
+		st.Push(signal[:utt])
+		dst := make([]uint8, cfg.FingerprintLen())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := utt + (i%((len(signal)-utt)/hop))*hop
+			st.Push(signal[off : off+hop])
+			st.Fingerprint(dst)
+		}
+	})
+}
+
+// BenchmarkServerThroughput measures the persistent submission queue at the
+// same batch/worker points as BenchmarkBatchInference — the acceptance bar
+// is parity or better, since RunBatch is now a wrapper over this path.
+func BenchmarkServerThroughput(b *testing.B) {
+	fixture(b)
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+	const batch = 64
+	utts := make([][]int16, batch)
+	for i := range utts {
+		utts[i] = gen.Example(i%speechcmd.NumLabels, i/speechcmd.NumLabels, 0).Samples
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv, err := core.NewServer(model, core.ServerConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			tickets := make([]*core.Pending, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, u := range utts {
+					p, err := srv.Submit(u)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tickets[j] = p
+				}
+				for _, p := range tickets {
+					if r := p.Wait(); r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "utt/s")
+		})
+	}
+}
+
+// BenchmarkStreamingServer measures steady-state streamed hops through the
+// persistent queue: per-op is one 20 ms hop (1 FFT + one inference).
+func BenchmarkStreamingServer(b *testing.B) {
+	fixture(b)
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dsp.DefaultFrontend()
+	utt := cfg.UtteranceSamples()
+	hop := cfg.StrideSamples
+	signal := make([]int16, 4*utt)
+	for i := 0; i < len(signal); i += len(fixUtt) {
+		copy(signal[i:], fixUtt)
+	}
+	srv, err := core.NewServer(model, core.ServerConfig{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	stream, err := srv.OpenStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.SubmitStream(stream, signal[:utt]); err != nil {
+		b.Fatal(err)
+	}
+	var tail []*core.Pending
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := utt + (i%((len(signal)-utt)/hop))*hop
+		tickets, err := srv.SubmitStream(stream, signal[off:off+hop])
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail = append(tail, tickets...)
+		for len(tail) > srv.Workers() {
+			if r := tail[0].Wait(); r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			tail = tail[1:]
+		}
+	}
+	for _, p := range tail {
+		if r := p.Wait(); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkQueryBatch compares the enclave operation phase one query at a
+// time against QueryBatch amortizing a whole batch over a single enclave
+// Run (E12's third tier; sim-ms reports simulated enclave-core time).
+func BenchmarkQueryBatch(b *testing.B) {
+	const batch = 16
+	b.Run("serial", func(b *testing.B) {
+		s := benchSession(b, "qb-serial")
+		encCore := s.App.Enclave().Core()
+		encCore.ResetCycles()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < batch; q++ {
+				s.Device.Speak(fixUtt)
+			}
+			for q := 0; q < batch; q++ {
+				if _, err := s.Query(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(encCore.Elapsed().Microseconds())/1000/float64(b.N*batch), "sim-ms/query")
+	})
+	b.Run("batched", func(b *testing.B) {
+		s := benchSession(b, "qb-batched")
+		encCore := s.App.Enclave().Core()
+		encCore.ResetCycles()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < batch; q++ {
+				s.Device.Speak(fixUtt)
+			}
+			if _, err := s.App.QueryBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(encCore.Elapsed().Microseconds())/1000/float64(b.N*batch), "sim-ms/query")
+	})
+}
+
 // BenchmarkTrainEpoch measures one SGD epoch of the float tiny_conv on a
 // small corpus (the §VI training pipeline).
 func BenchmarkTrainEpoch(b *testing.B) {

@@ -1,0 +1,188 @@
+// Command benchjson converts `go test -bench -benchmem` output to JSON and
+// diffs two saved files, so the repository's performance trajectory is
+// tracked PR over PR (make bench-save / make bench-cmp).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -save BENCH_abc123.json
+//	benchjson -cmp BENCH_old.json BENCH_new.json
+//
+// The diff lists every benchmark present in both files with the ns/op
+// delta; changes beyond ±10% are flagged. Benchmarks appearing on only one
+// side are reported as added/removed. -cmp exits 0 regardless of deltas —
+// it informs, the reader judges.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "value unit" pair of the line: B/op,
+	// allocs/op, and custom ReportMetric units (utt/s, sim-ms/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the saved benchmark snapshot.
+type File struct {
+	// Context lines (goos/goarch/pkg/cpu) from the bench run header.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			f.Context[k] = strings.TrimSpace(v)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: bad value %q", b.Name, fields[i])
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = val
+			} else {
+				b.Metrics[fields[i+1]] = val
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return f, nil
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Compare renders the old→new delta report.
+func Compare(w io.Writer, oldF, newF *File) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]Benchmark{}
+	var names []string
+	for _, b := range newF.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %14s %14.0f %9s\n", name, "-", nb.NsPerOp, "added")
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		flag := ""
+		if delta <= -10 {
+			flag = "  (faster)"
+		} else if delta >= 10 {
+			flag = "  (SLOWER)"
+		}
+		fmt.Fprintf(w, "%-55s %14.0f %14.0f %+8.1f%%%s\n", name, ob.NsPerOp, nb.NsPerOp, delta, flag)
+	}
+	for _, b := range oldF.Benchmarks {
+		if _, ok := newBy[b.Name]; !ok {
+			fmt.Fprintf(w, "%-55s %14.0f %14s %9s\n", b.Name, b.NsPerOp, "-", "removed")
+		}
+	}
+}
+
+func main() {
+	save := flag.String("save", "", "parse bench output on stdin and write JSON to this file")
+	cmp := flag.Bool("cmp", false, "compare two saved JSON files: benchjson -cmp OLD NEW")
+	flag.Parse()
+
+	switch {
+	case *save != "":
+		f, err := Parse(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*save, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *save)
+	case *cmp:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -cmp OLD.json NEW.json")
+			os.Exit(2)
+		}
+		oldF, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		newF, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		Compare(os.Stdout, oldF, newF)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchjson -save FILE < bench-output | benchjson -cmp OLD NEW")
+		os.Exit(2)
+	}
+}

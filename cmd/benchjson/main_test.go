@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamingExtract/full-4         	    2016	    572534 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStreamingExtract/streamer-4     	   98241	     11443 ns/op	       0 B/op	       0 allocs/op
+BenchmarkQueryBatch/serial-4             	      75	  16269036 ns/op	         4.082 sim-ms/query	 3382030 B/op	     105 allocs/op
+BenchmarkBatchInference/workers=4-4      	     100	   9000000 ns/op	      7111 utt/s	     120 B/op	       3 allocs/op
+PASS
+ok  	repro	6.773s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+	if f.Context["goos"] != "linux" || !strings.Contains(f.Context["cpu"], "Xeon") {
+		t.Fatalf("context not captured: %v", f.Context)
+	}
+	full := f.Benchmarks[0]
+	if full.Name != "BenchmarkStreamingExtract/full-4" || full.Iters != 2016 || full.NsPerOp != 572534 {
+		t.Fatalf("first benchmark misparsed: %+v", full)
+	}
+	if full.Metrics["allocs/op"] != 0 || full.Metrics["B/op"] != 0 {
+		t.Fatalf("benchmem metrics misparsed: %+v", full.Metrics)
+	}
+	qb := f.Benchmarks[2]
+	if qb.Metrics["sim-ms/query"] != 4.082 {
+		t.Fatalf("custom metric misparsed: %+v", qb.Metrics)
+	}
+	if f.Benchmarks[3].Metrics["utt/s"] != 7111 {
+		t.Fatalf("throughput metric misparsed: %+v", f.Benchmarks[3].Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", NsPerOp: 1000},
+		{Name: "BenchmarkB-4", NsPerOp: 2000},
+		{Name: "BenchmarkGone-4", NsPerOp: 5},
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-4", NsPerOp: 800},  // −20%: flagged faster
+		{Name: "BenchmarkB-4", NsPerOp: 2300}, // +15%: flagged slower
+		{Name: "BenchmarkNew-4", NsPerOp: 7},
+	}}
+	var sb strings.Builder
+	Compare(&sb, oldF, newF)
+	out := sb.String()
+	for _, want := range []string{"(faster)", "(SLOWER)", "added", "removed", "-20.0%", "+15.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -28,11 +28,29 @@
 // pair. The simulated-device cycle model (NodeCycles) is untouched by all
 // of this: host kernels are fast, modeled hardware costs are calibrated.
 //
-// # Batch serving
+// # Streaming serving
 //
-// internal/core.Pipeline is the host-throughput layer: a pool of workers,
-// each owning a private interpreter over a weight-sharing tflm.Model.Clone
-// plus a private zero-alloc DSP frontend (dsp.Frontend.ExtractInto), fans
-// batches of utterances across GOMAXPROCS workers via RunBatch. Experiment
-// E11 (omg-bench) and BenchmarkBatchInference measure its scaling.
+// internal/core.Server is the persistent host-throughput layer: long-lived
+// worker goroutines — each owning a private interpreter over a
+// weight-sharing tflm.Model.Clone plus a private zero-alloc DSP frontend —
+// fed by a buffered submission queue (Submit/TrySubmit for utterances,
+// OpenStream+SubmitStream for continuous audio, RunBatch for whole
+// batches). A full queue is the backpressure signal; Close drains in-flight
+// work. core.Pipeline survives as a thin compatibility wrapper. Experiment
+// E11 (omg-bench), BenchmarkBatchInference and BenchmarkServerThroughput
+// measure its scaling.
+//
+// Continuous audio goes through dsp.Streamer, the incremental face of the
+// frontend: it holds a ring of per-frame log-mel feature rows, computes one
+// FFT per newly completed 20 ms hop, and assembles the current 49×43
+// fingerprint by rotation — ~49× less frontend work per window than full
+// recomputation in steady state, with zero allocations, and bit-exact
+// against ExtractInto (BenchmarkStreamingExtract, E12).
+//
+// On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
+// iterations inside a single enclave Run, pulling several utterances per
+// SMC round trip through the shared-SW window and reusing app-owned
+// scratch, which amortizes the world-switch overhead of the per-query
+// Table-I path (visible in E12's simulated-time column; host wall time is
+// extraction/GEMM-bound and therefore at parity).
 package repro

@@ -23,9 +23,11 @@ func (p *ModelPackage) Marshal() []byte {
 	return out
 }
 
-// UnmarshalModelPackage parses the flash blob.
+// UnmarshalModelPackage parses the flash blob. The minimum legal package is
+// the 8-byte version header alone (an empty blob round-trips through
+// Marshal).
 func UnmarshalModelPackage(data []byte) (*ModelPackage, error) {
-	if len(data) < 9 {
+	if len(data) < 8 {
 		return nil, errors.New("core: truncated model package")
 	}
 	return &ModelPackage{
@@ -53,6 +55,14 @@ type KWSApp struct {
 	// and teardown scrubbing measurably cover them.
 	modelOffset uint64
 	modelLen    int
+	// Operation-phase scratch, owned by the app so the always-on query path
+	// performs no per-query heap allocation: the capture buffer, the
+	// fingerprint, the dequantized probabilities and the result shell that
+	// Query hands out.
+	capBuf    []int16
+	fpScratch []uint8
+	probs     []float64
+	res       QueryResult
 }
 
 // LaunchEnclave performs SANCTUARY setup+boot for the OMG image with the
@@ -61,9 +71,10 @@ type KWSApp struct {
 func LaunchEnclave(dev *Device, vendorPub []byte, rng io.Reader) (*KWSApp, error) {
 	img := BuildImage(vendorPub)
 	e, err := dev.Sanctuary.Setup(sanctuary.Config{
-		Image:       img,
-		PrivateSize: EnclavePrivateSize,
-		AllowMic:    true,
+		Image:        img,
+		PrivateSize:  EnclavePrivateSize,
+		SharedSWSize: EnclaveSharedSWSize,
+		AllowMic:     true,
 	})
 	if err != nil {
 		return nil, err
@@ -233,37 +244,124 @@ type QueryResult struct {
 // Query runs one operation-phase inference (§V steps 7–8): capture audio
 // from the secure microphone, extract the fingerprint, and invoke the
 // model. All compute is charged to the enclave core.
+//
+// The hot path runs entirely in app-owned scratch (capture buffer,
+// fingerprint, probabilities, the QueryResult itself), so steady-state
+// queries do not grow the enclave heap. Consequently the returned result —
+// pointer, Label and Probs alike — is only valid until the next Query on
+// this app; copy what must outlive it. QueryBatch results own their
+// storage.
 func (a *KWSApp) Query() (*QueryResult, error) {
 	if a.interp == nil {
 		return nil, errors.New("core: enclave not initialized")
 	}
-	var res *QueryResult
 	err := a.enclave.Run(func(env *sanctuary.Env) error {
 		// Capture a full one-second window; the frontend consumes the
 		// leading UtteranceSamples() of it. Draining the whole second keeps
 		// consecutive utterances aligned in the FIFO.
-		samples, err := env.CaptureMic(a.fe.Config().SampleRate)
+		samples, err := env.CaptureMicInto(a.capBuf, a.fe.Config().SampleRate)
 		if err != nil {
 			return err
 		}
-		features := a.fe.Extract(samples)
+		a.capBuf = samples
+		a.fpScratch = a.fe.ExtractInto(a.fpScratch, samples)
 		env.Core().Charge(a.fe.Cycles())
-		in := a.interp.Input(0)
-		for i, f := range features {
-			in.I8[i] = int8(int32(f) - 128)
-		}
-		if err := a.interp.Invoke(); err != nil {
+		if a.probs, err = a.infer(a.fpScratch, a.probs); err != nil {
 			return err
 		}
-		out := a.interp.Output(0)
-		probs := make([]float64, out.NumElements())
-		for i, q := range out.I8 {
-			probs[i] = out.Quant.Dequantize(q)
-		}
-		res = &QueryResult{Label: tflm.Argmax(out), Probs: probs}
+		a.res = QueryResult{Label: a.lastLabel(), Probs: a.probs}
 		return nil
 	})
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	return &a.res, nil
+}
+
+// infer quantizes a fingerprint into the interpreter input, invokes the
+// model, and dequantizes the output into probs (grown only when needed).
+// The caller reads the label via lastLabel.
+func (a *KWSApp) infer(fp []uint8, probs []float64) ([]float64, error) {
+	in := a.interp.Input(0)
+	for i, f := range fp {
+		in.I8[i] = int8(int32(f) - 128)
+	}
+	if err := a.interp.Invoke(); err != nil {
+		return probs, err
+	}
+	out := a.interp.Output(0)
+	if cap(probs) < out.NumElements() {
+		probs = make([]float64, out.NumElements())
+	}
+	probs = probs[:out.NumElements()]
+	for i, q := range out.I8 {
+		probs[i] = out.Quant.Dequantize(q)
+	}
+	return probs, nil
+}
+
+// lastLabel returns the argmax of the most recent inference.
+func (a *KWSApp) lastLabel() int { return tflm.Argmax(a.interp.Output(0)) }
+
+// QueryBatch runs n operation-phase inferences inside a single enclave Run,
+// amortizing the per-query enclave overhead that dominates the Table-I OMG
+// column: microphone capture batches as many utterances per SMC round trip
+// as the shared-SW window holds (one world switch per window-full instead
+// of per utterance), and all per-utterance state lives in app-owned scratch
+// plus one flat probability slab for the whole batch. The n utterances must
+// already be queued in the microphone FIFO; missing audio classifies as
+// silence, exactly as in Query. Unlike Query's, the returned results own
+// their probability storage.
+func (a *KWSApp) QueryBatch(n int) ([]QueryResult, error) {
+	if a.interp == nil {
+		return nil, errors.New("core: enclave not initialized")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	rate := a.fe.Config().SampleRate
+	// Utterances per SMC round trip: whatever the shared-SW window holds
+	// (EnclaveSharedSWSize is the sizing rationale).
+	perCall := int(a.enclave.SWSize()/2) / rate
+	if perCall < 1 {
+		perCall = 1
+	}
+	classes := a.interp.Output(0).NumElements()
+	results := make([]QueryResult, n)
+	flat := make([]float64, n*classes)
+	err := a.enclave.Run(func(env *sanctuary.Env) error {
+		for k := 0; k < n; {
+			// One SMC round trip deposits up to perCall utterances in the
+			// shared window; each is then decoded and classified through an
+			// utterance-sized working set, as the serial path would use.
+			m := min(perCall, n-k)
+			got, err := env.CaptureMicBulk(m * rate)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < m; j++ {
+				take := min(rate, max(0, got-j*rate))
+				utt, err := env.ReadMicWindow(a.capBuf, j*rate, take)
+				if err != nil {
+					return err
+				}
+				a.capBuf = utt
+				a.fpScratch = a.fe.ExtractInto(a.fpScratch, utt)
+				env.Core().Charge(a.fe.Cycles())
+				probs, err := a.infer(a.fpScratch, flat[(k+j)*classes:(k+j)*classes:(k+j+1)*classes])
+				if err != nil {
+					return err
+				}
+				results[k+j] = QueryResult{Label: a.lastLabel(), Probs: probs}
+			}
+			k += m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // CaptureOnly pulls one utterance through the secure microphone path

@@ -58,6 +58,14 @@ func BuildImage(vendorPub []byte) sanctuary.Image {
 // plus tensor arena headroom.
 const EnclavePrivateSize = 1 << 20
 
+// EnclaveSharedSWSize is the secure-world shared window, the sole knob for
+// how many utterances QueryBatch pulls per SMC round trip (window/2 bytes
+// of 16 kHz PCM16 → two seconds here). Larger windows would amortize more
+// world switches, but the deposit must stay cache-resident between the
+// secure world writing it and the enclave decoding it utterance by
+// utterance, and 64 KiB is where that trade measured best.
+const EnclaveSharedSWSize = 64 << 10
+
 // ExpectedMeasurement computes the measurement verifiers demand for the
 // pinned image.
 func ExpectedMeasurement(vendorPub []byte) (omgcrypto.Measurement, error) {

@@ -94,6 +94,88 @@ func speak(dev *Device, word string, take int) {
 	dev.Speak(gen.Utterance(word, 7, take))
 }
 
+// TestQueryBatchMatchesQuery: a batch of n queries inside one enclave Run
+// must classify exactly like n individual queries over the same audio, and
+// each batch result must own its probability storage (unlike Query, whose
+// scratch is reused).
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	s := newTestSession(t, "qbatch")
+	if err := s.Prepare(s.Vendor.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"yes", "no", "stop", "go", "left"}
+	// Serial ground truth.
+	wantLabels := make([]int, len(words))
+	wantProbs := make([][]float64, len(words))
+	for i, w := range words {
+		speak(s.Device, w, 0)
+		res, err := s.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLabels[i] = res.Label
+		wantProbs[i] = append([]float64(nil), res.Probs...)
+	}
+	// Batched: queue all utterances, one QueryBatch.
+	for _, w := range words {
+		speak(s.Device, w, 0)
+	}
+	results, err := s.App.QueryBatch(len(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(words) {
+		t.Fatalf("%d results for %d queries", len(results), len(words))
+	}
+	for i, r := range results {
+		if r.Label != wantLabels[i] {
+			t.Fatalf("utterance %d: batch label %d, serial label %d", i, r.Label, wantLabels[i])
+		}
+		for c := range r.Probs {
+			if r.Probs[c] != wantProbs[i][c] {
+				t.Fatalf("utterance %d class %d: batch prob %v, serial %v", i, c, r.Probs[c], wantProbs[i][c])
+			}
+		}
+		if i > 0 && &r.Probs[0] == &results[i-1].Probs[0] {
+			t.Fatalf("utterance %d aliases the previous result's probabilities", i)
+		}
+	}
+	// Degenerate sizes.
+	if res, err := s.App.QueryBatch(0); err != nil || res != nil {
+		t.Fatalf("QueryBatch(0) = %v, %v", res, err)
+	}
+	// Batches larger than one shared-window capture (several SMC round
+	// trips) still classify correctly; absent audio classifies as silence,
+	// like Query.
+	big := 2*int(s.App.Enclave().SWSize()/2)/16000 + 1
+	for i := 0; i < big-1; i++ {
+		speak(s.Device, "on", 0)
+	}
+	bigRes, err := s.App.QueryBatch(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < big-2; i++ {
+		if bigRes[i].Label != bigRes[0].Label {
+			t.Fatalf("multi-window batch utterance %d: label %d, want %d", i, bigRes[i].Label, bigRes[0].Label)
+		}
+	}
+}
+
+// TestQueryBatchRequiresInit mirrors Query's lifecycle guard.
+func TestQueryBatchRequiresInit(t *testing.T) {
+	s := newTestSession(t, "qbatch-noinit")
+	if err := s.Prepare(s.Vendor.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.App.QueryBatch(2); err == nil {
+		t.Fatal("QueryBatch before Initialize succeeded")
+	}
+}
+
 func TestFullProtocolEndToEnd(t *testing.T) {
 	s := newTestSession(t, "e2e")
 	if err := s.Prepare(s.Vendor.Public()); err != nil {
@@ -535,5 +617,22 @@ func TestModelPackageMarshal(t *testing.T) {
 	}
 	if _, err := UnmarshalModelPackage([]byte{1, 2}); err == nil {
 		t.Fatal("truncated package parsed")
+	}
+	// A legal 8-byte package — version header with an empty blob — must
+	// round-trip; the pre-fix parser rejected its own Marshal output.
+	empty := &ModelPackage{Version: 42}
+	if n := len(empty.Marshal()); n != 8 {
+		t.Fatalf("empty-blob package marshals to %d bytes, want 8", n)
+	}
+	got, err = UnmarshalModelPackage(empty.Marshal())
+	if err != nil {
+		t.Fatalf("empty-blob package rejected: %v", err)
+	}
+	if got.Version != 42 || len(got.Blob) != 0 {
+		t.Fatalf("empty-blob round trip: version %d, blob %d bytes", got.Version, len(got.Blob))
+	}
+	// 7 bytes is still truncated.
+	if _, err := UnmarshalModelPackage(empty.Marshal()[:7]); err == nil {
+		t.Fatal("7-byte package parsed")
 	}
 }

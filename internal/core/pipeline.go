@@ -1,18 +1,15 @@
 // Batch inference pipeline: the host-throughput layer of the engine. Where
 // KWSApp runs one utterance at a time inside a simulated enclave, Pipeline
-// serves many utterances concurrently at host speed — the "as fast as the
-// hardware allows" serving path for experiments, calibration sweeps and
-// load generation. It owns a pool of workers, each with a private
-// interpreter (over a weight-sharing model clone), a private DSP frontend
-// and private fingerprint scratch, so the per-utterance hot path performs
-// no heap allocation beyond the caller-visible result probabilities.
+// serves many utterances concurrently at host speed. Since the streaming
+// Server landed it is a thin compatibility wrapper over it: NewPipeline
+// stands up a persistent Server and RunBatch forwards to Server.RunBatch,
+// so the per-call goroutine spawn and WaitGroup churn of the original
+// implementation are gone while the API and result semantics are unchanged.
 package core
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/dsp"
 	"repro/internal/tflm"
@@ -47,78 +44,35 @@ type pipeWorker struct {
 	fp []uint8 // fingerprint scratch, reused across utterances
 }
 
-// Pipeline fans batches of utterances across a fixed worker pool.
-type Pipeline struct {
-	workers   []*pipeWorker
-	withProbs bool
-}
-
-// NewPipeline builds a pool of workers over clones of model (constant
-// weight tensors are shared, activations are private per worker).
-func NewPipeline(model *tflm.Model, cfg PipelineConfig) (*Pipeline, error) {
-	n := cfg.Workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+// newPipeWorker builds one worker over a clone of model, validating that the
+// model input matches the frontend's fingerprint geometry.
+func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig) (*pipeWorker, error) {
+	ip, err := tflm.NewInterpreter(model.Clone())
+	if err != nil {
+		return nil, err
 	}
-	feCfg := cfg.Frontend
-	if feCfg == (dsp.FrontendConfig{}) {
-		feCfg = dsp.DefaultFrontend()
+	fe, err := dsp.NewFrontend(feCfg)
+	if err != nil {
+		return nil, err
 	}
-	p := &Pipeline{withProbs: cfg.WithProbs}
-	for i := 0; i < n; i++ {
-		ip, err := tflm.NewInterpreter(model.Clone())
-		if err != nil {
-			return nil, fmt.Errorf("core: pipeline worker %d: %w", i, err)
-		}
-		fe, err := dsp.NewFrontend(feCfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: pipeline worker %d: %w", i, err)
-		}
-		in := ip.Input(0)
-		if in.Type != tflm.Int8 || in.NumElements() != feCfg.FingerprintLen() {
-			return nil, fmt.Errorf("core: model input %s incompatible with %d-feature fingerprint", in, feCfg.FingerprintLen())
-		}
-		p.workers = append(p.workers, &pipeWorker{
-			fe: fe,
-			ip: ip,
-			fp: make([]uint8, feCfg.FingerprintLen()),
-		})
+	in := ip.Input(0)
+	if in.Type != tflm.Int8 || in.NumElements() != feCfg.FingerprintLen() {
+		return nil, fmt.Errorf("core: model input %s incompatible with %d-feature fingerprint", in, feCfg.FingerprintLen())
 	}
-	return p, nil
-}
-
-// Workers returns the pool size.
-func (p *Pipeline) Workers() int { return len(p.workers) }
-
-// RunBatch classifies every utterance and returns one Result per input, in
-// order. Utterances are distributed dynamically over the worker pool, so a
-// slow utterance never stalls the rest of the batch.
-func (p *Pipeline) RunBatch(utts [][]int16) []Result {
-	results := make([]Result, len(utts))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for _, w := range p.workers {
-		wg.Add(1)
-		go func(w *pipeWorker) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(utts) {
-					return
-				}
-				results[i] = w.run(utts[i], p.withProbs)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return results
+	return &pipeWorker{fe: fe, ip: ip, fp: make([]uint8, feCfg.FingerprintLen())}, nil
 }
 
 // run executes one utterance on this worker's private state.
 func (w *pipeWorker) run(samples []int16, withProbs bool) Result {
 	w.fp = w.fe.ExtractInto(w.fp, samples)
+	return w.runFingerprint(w.fp, withProbs)
+}
+
+// runFingerprint invokes the model on an already extracted fingerprint (the
+// streaming path, where the Stream's incremental extractor produced it).
+func (w *pipeWorker) runFingerprint(fp []uint8, withProbs bool) Result {
 	in := w.ip.Input(0)
-	for i, f := range w.fp {
+	for i, f := range fp {
 		in.I8[i] = int8(int32(f) - 128)
 	}
 	if err := w.ip.Invoke(); err != nil {
@@ -133,4 +87,48 @@ func (w *pipeWorker) run(samples []int16, withProbs bool) Result {
 		}
 	}
 	return res
+}
+
+// Pipeline fans batches of utterances across a persistent worker pool.
+type Pipeline struct {
+	srv *Server
+}
+
+// NewPipeline builds a pool of workers over clones of model (constant
+// weight tensors are shared, activations are private per worker). The pool
+// is a persistent Server private to the Pipeline (no accessor — the GC
+// cleanup below closes it when the Pipeline is dropped, so an escaped
+// reference could be closed mid-use); callers that want streaming or queue
+// control should build a Server directly. Close the Pipeline when done;
+// a dropped Pipeline also releases its workers via the cleanup, so the
+// pre-Server API contract (no Close) cannot leak goroutines.
+func NewPipeline(model *tflm.Model, cfg PipelineConfig) (*Pipeline, error) {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	srv, err := NewServer(model, ServerConfig{
+		Workers:   n,
+		Frontend:  cfg.Frontend,
+		WithProbs: cfg.WithProbs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{srv: srv}
+	runtime.AddCleanup(p, func(s *Server) { s.Close() }, srv)
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *Pipeline) Workers() int { return p.srv.Workers() }
+
+// Close stops the worker pool after draining queued work. Idempotent.
+func (p *Pipeline) Close() { p.srv.Close() }
+
+// RunBatch classifies every utterance and returns one Result per input, in
+// order. Utterances are distributed dynamically over the worker pool, so a
+// slow utterance never stalls the rest of the batch.
+func (p *Pipeline) RunBatch(utts [][]int16) []Result {
+	return p.srv.RunBatch(utts)
 }

@@ -1,0 +1,311 @@
+// Persistent inference service: the streaming successor to the spawn-per-call
+// batch pipeline. A Server owns long-lived worker goroutines — each with a
+// private interpreter over a weight-sharing model clone, a private DSP
+// frontend and private scratch, exactly the pipeWorker state — fed by a
+// buffered submission queue. Submissions are utterances (Submit, the worker
+// runs extract+invoke) or continuous audio (SubmitStream over an open
+// Stream, whose incremental dsp.Streamer pays one FFT per hop and submits a
+// fingerprint-only job per completed window). Results are delivered through
+// per-submission tickets in submission order; the queue's bounded capacity
+// is the backpressure mechanism.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dsp"
+	"repro/internal/tflm"
+)
+
+// ErrServerClosed is returned by submissions after Close.
+var ErrServerClosed = errors.New("core: server closed")
+
+// ErrQueueFull is returned by TrySubmit when the submission queue is at
+// capacity — the caller is being backpressured.
+var ErrQueueFull = errors.New("core: submission queue full")
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Queue is the submission-queue depth; <= 0 means 2×Workers. A full
+	// queue blocks Submit and fails TrySubmit, bounding the memory a burst
+	// of submissions can pin.
+	Queue int
+	// Frontend configures feature extraction; the zero value means
+	// dsp.DefaultFrontend().
+	Frontend dsp.FrontendConfig
+	// WithProbs requests dequantized class probabilities in each Result
+	// (one allocation per utterance); when false only labels are produced.
+	WithProbs bool
+}
+
+// job is one unit of work on the queue. Exactly one of samples/fp describes
+// the input; the worker writes *res and then signals done, so a batch can
+// share one results slice and one completion channel.
+type job struct {
+	samples []int16
+	fp      []uint8      // precomputed fingerprint (stream path)
+	recycle chan []uint8 // fingerprint freelist to return fp to (may be nil)
+	res     *Result
+	done    chan<- struct{}
+}
+
+// Server is the persistent serving layer. Construct with NewServer, submit
+// with Submit/TrySubmit/SubmitStream/RunBatch, and Close when done: Close
+// drains all queued work, then stops the workers.
+type Server struct {
+	workers   []*pipeWorker
+	feCfg     dsp.FrontendConfig
+	withProbs bool
+	jobs      chan job
+
+	mu     sync.RWMutex // guards closed vs. sends on jobs
+	closed bool
+	wg     sync.WaitGroup
+	live   atomic.Int32 // running worker goroutines, for leak assertions
+}
+
+// NewServer builds the worker pool over clones of model (constant weight
+// tensors are shared, activations are private per worker) and starts its
+// goroutines.
+func NewServer(model *tflm.Model, cfg ServerConfig) (*Server, error) {
+	s, err := newServer(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// newServer is NewServer without starting the workers; tests use it to fill
+// the queue deterministically before any draining begins.
+func newServer(model *tflm.Model, cfg ServerConfig) (*Server, error) {
+	n := cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	feCfg := cfg.Frontend
+	if feCfg == (dsp.FrontendConfig{}) {
+		feCfg = dsp.DefaultFrontend()
+	}
+	queue := cfg.Queue
+	if queue <= 0 {
+		queue = 2 * n
+	}
+	s := &Server{
+		feCfg:     feCfg,
+		withProbs: cfg.WithProbs,
+		jobs:      make(chan job, queue),
+	}
+	for i := 0; i < n; i++ {
+		w, err := newPipeWorker(model, feCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: server worker %d: %w", i, err)
+		}
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+// start launches one goroutine per worker. Each loops on the shared queue
+// until Close closes it, so no per-call goroutine spawn or WaitGroup churn
+// remains on the serving path.
+func (s *Server) start() {
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		s.live.Add(1)
+		go func(w *pipeWorker) {
+			defer s.wg.Done()
+			defer s.live.Add(-1)
+			for j := range s.jobs {
+				if j.fp != nil {
+					*j.res = w.runFingerprint(j.fp, s.withProbs)
+					if j.recycle != nil {
+						select {
+						case j.recycle <- j.fp:
+						default:
+						}
+					}
+				} else {
+					*j.res = w.run(j.samples, s.withProbs)
+				}
+				j.done <- struct{}{}
+			}
+		}(w)
+	}
+}
+
+// Workers returns the pool size.
+func (s *Server) Workers() int { return len(s.workers) }
+
+// QueueDepth returns the submission-queue capacity.
+func (s *Server) QueueDepth() int { return cap(s.jobs) }
+
+// liveWorkers returns the number of worker goroutines currently running
+// (0 after Close returns); tests assert no leaks through it.
+func (s *Server) liveWorkers() int { return int(s.live.Load()) }
+
+// send enqueues a job unless the server is closed. With block=false a full
+// queue returns ErrQueueFull instead of waiting.
+func (s *Server) send(j job, block bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	if block {
+		s.jobs <- j
+		return nil
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Pending is a submission ticket. Wait blocks until the worker has produced
+// the result and may be called repeatedly; waiting tickets in submission
+// order yields results in submission order.
+type Pending struct {
+	res      Result
+	done     chan struct{}
+	received bool
+}
+
+// Wait returns the submission's result, blocking until it is ready.
+func (p *Pending) Wait() Result {
+	if !p.received {
+		<-p.done
+		p.received = true
+	}
+	return p.res
+}
+
+// Submit enqueues one utterance, blocking while the queue is full, and
+// returns its ticket.
+func (s *Server) Submit(samples []int16) (*Pending, error) {
+	p := &Pending{done: make(chan struct{}, 1)}
+	if err := s.send(job{samples: samples, res: &p.res, done: p.done}, true); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// TrySubmit is Submit that fails with ErrQueueFull instead of blocking when
+// the queue is at capacity.
+func (s *Server) TrySubmit(samples []int16) (*Pending, error) {
+	p := &Pending{done: make(chan struct{}, 1)}
+	if err := s.send(job{samples: samples, res: &p.res, done: p.done}, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RunBatch classifies every utterance and returns one Result per input, in
+// order — the Pipeline compatibility surface. The batch shares one results
+// slice and one completion channel, so the per-utterance hot path allocates
+// nothing beyond optional probabilities.
+func (s *Server) RunBatch(utts [][]int16) []Result {
+	results := make([]Result, len(utts))
+	done := make(chan struct{}, len(utts))
+	submitted := 0
+	for i := range utts {
+		if err := s.send(job{samples: utts[i], res: &results[i], done: done}, true); err != nil {
+			results[i] = Result{Label: -1, Err: err}
+			continue
+		}
+		submitted++
+	}
+	for ; submitted > 0; submitted-- {
+		<-done
+	}
+	return results
+}
+
+// Close marks the server closed, drains all queued work, and waits for the
+// workers to exit. Tickets obtained before Close all resolve. Close is
+// idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// streamScratchSlack is how many fingerprint buffers a Stream owns beyond
+// the server's queue depth: enough to keep the queue full while one
+// fingerprint is being assembled and others are on workers.
+func (s *Server) streamScratch() int { return cap(s.jobs) + len(s.workers) + 1 }
+
+// Stream is one continuous audio source multiplexed onto a Server: it owns
+// an incremental dsp.Streamer (one FFT per hop) and a fixed pool of
+// fingerprint buffers that recycle through the workers, so steady-state
+// streaming allocates only the returned tickets. A Stream is not
+// goroutine-safe — it models a single microphone; open one per source.
+type Stream struct {
+	srv  *Server
+	st   *dsp.Streamer
+	free chan []uint8
+}
+
+// OpenStream creates a stream over a private frontend with the server's
+// geometry.
+func (s *Server) OpenStream() (*Stream, error) {
+	fe, err := dsp.NewFrontend(s.feCfg)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{
+		srv:  s,
+		st:   dsp.NewStreamer(fe),
+		free: make(chan []uint8, s.streamScratch()),
+	}
+	for i := 0; i < cap(st.free); i++ {
+		st.free <- make([]uint8, s.feCfg.FingerprintLen())
+	}
+	return st, nil
+}
+
+// Streamer exposes the underlying incremental extractor (warm-up state,
+// frame accounting).
+func (st *Stream) Streamer() *dsp.Streamer { return st.st }
+
+// SubmitStream advances the stream by chunk and submits one inference per
+// newly completed hop once the stream is warm (a full fingerprint window
+// observed), returning the tickets in hop order. When all of the stream's
+// fingerprint buffers are in flight it waits for a worker to recycle one —
+// the streaming face of queue backpressure.
+func (s *Server) SubmitStream(st *Stream, chunk []int16) ([]*Pending, error) {
+	if st.srv != s {
+		return nil, errors.New("core: stream belongs to a different server")
+	}
+	var tickets []*Pending
+	for len(chunk) > 0 {
+		n := min(st.st.NeedSamples(), len(chunk))
+		completed := st.st.Push(chunk[:n])
+		chunk = chunk[n:]
+		if completed == 0 || !st.st.Ready() {
+			continue
+		}
+		fp := st.st.Fingerprint(<-st.free)
+		p := &Pending{done: make(chan struct{}, 1)}
+		if err := s.send(job{fp: fp, recycle: st.free, res: &p.res, done: p.done}, true); err != nil {
+			st.free <- fp
+			return tickets, err
+		}
+		tickets = append(tickets, p)
+	}
+	return tickets, nil
+}

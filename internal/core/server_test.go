@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+// TestServerSubmitOrdering: tickets waited in submission order must yield
+// exactly the serial classification of the batch, for every pool size.
+func TestServerSubmitOrdering(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 24)
+	want := serialResults(t, model, utts)
+	for _, workers := range []int{1, 2, 4} {
+		srv, err := NewServer(model, ServerConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets := make([]*Pending, len(utts))
+		for i, u := range utts {
+			if tickets[i], err = srv.Submit(u); err != nil {
+				t.Fatalf("workers=%d submit %d: %v", workers, i, err)
+			}
+		}
+		for i, p := range tickets {
+			r := p.Wait()
+			if r.Err != nil {
+				t.Fatalf("workers=%d utterance %d: %v", workers, i, r.Err)
+			}
+			if r.Label != want[i] {
+				t.Fatalf("workers=%d utterance %d: label %d, want %d", workers, i, r.Label, want[i])
+			}
+			// Wait must be repeatable.
+			if again := p.Wait(); again.Label != r.Label {
+				t.Fatalf("workers=%d utterance %d: second Wait diverged", workers, i)
+			}
+		}
+		srv.Close()
+		if n := srv.liveWorkers(); n != 0 {
+			t.Fatalf("workers=%d: %d worker goroutines alive after Close", workers, n)
+		}
+	}
+}
+
+// TestServerConcurrentSubmitters: many goroutines sharing one server must
+// each observe correct in-order results for their own submissions (run with
+// -race to check the synchronization).
+func TestServerConcurrentSubmitters(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 12)
+	want := serialResults(t, model, utts)
+	srv, err := NewServer(model, ServerConfig{Workers: 4, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				tickets := make([]*Pending, len(utts))
+				for i, u := range utts {
+					p, err := srv.Submit(u)
+					if err != nil {
+						errs <- err
+						return
+					}
+					tickets[i] = p
+				}
+				for i, p := range tickets {
+					if r := p.Wait(); r.Err != nil || r.Label != want[i] {
+						errs <- errors.New("wrong result under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerBackpressure: with the workers not yet draining, TrySubmit must
+// accept exactly Queue submissions and then report ErrQueueFull; once the
+// workers start, everything queued resolves in order.
+func TestServerBackpressure(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 6)
+	want := serialResults(t, model, utts)
+	srv, err := newServer(model, ServerConfig{Workers: 2, Queue: len(utts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.QueueDepth() != len(utts) {
+		t.Fatalf("queue depth %d, want %d", srv.QueueDepth(), len(utts))
+	}
+	tickets := make([]*Pending, len(utts))
+	for i, u := range utts {
+		if tickets[i], err = srv.TrySubmit(u); err != nil {
+			t.Fatalf("submit %d within queue capacity: %v", i, err)
+		}
+	}
+	if _, err := srv.TrySubmit(utts[0]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond capacity: err = %v, want ErrQueueFull", err)
+	}
+	srv.start()
+	for i, p := range tickets {
+		if r := p.Wait(); r.Err != nil || r.Label != want[i] {
+			t.Fatalf("utterance %d after backpressure: %+v, want label %d", i, r, want[i])
+		}
+	}
+	srv.Close()
+	if n := srv.liveWorkers(); n != 0 {
+		t.Fatalf("%d worker goroutines alive after Close", n)
+	}
+}
+
+// TestServerCloseDrains: Close must resolve every ticket obtained before it,
+// reject later submissions with ErrServerClosed, stop all workers, and stay
+// idempotent.
+func TestServerCloseDrains(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 10)
+	want := serialResults(t, model, utts)
+	srv, err := NewServer(model, ServerConfig{Workers: 2, Queue: len(utts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]*Pending, len(utts))
+	for i, u := range utts {
+		if tickets[i], err = srv.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	for i, p := range tickets {
+		if r := p.Wait(); r.Err != nil || r.Label != want[i] {
+			t.Fatalf("in-flight utterance %d not drained by Close: %+v", i, r)
+		}
+	}
+	if _, err := srv.Submit(utts[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrServerClosed", err)
+	}
+	if _, err := srv.TrySubmit(utts[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("TrySubmit after Close: err = %v, want ErrServerClosed", err)
+	}
+	if res := srv.RunBatch(utts[:2]); res[0].Err == nil || res[1].Err == nil {
+		t.Fatal("RunBatch after Close did not error per utterance")
+	}
+	srv.Close() // idempotent
+	if n := srv.liveWorkers(); n != 0 {
+		t.Fatalf("%d worker goroutines alive after Close", n)
+	}
+}
+
+// TestServerStreamMatchesWindows: streamed hops must classify exactly like
+// independently submitted sliding windows of the same signal, ticket for
+// ticket, and reuse the stream's fingerprint buffers rather than allocating
+// per hop.
+func TestServerStreamMatchesWindows(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 4)
+	cfg := dsp.DefaultFrontend()
+	// One long signal: several utterances back to back.
+	var signal []int16
+	for _, u := range utts {
+		signal = append(signal, u...)
+	}
+	srv, err := NewServer(model, ServerConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stream, err := srv.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	// Feed in uneven chunks to exercise hop reassembly.
+	for off, step := 0, 0; off < len(signal); off += step {
+		step = 777
+		if off+step > len(signal) {
+			step = len(signal) - off
+		}
+		tickets, err := srv.SubmitStream(stream, signal[off:off+step])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range tickets {
+			r := p.Wait()
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			got = append(got, r.Label)
+		}
+	}
+	// Ground truth: one Submit per sliding window ending at each hop.
+	utt := cfg.UtteranceSamples()
+	var want []int
+	for frames := cfg.NumFrames; ; frames++ {
+		start := (frames - cfg.NumFrames) * cfg.StrideSamples
+		if start+utt > len(signal) {
+			break
+		}
+		p, err := srv.Submit(signal[start : start+utt])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := p.Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want = append(want, r.Label)
+	}
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("stream produced %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("hop %d: streamed label %d, windowed label %d", i, got[i], want[i])
+		}
+	}
+	if stream.Streamer().Frames() < len(got) {
+		t.Fatal("frame accounting inconsistent with delivered results")
+	}
+}
+
+// TestServerStreamOwnership: streams are bound to their server.
+func TestServerStreamOwnership(t *testing.T) {
+	model, _, _ := pipelineFixture(t, 0)
+	a, err := NewServer(model, ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewServer(model, ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	stream, err := a.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubmitStream(stream, make([]int16, 16)); err == nil {
+		t.Fatal("foreign stream accepted")
+	}
+}
+
+// TestServerProbs: WithProbs produces per-class probabilities consistent
+// with the label, through both the utterance and fingerprint paths.
+func TestServerProbs(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 3)
+	srv, err := NewServer(model, ServerConfig{Workers: 2, WithProbs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fe, err := dsp.NewFrontend(dsp.DefaultFrontend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range utts {
+		p, err := srv.Submit(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := p.Wait()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		best, bestIdx := -1.0, -1
+		for c, pr := range r.Probs {
+			if pr > best {
+				best, bestIdx = pr, c
+			}
+		}
+		if bestIdx != r.Label {
+			t.Fatalf("utterance %d: label %d but probs argmax %d", i, r.Label, bestIdx)
+		}
+		// Fingerprint path through a worker directly (stream jobs).
+		fp := fe.Extract(u)
+		direct := srv.workers[0].runFingerprint(fp, true)
+		if direct.Label != r.Label {
+			t.Fatalf("utterance %d: fingerprint path label %d, utterance path %d", i, direct.Label, r.Label)
+		}
+		for c := range direct.Probs {
+			if direct.Probs[c] != r.Probs[c] {
+				t.Fatalf("utterance %d class %d: fingerprint path prob %v, utterance path %v", i, c, direct.Probs[c], r.Probs[c])
+			}
+		}
+	}
+}

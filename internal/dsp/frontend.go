@@ -135,41 +135,50 @@ func (f *Frontend) ExtractInto(dst []uint8, samples []int16) []uint8 {
 		dst = make([]uint8, n)
 	}
 	for frame := 0; frame < cfg.NumFrames; frame++ {
-		start := frame * cfg.StrideSamples
-		// Windowed frame in Q15. The window multiply covers the samples
-		// actually present; the tail (zero padding up to FFTSize) and the
-		// imaginary scratch are cleared with branch-free memclr loops.
-		n := cfg.WindowSamples
-		if rem := len(samples) - start; rem < n {
-			n = rem
-		}
-		if n < 0 {
-			n = 0
-		}
-		for i := 0; i < n; i++ {
-			f.re[i] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
-		}
-		tail := f.re[n:]
-		for i := range tail {
-			tail[i] = 0
-		}
-		for i := range f.im {
-			f.im[i] = 0
-		}
-		fftFixed(f.re, f.im, f.tw)
-		for feat := 0; feat < features; feat++ {
-			lo, hi := f.binLo[feat], f.binHi[feat]
-			var acc uint64
-			for bin := lo; bin < hi; bin++ {
-				r := int64(f.re[bin])
-				i := int64(f.im[bin])
-				acc += uint64(r*r + i*i)
-			}
-			avg := acc / uint64(hi-lo)
-			dst[frame*features+feat] = logCompress(avg)
-		}
+		f.frameInto(dst[frame*features:(frame+1)*features], samples, frame*cfg.StrideSamples)
 	}
 	return dst
+}
+
+// frameInto computes the NumFeatures() feature values of the single analysis
+// window starting at sample offset start, writing them into dst. Samples
+// beyond len(samples) are treated as zeros (the utterance-tail padding).
+// This is the shared per-frame kernel of ExtractInto and Streamer.Push, so
+// streamed fingerprints are bit-exact against full recomputation.
+func (f *Frontend) frameInto(dst []uint8, samples []int16, start int) {
+	cfg := f.cfg
+	// Windowed frame in Q15. The window multiply covers the samples
+	// actually present; the tail (zero padding up to FFTSize) and the
+	// imaginary scratch are cleared with branch-free memclr loops.
+	n := cfg.WindowSamples
+	if rem := len(samples) - start; rem < n {
+		n = rem
+	}
+	if n < 0 {
+		n = 0
+	}
+	for i := 0; i < n; i++ {
+		f.re[i] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
+	}
+	tail := f.re[n:]
+	for i := range tail {
+		tail[i] = 0
+	}
+	for i := range f.im {
+		f.im[i] = 0
+	}
+	fftFixed(f.re, f.im, f.tw)
+	for feat := range f.binLo {
+		lo, hi := f.binLo[feat], f.binHi[feat]
+		var acc uint64
+		for bin := lo; bin < hi; bin++ {
+			r := int64(f.re[bin])
+			i := int64(f.im[bin])
+			acc += uint64(r*r + i*i)
+		}
+		avg := acc / uint64(hi-lo)
+		dst[feat] = logCompress(avg)
+	}
 }
 
 // logCompress maps an averaged power value to a uint8 feature:

@@ -1,0 +1,136 @@
+package dsp
+
+// Streamer is the incremental face of a Frontend for always-on audio: where
+// ExtractInto recomputes all NumFrames FFT frames of a one-second window,
+// a Streamer consumes the stream hop by hop, runs exactly one FFT per newly
+// completed hop, and assembles the current fingerprint by rotating a ring of
+// cached per-frame feature rows. In steady state one 20 ms hop therefore
+// costs 1/NumFrames of a full extraction (~49× less frontend work with the
+// paper geometry) and performs no heap allocation.
+//
+// The per-frame kernel is Frontend.frameInto — the same code ExtractInto
+// runs — so a streamed fingerprint is bit-exact against full recomputation
+// over the same samples (TestStreamerMatchesFullRecompute).
+//
+// A Streamer is single-goroutine state, like the Frontend it wraps; give
+// each concurrent audio source its own.
+type Streamer struct {
+	fe *Frontend
+	// win assembles the current analysis window: WindowSamples of PCM16.
+	// After a frame is computed the window-stride overlap slides to the
+	// front; with StrideSamples > WindowSamples (gapped geometries) skip
+	// counts samples to discard before the next window starts.
+	win  []int16
+	fill int
+	skip int
+	// ring holds the feature rows of the last NumFrames completed frames,
+	// frame-major; next is the slot the next frame lands in, which is also
+	// the oldest row of the current fingerprint.
+	ring   []uint8
+	next   int
+	frames int
+}
+
+// NewStreamer builds a streamer over fe. The streamer shares fe's FFT
+// scratch, so fe must not be used concurrently with it.
+func NewStreamer(fe *Frontend) *Streamer {
+	cfg := fe.cfg
+	return &Streamer{
+		fe:   fe,
+		win:  make([]int16, cfg.WindowSamples),
+		ring: make([]uint8, cfg.FingerprintLen()),
+	}
+}
+
+// Frontend returns the wrapped frontend.
+func (s *Streamer) Frontend() *Frontend { return s.fe }
+
+// Frames returns the total number of completed frames since construction or
+// the last Reset.
+func (s *Streamer) Frames() int { return s.frames }
+
+// Ready reports whether a full fingerprint window (NumFrames frames) has
+// been accumulated.
+func (s *Streamer) Ready() bool { return s.frames >= s.fe.cfg.NumFrames }
+
+// NeedSamples returns how many more samples must be pushed before the next
+// frame completes.
+func (s *Streamer) NeedSamples() int {
+	return s.skip + s.fe.cfg.WindowSamples - s.fill
+}
+
+// Reset discards all buffered samples and cached frames.
+func (s *Streamer) Reset() {
+	s.fill, s.skip, s.next, s.frames = 0, 0, 0, 0
+	for i := range s.ring {
+		s.ring[i] = 0
+	}
+}
+
+// Push consumes a chunk of the sample stream, computing one FFT frame per
+// completed analysis window, and returns the number of frames completed by
+// this chunk. Chunks may be of any size; Push is allocation-free.
+func (s *Streamer) Push(samples []int16) int {
+	cfg := s.fe.cfg
+	features := cfg.NumFeatures()
+	done := 0
+	for len(samples) > 0 {
+		if s.skip > 0 {
+			d := min(s.skip, len(samples))
+			s.skip -= d
+			samples = samples[d:]
+			continue
+		}
+		n := copy(s.win[s.fill:], samples)
+		s.fill += n
+		samples = samples[n:]
+		if s.fill < cfg.WindowSamples {
+			break
+		}
+		s.fe.frameInto(s.ring[s.next*features:(s.next+1)*features], s.win, 0)
+		s.next++
+		if s.next == cfg.NumFrames {
+			s.next = 0
+		}
+		s.frames++
+		done++
+		if keep := cfg.WindowSamples - cfg.StrideSamples; keep > 0 {
+			copy(s.win[:keep], s.win[cfg.StrideSamples:])
+			s.fill = keep
+		} else {
+			s.fill = 0
+			s.skip = -keep
+		}
+	}
+	return done
+}
+
+// Fingerprint assembles the fingerprint of the most recent NumFrames frames
+// into dst (reallocated only when its capacity is insufficient, as in
+// ExtractInto) and returns it. It returns nil until Ready: the streamer
+// never fabricates frames it has not observed. The result is identical to
+// ExtractInto over the UtteranceSamples() window ending at the last
+// completed frame.
+func (s *Streamer) Fingerprint(dst []uint8) []uint8 {
+	cfg := s.fe.cfg
+	if s.frames < cfg.NumFrames {
+		return nil
+	}
+	if n := cfg.FingerprintLen(); cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]uint8, n)
+	}
+	// The slot about to be overwritten (next) holds the oldest live frame.
+	head := s.next * cfg.NumFeatures()
+	n := copy(dst, s.ring[head:])
+	copy(dst[n:], s.ring[:head])
+	return dst
+}
+
+// HopCycles returns the simulated-core cost of one steady-state hop: the
+// window multiply, a single FFT, and the bin post-processing — the
+// per-frame share of Frontend.Cycles.
+func (f *Frontend) HopCycles() uint64 {
+	return f.Cycles() / uint64(f.cfg.NumFrames)
+}

@@ -43,6 +43,7 @@ func runE11(ctx *Ctx) (*Table, error) {
 		}
 		// One warm-up pass settles lazy twiddle tables and scheduler state.
 		p.RunBatch(utts[:min(len(utts), 8)])
+		defer p.Close()
 		ctx.Logf("E11: %d workers, batch %d", workers, batch)
 		start := time.Now()
 		results := p.RunBatch(utts)

@@ -81,9 +81,17 @@ func (m *Microphone) Drain(n int) []int16 {
 		n = len(m.pending)
 	}
 	out := make([]int16, n)
-	copy(out, m.pending[:n])
-	m.pending = m.pending[n:]
+	m.DrainInto(out)
 	return out
+}
+
+// DrainInto removes up to len(dst) samples from the FIFO into dst and
+// returns how many were transferred — the allocation-free drain the secure
+// peripheral driver uses on its hot path.
+func (m *Microphone) DrainInto(dst []int16) int {
+	n := copy(dst, m.pending)
+	m.pending = m.pending[n:]
+	return n
 }
 
 // Flash models untrusted on-board flash storage as a blob store. OMG keeps

@@ -218,15 +218,27 @@ func (s *SoC) DMARead(addr PhysAddr, buf []byte) error {
 // ReadMic drains up to n samples from the microphone on behalf of core c,
 // enforcing the TZPC assignment and charging FIFO transfer cost.
 func (s *SoC) ReadMic(c *Core, n int) ([]int16, error) {
-	a := Access{Core: c.id, World: c.world, Len: n}
-	if err := s.tzpc.Check(a, PeriphMicrophone); err != nil {
-		s.recordFault(err)
+	buf := make([]int16, n)
+	got, err := s.ReadMicInto(c, buf)
+	if err != nil {
 		return nil, err
 	}
-	samples := s.mic.Drain(n)
-	bursts := (len(samples)*2 + 63) / 64
+	return buf[:got], nil
+}
+
+// ReadMicInto is ReadMic draining into caller-owned storage (up to len(dst)
+// samples), returning the transferred count; the secure peripheral driver
+// uses it to keep the capture path allocation-free.
+func (s *SoC) ReadMicInto(c *Core, dst []int16) (int, error) {
+	a := Access{Core: c.id, World: c.world, Len: len(dst)}
+	if err := s.tzpc.Check(a, PeriphMicrophone); err != nil {
+		s.recordFault(err)
+		return 0, err
+	}
+	got := s.mic.DrainInto(dst)
+	bursts := (got*2 + 63) / 64
 	c.Charge(uint64(bursts) * PeriphCycles)
-	return samples, nil
+	return got, nil
 }
 
 // Elapsed returns the largest per-core simulated time, a convenient

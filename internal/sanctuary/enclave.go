@@ -22,6 +22,10 @@ type Enclave struct {
 	cert        *omgcrypto.Certificate
 	identity    *omgcrypto.Identity
 	state       State
+	// micScratch is the enclave-owned byte staging buffer for microphone
+	// reads, grown on demand and reused so steady-state capture does not
+	// allocate. The enclave is single-threaded, so no lock is needed.
+	micScratch []byte
 }
 
 // Name returns the enclave's name (the image name).
@@ -42,6 +46,10 @@ func (e *Enclave) PrivBase() hw.PhysAddr { return e.privBase }
 
 // PrivSize returns the size of the enclave-private region.
 func (e *Enclave) PrivSize() uint64 { return e.cfg.PrivateSize }
+
+// SWSize returns the size of the window shared with the secure world, which
+// bounds how much peripheral data one SMC round trip can deliver.
+func (e *Enclave) SWSize() uint64 { return e.cfg.SharedSWSize }
 
 // Boot performs life-cycle step 2: powers the dedicated core on with the
 // SANCTUARY Library, which receives the enclave's certified identity from
@@ -203,24 +211,63 @@ func (env *Env) Attest(nonce []byte) (*omgcrypto.AttestationReport, []*omgcrypto
 // secure world (§V step 7): one SMC round trip, after which the samples are
 // read from the shared-SW window on the enclave's core.
 func (env *Env) CaptureMic(n int) ([]int16, error) {
+	return env.CaptureMicInto(nil, n)
+}
+
+// CaptureMicInto is CaptureMic decoding into caller-owned storage: buf is
+// reused when its capacity suffices and reallocated otherwise, and the byte
+// staging goes through an enclave-owned scratch buffer, so repeated captures
+// (the always-on operation phase) perform no per-call heap allocation on the
+// enclave side. It returns the decoded samples.
+func (env *Env) CaptureMicInto(buf []int16, n int) ([]int16, error) {
+	got, err := env.CaptureMicBulk(n)
+	if err != nil {
+		return nil, err
+	}
+	return env.ReadMicWindow(buf, 0, got)
+}
+
+// CaptureMicBulk performs the SMC round trip of CaptureMic without decoding:
+// up to n samples are drained from the secure microphone into the shared-SW
+// window and the deposited count is returned. Callers decode slices of the
+// deposit with ReadMicWindow; requesting several utterances per call is how
+// a batch amortizes the world switch.
+func (env *Env) CaptureMicBulk(n int) (int, error) {
 	e := env.enclave
 	resp, err := env.SecureCall(trustzone.SvcPeriphRead, trustzone.PeriphReadReq{
 		Name: e.name, Periph: hw.PeriphMicrophone, N: n,
 	})
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	got := resp.(trustzone.PeriphReadResp).N
-	buf := make([]byte, got*2)
-	if err := e.mgr.soc.Read(e.core, e.swBase, buf); err != nil {
+	return resp.(trustzone.PeriphReadResp).N, nil
+}
+
+// ReadMicWindow decodes n PCM16 samples starting at sample offset off of the
+// shared-SW window into buf (reused when its capacity suffices), charging
+// the copy to the enclave core. Reading utterance-sized slices keeps the
+// working set small even when a bulk capture deposited far more.
+func (env *Env) ReadMicWindow(buf []int16, off, n int) ([]int16, error) {
+	e := env.enclave
+	if n < 0 || off < 0 || uint64(off+n)*2 > e.cfg.SharedSWSize {
+		return nil, fmt.Errorf("sanctuary: mic window read [%d,%d) outside shared window", off, off+n)
+	}
+	if need := n * 2; cap(e.micScratch) < need {
+		e.micScratch = make([]byte, need)
+	}
+	raw := e.micScratch[:n*2]
+	if err := e.mgr.soc.Read(e.core, e.swBase+hw.PhysAddr(off*2), raw); err != nil {
 		return nil, fmt.Errorf("sanctuary: reading shared-SW window: %w", err)
 	}
-	e.core.Charge(uint64(len(buf)) * hw.CyclesPerByteCopy)
-	samples := make([]int16, got)
-	for i := range samples {
-		samples[i] = int16(uint16(buf[2*i]) | uint16(buf[2*i+1])<<8)
+	e.core.Charge(uint64(len(raw)) * hw.CyclesPerByteCopy)
+	if cap(buf) < n {
+		buf = make([]int16, n)
 	}
-	return samples, nil
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = int16(uint16(raw[2*i]) | uint16(raw[2*i+1])<<8)
+	}
+	return buf, nil
 }
 
 // StoreBlob asks the commodity OS to persist a blob to untrusted flash

@@ -238,6 +238,55 @@ func TestMicCaptureThroughSecureWorld(t *testing.T) {
 	}
 }
 
+// TestMicCaptureIntoReusesBuffer: the streaming capture path must decode
+// into the caller's buffer (no reallocation when capacity suffices) and
+// deliver the same samples as the allocating wrapper.
+func TestMicCaptureIntoReusesBuffer(t *testing.T) {
+	soc, mgr, _ := testManager(t)
+	e, err := mgr.Setup(smallConfig("micinto", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int16, 480)
+	for i := range want {
+		want[i] = int16(i*13 - 3000)
+	}
+	err = e.Run(func(env *Env) error {
+		buf := make([]int16, len(want))
+		for round := 0; round < 3; round++ {
+			soc.Microphone().Feed(want)
+			got, err := env.CaptureMicInto(buf, len(want))
+			if err != nil {
+				return err
+			}
+			if len(got) != len(want) || &got[0] != &buf[0] {
+				t.Fatalf("round %d: CaptureMicInto reallocated despite sufficient capacity", round)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: sample %d = %d, want %d", round, i, got[i], want[i])
+				}
+			}
+		}
+		// Undersized buffers are grown, not overrun.
+		soc.Microphone().Feed(want)
+		got, err := env.CaptureMicInto(make([]int16, 2), len(want))
+		if err != nil {
+			return err
+		}
+		if len(got) != len(want) {
+			t.Fatalf("undersized buf: %d samples, want %d", len(got), len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMicCaptureDeniedWithoutPermission(t *testing.T) {
 	soc, mgr, _ := testManager(t)
 	e, err := mgr.Setup(smallConfig("nomic", false))

@@ -117,6 +117,12 @@ type SecureOS struct {
 	// relaunches until the model is updated.
 	deviceSecret []byte
 	enclaves     map[string]*enclaveRecord
+	// micSamples/micBytes are the peripheral driver's drain and encode
+	// scratch, grown on demand and reused across SMCs so the always-on
+	// capture path performs no per-call heap allocation. Secure-world
+	// handlers are serialized by the monitor, so no lock is needed.
+	micSamples []int16
+	micBytes   []byte
 }
 
 // SecureOSConfig configures the trusted OS.
@@ -397,18 +403,36 @@ func (s *SecureOS) handlePeriphRead(ctx *SecureContext, req any) (any, error) {
 	if uint64(r.N)*2 > rec.swSize {
 		return nil, fmt.Errorf("trustzone: %d samples exceed shared buffer (%d bytes)", r.N, rec.swSize)
 	}
-	samples, err := s.soc.ReadMic(ctx.Core, r.N)
-	if err != nil {
-		return nil, err
+	// Drain, encode and deposit in FIFO-burst-sized chunks through the
+	// reused scratch: bulk reads (an enclave batching several utterances
+	// per SMC) keep a cache-resident working set instead of staging the
+	// whole transfer, so batched capture costs the same per byte as
+	// utterance-sized capture.
+	const micChunk = 8 << 10 // samples per chunk
+	if cap(s.micSamples) < micChunk {
+		s.micSamples = make([]int16, micChunk)
+		s.micBytes = make([]byte, 2*micChunk)
 	}
-	// Deposit PCM16 little-endian at the start of the shared-SW window.
-	buf := make([]byte, len(samples)*2)
-	for i, v := range samples {
-		buf[2*i] = byte(uint16(v))
-		buf[2*i+1] = byte(uint16(v) >> 8)
+	got := 0
+	for got < r.N {
+		n := min(micChunk, r.N-got)
+		moved, err := s.soc.ReadMicInto(ctx.Core, s.micSamples[:n])
+		if err != nil {
+			return nil, err
+		}
+		if moved == 0 {
+			break
+		}
+		// Deposit PCM16 little-endian, packed from the window start.
+		buf := s.micBytes[:moved*2]
+		for i, v := range s.micSamples[:moved] {
+			buf[2*i] = byte(uint16(v))
+			buf[2*i+1] = byte(uint16(v) >> 8)
+		}
+		if err := s.soc.Write(ctx.Core, rec.swBase+hw.PhysAddr(got*2), buf); err != nil {
+			return nil, fmt.Errorf("trustzone: depositing samples: %w", err)
+		}
+		got += moved
 	}
-	if err := s.soc.Write(ctx.Core, rec.swBase, buf); err != nil {
-		return nil, fmt.Errorf("trustzone: depositing samples: %w", err)
-	}
-	return PeriphReadResp{N: len(samples)}, nil
+	return PeriphReadResp{N: got}, nil
 }
