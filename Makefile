@@ -4,7 +4,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD)
 
-.PHONY: all help build test vet fmt-check bench bench-save bench-cmp ci
+.PHONY: all help build test vet fmt-check bench bench-save bench-cmp bench-gate ci
 
 all: build
 
@@ -16,6 +16,8 @@ help:
 	@echo "make bench       run hot-path + evaluation benchmarks (-benchmem)"
 	@echo "make bench-save  run benchmarks and save BENCH_<rev>.json (perf trajectory)"
 	@echo "make bench-cmp   diff two saved runs: make bench-cmp BASE=BENCH_a.json HEAD=BENCH_b.json"
+	@echo "make bench-gate  rerun the hot-path benchmarks and fail if any regressed >GATE_TOL% (default 25)"
+	@echo "                 against the committed baseline (BASE=..., default: newest BENCH_*.json)"
 	@echo "make ci          tier-1 gate: build + vet + fmt-check + test"
 
 build:
@@ -45,6 +47,23 @@ bench-save:
 bench-cmp:
 	@test -n "$(BASE)" -a -n "$(HEAD)" || { echo "usage: make bench-cmp BASE=old.json HEAD=new.json"; exit 2; }
 	$(GO) run ./cmd/benchjson -cmp $(BASE) $(HEAD)
+
+# Regression gate for the hot benchmarks: rerun them and diff against the
+# committed baseline snapshot (newest BENCH_*.json unless BASE= overrides);
+# a gated benchmark more than GATE_TOL% slower fails the target. The
+# tolerance is generous because shared CI hosts are noisy — tighten locally
+# with GATE_TOL=10.
+GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract
+GATE_TOL ?= 25
+bench-gate:
+	@set -e; base="$(BASE)"; \
+	if [ -z "$$base" ]; then base="$$(ls -t BENCH_*.json 2>/dev/null | head -1)"; fi; \
+	test -n "$$base" || { echo "bench-gate: no BENCH_*.json baseline found (run make bench-save)"; exit 2; }; \
+	echo "bench-gate: baseline $$base"; \
+	scratch="$$(mktemp -d /tmp/bench_gate.XXXXXX)"; trap 'rm -rf "$$scratch"' EXIT; \
+	$(GO) test -run '^$$' -bench '$(GATE_BENCHES)' -benchmem . > "$$scratch/out.txt" || { cat "$$scratch/out.txt"; echo "bench-gate: benchmark run failed"; exit 1; }; \
+	$(GO) run ./cmd/benchjson -save "$$scratch/head.json" < "$$scratch/out.txt"; \
+	$(GO) run ./cmd/benchjson -cmp -tol $(GATE_TOL) -gate '$(GATE_BENCHES)' "$$base" "$$scratch/head.json"
 
 ci: build vet fmt-check test
 	@echo "ci: OK"

@@ -433,6 +433,45 @@ func BenchmarkInterpreterInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkInvokeBatch measures the planned multi-utterance interpreter
+// path: B utterances stacked into one taller im2col/GEMM per node. The
+// utt/s metric compares directly against BenchmarkInterpreterInvoke's
+// inverse ns/op (batch=1 measures the planned path's own overhead; the
+// ISSUE acceptance bar is ≥1.15× serial throughput at batch ≥ 8).
+func BenchmarkInvokeBatch(b *testing.B) {
+	fixture(b)
+	for _, batch := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			model, err := tflm.BuildRandomTinyConv(1, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ip, err := tflm.NewInterpreter(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ip.PlanBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < batch; j++ {
+				row := ip.BatchInput(j)
+				for i := range row {
+					row[i] = int8((i + 31*j) % 251)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ip.InvokeBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "utt/s")
+		})
+	}
+}
+
 // BenchmarkBatchInference measures the concurrent serving path: a batch of
 // utterances fanned across core.Pipeline worker pools of increasing size.
 // The per-op time is for the whole batch; the utt/s metric is the
@@ -553,6 +592,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 					if r := p.Wait(); r.Err != nil {
 						b.Fatal(r.Err)
 					}
+					p.Release()
 				}
 			}
 			b.StopTimer()

@@ -8,9 +8,13 @@
 //	benchjson -cmp BENCH_old.json BENCH_new.json
 //
 // The diff lists every benchmark present in both files with the ns/op
-// delta; changes beyond ±10% are flagged. Benchmarks appearing on only one
-// side are reported as added/removed. -cmp exits 0 regardless of deltas —
-// it informs, the reader judges.
+// delta; changes beyond the tolerance (-tol, default ±10%) are flagged.
+// Benchmarks appearing on only one side are reported as added/removed.
+// Plain -cmp exits 0 regardless of deltas — it informs, the reader judges.
+// With -gate REGEXP (the `make bench-gate` mode) the comparison instead
+// exits 1 when any benchmark matching the pattern is slower than the
+// baseline by more than the tolerance, turning the committed BENCH_*.json
+// snapshot into a regression gate for the hot paths.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -103,8 +108,10 @@ func load(path string) (*File, error) {
 	return &f, nil
 }
 
-// Compare renders the old→new delta report.
-func Compare(w io.Writer, oldF, newF *File) {
+// Compare renders the old→new delta report, flagging moves beyond ±tol
+// percent. When gate is non-nil it returns the names of gated benchmarks
+// (those matching the pattern) that regressed beyond the tolerance.
+func Compare(w io.Writer, oldF, newF *File, tol float64, gate *regexp.Regexp) []string {
 	oldBy := map[string]Benchmark{}
 	for _, b := range oldF.Benchmarks {
 		oldBy[b.Name] = b
@@ -116,6 +123,7 @@ func Compare(w io.Writer, oldF, newF *File) {
 		names = append(names, b.Name)
 	}
 	sort.Strings(names)
+	var regressed []string
 	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
 		nb := newBy[name]
@@ -129,23 +137,35 @@ func Compare(w io.Writer, oldF, newF *File) {
 			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
 		}
 		flag := ""
-		if delta <= -10 {
+		if delta <= -tol {
 			flag = "  (faster)"
-		} else if delta >= 10 {
+		} else if delta >= tol {
 			flag = "  (SLOWER)"
+			if gate != nil && gate.MatchString(name) {
+				regressed = append(regressed, name)
+			}
 		}
 		fmt.Fprintf(w, "%-55s %14.0f %14.0f %+8.1f%%%s\n", name, ob.NsPerOp, nb.NsPerOp, delta, flag)
 	}
 	for _, b := range oldF.Benchmarks {
 		if _, ok := newBy[b.Name]; !ok {
 			fmt.Fprintf(w, "%-55s %14.0f %14s %9s\n", b.Name, b.NsPerOp, "-", "removed")
+			// A gated benchmark that vanished is a gate failure, not a
+			// pass: silently dropping the hot-path measurement would
+			// otherwise disarm the gate.
+			if gate != nil && gate.MatchString(b.Name) {
+				regressed = append(regressed, b.Name+" (removed)")
+			}
 		}
 	}
+	return regressed
 }
 
 func main() {
 	save := flag.String("save", "", "parse bench output on stdin and write JSON to this file")
 	cmp := flag.Bool("cmp", false, "compare two saved JSON files: benchjson -cmp OLD NEW")
+	tol := flag.Float64("tol", 10, "percent ns/op change flagged as faster/SLOWER by -cmp")
+	gate := flag.String("gate", "", "with -cmp: exit 1 if any benchmark matching this regexp is SLOWER beyond -tol")
 	flag.Parse()
 
 	switch {
@@ -167,7 +187,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(f.Benchmarks), *save)
 	case *cmp:
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -cmp OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -cmp [-tol PCT] [-gate REGEXP] OLD.json NEW.json")
 			os.Exit(2)
 		}
 		oldF, err := load(flag.Arg(0))
@@ -180,9 +200,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		Compare(os.Stdout, oldF, newF)
+		var gateRe *regexp.Regexp
+		if *gate != "" {
+			if gateRe, err = regexp.Compile(*gate); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -gate pattern:", err)
+				os.Exit(2)
+			}
+		}
+		regressed := Compare(os.Stdout, oldF, newF, *tol, gateRe)
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate FAILED, %d benchmark(s) regressed beyond %.0f%%: %s\n",
+				len(regressed), *tol, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchjson -save FILE < bench-output | benchjson -cmp OLD NEW")
+		fmt.Fprintln(os.Stderr, "usage: benchjson -save FILE < bench-output | benchjson -cmp [-tol PCT] [-gate REGEXP] OLD NEW")
 		os.Exit(2)
 	}
 }

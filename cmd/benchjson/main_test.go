@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -62,11 +63,63 @@ func TestCompare(t *testing.T) {
 		{Name: "BenchmarkNew-4", NsPerOp: 7},
 	}}
 	var sb strings.Builder
-	Compare(&sb, oldF, newF)
+	Compare(&sb, oldF, newF, 10, nil)
 	out := sb.String()
 	for _, want := range []string{"(faster)", "(SLOWER)", "added", "removed", "-20.0%", "+15.0%"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("compare output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCompareTolerance: the flag threshold follows -tol, so a ±15% move is
+// quiet at tol=20 and flagged at tol=10.
+func TestCompareTolerance(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{{Name: "BenchmarkB-4", NsPerOp: 2000}}}
+	newF := &File{Benchmarks: []Benchmark{{Name: "BenchmarkB-4", NsPerOp: 2300}}}
+	var sb strings.Builder
+	Compare(&sb, oldF, newF, 20, nil)
+	if strings.Contains(sb.String(), "SLOWER") {
+		t.Fatalf("+15%% flagged at tol=20:\n%s", sb.String())
+	}
+	sb.Reset()
+	Compare(&sb, oldF, newF, 10, nil)
+	if !strings.Contains(sb.String(), "SLOWER") {
+		t.Fatalf("+15%% not flagged at tol=10:\n%s", sb.String())
+	}
+}
+
+// TestCompareGate: only gated benchmarks that regressed beyond the
+// tolerance are reported for a non-zero exit.
+func TestCompareGate(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHot-4", NsPerOp: 1000},
+		{Name: "BenchmarkCold-4", NsPerOp: 1000},
+		{Name: "BenchmarkHotOK-4", NsPerOp: 1000},
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHot-4", NsPerOp: 1500},   // gated, regressed
+		{Name: "BenchmarkCold-4", NsPerOp: 1500},  // regressed but not gated
+		{Name: "BenchmarkHotOK-4", NsPerOp: 1050}, // gated, within tolerance
+	}}
+	var sb strings.Builder
+	regressed := Compare(&sb, oldF, newF, 10, regexp.MustCompile(`BenchmarkHot`))
+	if len(regressed) != 1 || regressed[0] != "BenchmarkHot-4" {
+		t.Fatalf("gate regressions = %v, want [BenchmarkHot-4]", regressed)
+	}
+	if r := Compare(&sb, oldF, newF, 60, regexp.MustCompile(`BenchmarkHot`)); len(r) != 0 {
+		t.Fatalf("gate at tol=60 reported %v", r)
+	}
+}
+
+// TestCompareGateRemoved: a gated benchmark missing from the new run fails
+// the gate instead of silently passing.
+func TestCompareGateRemoved(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{{Name: "BenchmarkHot-4", NsPerOp: 1000}}}
+	newF := &File{Benchmarks: []Benchmark{{Name: "BenchmarkOther-4", NsPerOp: 1000}}}
+	var sb strings.Builder
+	regressed := Compare(&sb, oldF, newF, 10, regexp.MustCompile(`BenchmarkHot`))
+	if len(regressed) != 1 || regressed[0] != "BenchmarkHot-4 (removed)" {
+		t.Fatalf("gate regressions = %v, want removed BenchmarkHot-4", regressed)
 	}
 }

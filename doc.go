@@ -18,15 +18,48 @@
 // The engine's linear-algebra hot path is an im2col+GEMM pipeline
 // (internal/tflm/gemm.go): convolutions pack receptive fields into a column
 // matrix (padding is absorbed by the packer, which fills border patches
-// with the input zero point) and run a blocked int8×int8→int32 GEMM with
-// per-filter zero-point corrections bias[oc] − inZP·Σw[oc] folded into the
-// accumulator seeds. Interpreters prep every node at construction —
-// requantization multipliers, correction terms, im2col and softmax scratch
-// — so Invoke is allocation-free. Every optimized kernel has a scalar
-// reference twin (internal/tflm/op_ref.go) and is kept bit-exact against
-// it by randomized equivalence tests; new operators must ship the same
-// pair. The simulated-device cycle model (NodeCycles) is untouched by all
-// of this: host kernels are fast, modeled hardware costs are calibrated.
+// with the input zero point) and run a register-blocked int8×int8→int32
+// GEMM with per-filter zero-point corrections bias[oc] − inZP·Σw[oc]
+// folded into the accumulator seeds. Weights are repacked once at plan
+// time into 4-filter interleaved panels (packPanels), so the micro-kernel
+// — two im2col rows against one panel, depth-unrolled ×4 — reads one
+// contiguous weight stream and shares every load across eight
+// accumulators; the requantization constants (multiplier decomposition,
+// rounding masks) are likewise hoisted to plan time. Interpreters prep
+// every node at construction, so Invoke is allocation-free.
+//
+// Interpreter.PlanBatch/InvokeBatch is the stacked-utterance face of the
+// same engine: up to the planned capacity of utterances are staged into
+// per-tensor slabs (BatchInput) and classified in one pass over the graph
+// — each convolution replays a plan-compiled im2col copy program (padding
+// prefilled once with the zero point) and runs the patch rows of each
+// utterance through the shared weight panels while they are cache-hot,
+// pure-copy reshapes alias away entirely, and softmax sweeps all stacked
+// rows at once. Output rows (BatchOutput) stay valid until the next
+// InvokeBatch. Results are bit-exact with serial Invoke, and cycle
+// metering still charges every utterance's full simulated cost.
+//
+// Every optimized kernel has a scalar reference twin
+// (internal/tflm/op_ref.go) and is kept bit-exact against it by randomized
+// equivalence tests (int32 accumulation reassociates exactly modulo 2^32);
+// new operators must ship the same pair. The simulated-device cycle model
+// (NodeCycles) is untouched by all of this: host kernels are fast, modeled
+// hardware costs are calibrated.
+//
+// # Real-input FFT frontend
+//
+// The fingerprint frontend (internal/dsp) feeds real audio frames, so its
+// spectrum comes from rfftFixed: the FFTSize real samples are packed as an
+// FFTSize/2-point complex FFT (even samples real, odd imaginary) and the
+// half-spectra are unzipped in a split post-pass — about half the
+// butterflies and twiddle loads per frame of the full complex transform,
+// with the same 1/FFTSize output scaling. The per-frontend tables pin both
+// twiddle sets and the precomputed bit-reversal permutations. Feature
+// bytes match the old full-size-FFT path within one least-significant
+// step: the split post-pass rounds where the discarded butterfly stage
+// truncated. FFTFixed and FFTFloat remain as reference transforms with
+// error-bound tests, and Frontend.Cycles models the halved butterfly count
+// plus the post-pass (hw.CyclesPerRFFTPostBin).
 //
 // # Streaming serving
 //
@@ -47,9 +80,16 @@
 // recomputation in steady state, with zero allocations, and bit-exact
 // against ExtractInto (BenchmarkStreamingExtract, E12).
 //
+// Server workers drain the submission queue in batches: when ≥ 2
+// utterances are pending a worker classifies up to ServerConfig.MaxBatch
+// of them through one planned InvokeBatch call, and submission tickets
+// recycle through a freelist (Pending.Release), keeping the steady-state
+// submission path allocation-free.
+//
 // On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
 // iterations inside a single enclave Run, pulling several utterances per
-// SMC round trip through the shared-SW window and reusing app-owned
+// SMC round trip through the shared-SW window, classifying each
+// window-full through one stacked InvokeBatch, and reusing app-owned
 // scratch, which amortizes the world-switch overhead of the per-query
 // Table-I path (visible in E12's simulated-time column; host wall time is
 // extraction/GEMM-bound and therefore at parity).

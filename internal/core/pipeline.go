@@ -42,11 +42,16 @@ type pipeWorker struct {
 	fe *dsp.Frontend
 	ip *tflm.Interpreter
 	fp []uint8 // fingerprint scratch, reused across utterances
+	// batch is the job staging area for batched queue draining (nil when
+	// the worker runs strictly one utterance per interpreter call).
+	batch []job
 }
 
 // newPipeWorker builds one worker over a clone of model, validating that the
-// model input matches the frontend's fingerprint geometry.
-func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig) (*pipeWorker, error) {
+// model input matches the frontend's fingerprint geometry. maxBatch > 1
+// additionally plans the interpreter's stacked InvokeBatch path so the
+// worker can drain several queued utterances per interpreter call.
+func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig, maxBatch int) (*pipeWorker, error) {
 	ip, err := tflm.NewInterpreter(model.Clone())
 	if err != nil {
 		return nil, err
@@ -59,7 +64,14 @@ func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig) (*pipeWorker, er
 	if in.Type != tflm.Int8 || in.NumElements() != feCfg.FingerprintLen() {
 		return nil, fmt.Errorf("core: model input %s incompatible with %d-feature fingerprint", in, feCfg.FingerprintLen())
 	}
-	return &pipeWorker{fe: fe, ip: ip, fp: make([]uint8, feCfg.FingerprintLen())}, nil
+	w := &pipeWorker{fe: fe, ip: ip, fp: make([]uint8, feCfg.FingerprintLen())}
+	// Models the batched engine cannot plan (e.g. non-int8 or multi-tensor
+	// output) simply keep the one-utterance-per-call path; batching is an
+	// optimization, not a serving requirement.
+	if maxBatch > 1 && ip.PlanBatch(maxBatch) == nil {
+		w.batch = make([]job, 0, maxBatch)
+	}
+	return w, nil
 }
 
 // run executes one utterance on this worker's private state.
@@ -87,6 +99,43 @@ func (w *pipeWorker) runFingerprint(fp []uint8, withProbs bool) Result {
 		}
 	}
 	return res
+}
+
+// runJobs classifies a drained batch of queued jobs through the planned
+// InvokeBatch path: each job's fingerprint (extracted here for utterance
+// jobs, precomputed for stream jobs) is staged into the interpreter's
+// stacked input slab, one InvokeBatch covers all of them, and the results
+// are written through the jobs' result pointers. Completion is signalled
+// per job, in order.
+func (w *pipeWorker) runJobs(jobs []job, withProbs bool) {
+	for j := range jobs {
+		fp := jobs[j].fp
+		if fp == nil {
+			w.fp = w.fe.ExtractInto(w.fp, jobs[j].samples)
+			fp = w.fp
+		}
+		in := w.ip.BatchInput(j)
+		for i, f := range fp {
+			in[i] = int8(int32(f) - 128)
+		}
+	}
+	err := w.ip.InvokeBatch(len(jobs))
+	outQ := w.ip.Output(0).Quant
+	for j := range jobs {
+		if err != nil {
+			*jobs[j].res = Result{Label: -1, Err: err}
+		} else {
+			out := w.ip.BatchOutput(j)
+			res := Result{Label: tflm.ArgmaxI8(out)}
+			if withProbs {
+				res.Probs = make([]float64, len(out))
+				for i, q := range out {
+					res.Probs[i] = outQ.Dequantize(q)
+				}
+			}
+			*jobs[j].res = res
+		}
+	}
 }
 
 // Pipeline fans batches of utterances across a persistent worker pool.

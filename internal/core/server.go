@@ -36,6 +36,10 @@ type ServerConfig struct {
 	// queue blocks Submit and fails TrySubmit, bounding the memory a burst
 	// of submissions can pin.
 	Queue int
+	// MaxBatch caps how many queued utterances a worker drains into one
+	// planned tflm.InvokeBatch call when the queue is backed up (≥ 2
+	// pending). <= 0 means the default of 8; 1 disables batched draining.
+	MaxBatch int
 	// Frontend configures feature extraction; the zero value means
 	// dsp.DefaultFrontend().
 	Frontend dsp.FrontendConfig
@@ -43,6 +47,10 @@ type ServerConfig struct {
 	// (one allocation per utterance); when false only labels are produced.
 	WithProbs bool
 }
+
+// defaultMaxBatch is the queue-drain batching depth when the config leaves
+// MaxBatch unset.
+const defaultMaxBatch = 8
 
 // job is one unit of work on the queue. Exactly one of samples/fp describes
 // the input; the worker writes *res and then signals done, so a batch can
@@ -97,13 +105,17 @@ func newServer(model *tflm.Model, cfg ServerConfig) (*Server, error) {
 	if queue <= 0 {
 		queue = 2 * n
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
 	s := &Server{
 		feCfg:     feCfg,
 		withProbs: cfg.WithProbs,
 		jobs:      make(chan job, queue),
 	}
 	for i := 0; i < n; i++ {
-		w, err := newPipeWorker(model, feCfg)
+		w, err := newPipeWorker(model, feCfg, maxBatch)
 		if err != nil {
 			return nil, fmt.Errorf("core: server worker %d: %w", i, err)
 		}
@@ -114,7 +126,9 @@ func newServer(model *tflm.Model, cfg ServerConfig) (*Server, error) {
 
 // start launches one goroutine per worker. Each loops on the shared queue
 // until Close closes it, so no per-call goroutine spawn or WaitGroup churn
-// remains on the serving path.
+// remains on the serving path. When the queue is backed up a worker drains
+// up to its planned batch capacity and classifies the whole batch through
+// one tflm.InvokeBatch call; a lone job keeps the single-utterance path.
 func (s *Server) start() {
 	for _, w := range s.workers {
 		s.wg.Add(1)
@@ -122,19 +136,61 @@ func (s *Server) start() {
 		go func(w *pipeWorker) {
 			defer s.wg.Done()
 			defer s.live.Add(-1)
-			for j := range s.jobs {
+			runOne := func(j job) {
 				if j.fp != nil {
 					*j.res = w.runFingerprint(j.fp, s.withProbs)
-					if j.recycle != nil {
-						select {
-						case j.recycle <- j.fp:
-						default:
-						}
-					}
 				} else {
 					*j.res = w.run(j.samples, s.withProbs)
 				}
+			}
+			finish := func(j job) {
+				if j.fp != nil && j.recycle != nil {
+					select {
+					case j.recycle <- j.fp:
+					default:
+					}
+				}
 				j.done <- struct{}{}
+			}
+			for j := range s.jobs {
+				if cap(w.batch) <= 1 {
+					// Batched draining disabled (or unplannable model):
+					// classify in place.
+					runOne(j)
+					finish(j)
+					continue
+				}
+				batch := w.batch[:0]
+				batch = append(batch, j)
+				// Drain at most a fair share of the visible backlog: with
+				// several workers, grabbing the whole queue into one batch
+				// would serialize work the pool could run concurrently, so
+				// each drain leaves (workers-1)/workers of the backlog for
+				// the others. A deep backlog still fills whole batches.
+				limit := 1 + (len(s.jobs)+len(s.workers)-1)/len(s.workers)
+				if limit > cap(w.batch) {
+					limit = cap(w.batch)
+				}
+			drain:
+				for len(batch) < limit {
+					select {
+					case j2, ok := <-s.jobs:
+						if !ok {
+							break drain
+						}
+						batch = append(batch, j2)
+					default:
+						break drain
+					}
+				}
+				if len(batch) == 1 {
+					runOne(j)
+				} else {
+					w.runJobs(batch, s.withProbs)
+				}
+				for i := range batch {
+					finish(batch[i])
+				}
 			}
 		}(w)
 	}
@@ -172,11 +228,28 @@ func (s *Server) send(j job, block bool) error {
 
 // Pending is a submission ticket. Wait blocks until the worker has produced
 // the result and may be called repeatedly; waiting tickets in submission
-// order yields results in submission order.
+// order yields results in submission order. A caller that is done with a
+// ticket may Release it back to the shared freelist, making the steady-state
+// submission path allocation-free.
 type Pending struct {
 	res      Result
 	done     chan struct{}
 	received bool
+}
+
+// pendingPool recycles tickets (struct + completion channel) across
+// submissions; Submit/TrySubmit/SubmitStream draw from it and Release
+// returns to it.
+var pendingPool = sync.Pool{New: func() any {
+	return &Pending{done: make(chan struct{}, 1)}
+}}
+
+// newPending draws a recycled ticket and resets it for a fresh submission.
+func newPending() *Pending {
+	p := pendingPool.Get().(*Pending)
+	p.res = Result{}
+	p.received = false
+	return p
 }
 
 // Wait returns the submission's result, blocking until it is ready.
@@ -188,11 +261,21 @@ func (p *Pending) Wait() Result {
 	return p.res
 }
 
+// Release waits for the result if necessary and returns the ticket to the
+// freelist. The ticket — and the Result (including Probs) obtained from its
+// Wait — must not be used afterwards. Release is optional: an un-released
+// ticket is simply garbage collected.
+func (p *Pending) Release() {
+	p.Wait() // the worker's completion signal must be consumed before reuse
+	pendingPool.Put(p)
+}
+
 // Submit enqueues one utterance, blocking while the queue is full, and
 // returns its ticket.
 func (s *Server) Submit(samples []int16) (*Pending, error) {
-	p := &Pending{done: make(chan struct{}, 1)}
+	p := newPending()
 	if err := s.send(job{samples: samples, res: &p.res, done: p.done}, true); err != nil {
+		pendingPool.Put(p)
 		return nil, err
 	}
 	return p, nil
@@ -201,8 +284,9 @@ func (s *Server) Submit(samples []int16) (*Pending, error) {
 // TrySubmit is Submit that fails with ErrQueueFull instead of blocking when
 // the queue is at capacity.
 func (s *Server) TrySubmit(samples []int16) (*Pending, error) {
-	p := &Pending{done: make(chan struct{}, 1)}
+	p := newPending()
 	if err := s.send(job{samples: samples, res: &p.res, done: p.done}, false); err != nil {
+		pendingPool.Put(p)
 		return nil, err
 	}
 	return p, nil
@@ -300,9 +384,10 @@ func (s *Server) SubmitStream(st *Stream, chunk []int16) ([]*Pending, error) {
 			continue
 		}
 		fp := st.st.Fingerprint(<-st.free)
-		p := &Pending{done: make(chan struct{}, 1)}
+		p := newPending()
 		if err := s.send(job{fp: fp, recycle: st.free, res: &p.res, done: p.done}, true); err != nil {
 			st.free <- fp
+			pendingPool.Put(p)
 			return tickets, err
 		}
 		tickets = append(tickets, p)

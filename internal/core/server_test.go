@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -292,6 +293,85 @@ func TestServerProbs(t *testing.T) {
 			if direct.Probs[c] != r.Probs[c] {
 				t.Fatalf("utterance %d class %d: fingerprint path prob %v, utterance path %v", i, c, direct.Probs[c], r.Probs[c])
 			}
+		}
+	}
+}
+
+// TestServerMixedSubmitRunBatch runs concurrent Submit callers against
+// concurrent RunBatch callers on a small queue, so workers constantly drain
+// mixed batches through InvokeBatch while backpressure cycles — the -race
+// target for the batched draining path. Every result must match the serial
+// classification.
+func TestServerMixedSubmitRunBatch(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 12)
+	want := serialResults(t, model, utts)
+	srv, err := NewServer(model, ServerConfig{Workers: 3, Queue: 4, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) { // Submit path
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, u := range utts {
+					p, err := srv.Submit(u)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if r := p.Wait(); r.Err != nil || r.Label != want[i] {
+						errs <- fmt.Errorf("goroutine %d utterance %d: label %d err %v, want %d", g, i, r.Label, r.Err, want[i])
+						p.Release()
+						return
+					}
+					p.Release()
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) { // RunBatch path
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, r := range srv.RunBatch(utts) {
+					if r.Err != nil || r.Label != want[i] {
+						errs <- fmt.Errorf("batch goroutine %d utterance %d: label %d err %v, want %d", g, i, r.Label, r.Err, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPendingRelease: released tickets recycle through the pool and a
+// reused ticket observes only its own submission's result.
+func TestPendingRelease(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 6)
+	want := serialResults(t, model, utts)
+	srv, err := NewServer(model, ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for rep := 0; rep < 4; rep++ {
+		for i, u := range utts {
+			p, err := srv.Submit(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := p.Wait(); r.Label != want[i] {
+				t.Fatalf("rep %d utterance %d: label %d, want %d", rep, i, r.Label, want[i])
+			}
+			p.Release()
 		}
 	}
 }

@@ -204,6 +204,110 @@ func TestFFTFixedLinearityProperty(t *testing.T) {
 	}
 }
 
+// fixedWorstError runs one fixed-point transform of x and returns its worst
+// absolute deviation (rescaled by n) from the float reference over bins
+// 0..n/2-1 — the bins the frontend consumes.
+func fixedWorstError(t *testing.T, x []int32, rfft bool) float64 {
+	t.Helper()
+	n := len(x)
+	reF := make([]float64, n)
+	imF := make([]float64, n)
+	for i, v := range x {
+		reF[i] = float64(v)
+	}
+	if err := FFTFloat(reF, imF); err != nil {
+		t.Fatal(err)
+	}
+	var re, im []int32
+	if rfft {
+		re = make([]int32, n/2)
+		im = make([]int32, n/2)
+		if err := RFFTFixed(x, re, im); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		re = append([]int32(nil), x...)
+		im = make([]int32, n)
+		if err := FFTFixed(re, im); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var worst float64
+	for k := 0; k < n/2; k++ {
+		if d := math.Abs(float64(re[k])*float64(n) - reF[k]); d > worst {
+			worst = d
+		}
+		if d := math.Abs(float64(im[k])*float64(n) - imF[k]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestRFFTFixedTracksFloat: the real-input FFT must approximate the float
+// reference at least as tightly as the full-size complex FFTFixed it
+// replaces — the packed transform drops one truncating butterfly stage and
+// the split post-pass rounds, so randomized inputs should never show a
+// larger worst-case error. A small slack absorbs ties on the last LSB.
+func TestRFFTFixedTracksFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, n := range []int{8, 64, 256, 512} {
+		for trial := 0; trial < 25; trial++ {
+			x := make([]int32, n)
+			for i := range x {
+				x[i] = int32(r.Intn(32768) - 16384)
+			}
+			rErr := fixedWorstError(t, x, true)
+			cErr := fixedWorstError(t, x, false)
+			if rErr > cErr+float64(n) {
+				t.Fatalf("n=%d trial %d: rfft worst error %.0f exceeds complex-FFT bound %.0f", n, trial, rErr, cErr)
+			}
+			typical := math.Sqrt(float64(n)) * 16384
+			if rErr/typical > 0.02 {
+				t.Fatalf("n=%d trial %d: rfft worst error %.0f (%.2f%% of typical)", n, trial, rErr, 100*rErr/typical)
+			}
+		}
+	}
+}
+
+// TestRFFTFixedToneBin: the real FFT localizes a pure tone exactly like the
+// complex path (the frontend's feature-column mapping depends on it).
+func TestRFFTFixedToneBin(t *testing.T) {
+	const n = 512
+	const bin = 37
+	x := make([]int32, n)
+	for i := 0; i < n; i++ {
+		x[i] = int32(16000 * math.Cos(2*math.Pi*float64(bin)*float64(i)/float64(n)))
+	}
+	re := make([]int32, n/2)
+	im := make([]int32, n/2)
+	if err := RFFTFixed(x, re, im); err != nil {
+		t.Fatal(err)
+	}
+	power := func(k int) int64 { return int64(re[k])*int64(re[k]) + int64(im[k])*int64(im[k]) }
+	peak := power(bin)
+	for k := 0; k < n/2; k++ {
+		if k == bin {
+			continue
+		}
+		if power(k) > peak/4 {
+			t.Fatalf("bin %d power %d rivals tone bin %d power %d", k, power(k), bin, peak)
+		}
+	}
+}
+
+func TestRFFTFixedRejectsBadSizes(t *testing.T) {
+	if err := RFFTFixed(make([]int32, 6), make([]int32, 3), make([]int32, 3)); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if err := RFFTFixed(nil, nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if err := RFFTFixed(make([]int32, 8), make([]int32, 3), make([]int32, 4)); err == nil {
+		t.Fatal("undersized output accepted")
+	}
+}
+
 func TestDefaultFrontendGeometryMatchesPaper(t *testing.T) {
 	cfg := DefaultFrontend()
 	if cfg.NumFeatures() != 43 {
@@ -312,9 +416,10 @@ func TestFrontendCycles(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := fe.Cycles()
-	// 49 frames × (2304 butterflies × 14 + bins + window) ≈ 1.7M cycles:
-	// sub-millisecond at 2.4 GHz, consistent with the real-time claim.
-	if c < 1_000_000 || c > 5_000_000 {
+	// 49 frames × (1024 packed butterflies × 14 + 256-bin split post-pass +
+	// bins + window) ≈ 0.9M cycles: sub-millisecond at 2.4 GHz, consistent
+	// with the real-time claim, and roughly half the pre-rfft 1.7M model.
+	if c < 500_000 || c > 2_500_000 {
 		t.Fatalf("frontend cycles = %d, outside plausible band", c)
 	}
 	if ButterflyCount(512) != 256*9 {
@@ -322,5 +427,11 @@ func TestFrontendCycles(t *testing.T) {
 	}
 	if ButterflyCount(1) != 0 {
 		t.Fatal("butterfly count of size-1 FFT")
+	}
+}
+
+func TestRFFTFixedRejectsSizeOne(t *testing.T) {
+	if err := RFFTFixed(make([]int32, 1), make([]int32, 1), make([]int32, 1)); err == nil {
+		t.Fatal("size-1 real FFT accepted")
 	}
 }

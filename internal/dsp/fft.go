@@ -6,8 +6,12 @@
 // ('fingerprint') per utterance."
 //
 // The package provides a fixed-point radix-2 FFT (the kind that runs on
-// microcontrollers without an FPU), a float64 reference FFT used to bound
-// its error in tests, and the fingerprint extractor.
+// microcontrollers without an FPU), a real-input variant that packs the
+// samples into a half-size complex FFT plus a split post-pass (the hot-path
+// kernel — the audio frames are real, so half the butterflies of a full
+// complex transform are wasted on a zero imaginary part), a float64
+// reference FFT used to bound their error in tests, and the fingerprint
+// extractor.
 package dsp
 
 import (
@@ -28,7 +32,7 @@ func FFTFloat(re, im []float64) error {
 	if n == 0 || n&(n-1) != 0 {
 		return fmt.Errorf("dsp: FFT size %d not a power of two", n)
 	}
-	bitReverseF(re, im)
+	bitReverse(re, im)
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
 		step := -2 * math.Pi / float64(size)
@@ -49,7 +53,9 @@ func FFTFloat(re, im []float64) error {
 	return nil
 }
 
-func bitReverseF(re, im []float64) {
+// bitReverse performs the in-place bit-reversal reorder shared by every FFT
+// in this package; the element type only has to be swappable.
+func bitReverse[T int32 | float64](re, im []T) {
 	n := len(re)
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := 0; i < n; i++ {
@@ -61,23 +67,42 @@ func bitReverseF(re, im []float64) {
 	}
 }
 
-// twiddle tables for the fixed-point FFT, Q15, cached per size. The cache
-// is a sync.Map so concurrent FFTs (one per pipeline worker) hit a
-// lock-free read path; frontends additionally pin their table at
-// construction and bypass the cache entirely.
+// bitReversePerm is bitReverse driven by a precomputed permutation table, so
+// the hot loop performs no bits.Reverse64 work.
+func bitReversePerm(re, im []int32, perm []int32) {
+	for i, j := range perm {
+		if int(j) > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+}
+
+// twiddle tables for the fixed-point FFTs, Q15, cached per size, along with
+// the bit-reversal permutation of that size. The cache is a sync.Map so
+// concurrent FFTs (one per pipeline worker) hit a lock-free read path;
+// frontends additionally pin their tables at construction and bypass the
+// cache entirely.
 var twCache sync.Map // int → *twiddles
 
 type twiddles struct {
 	cos []int32 // Q15
 	sin []int32 // Q15
+	// perm[i] is the bit-reversed index of i, precomputed so the per-call
+	// reorder is a table walk instead of bits.Reverse64 arithmetic.
+	perm []int32
 }
 
 func computeTwiddles(n int) *twiddles {
-	tw := &twiddles{cos: make([]int32, n/2), sin: make([]int32, n/2)}
+	tw := &twiddles{cos: make([]int32, n/2), sin: make([]int32, n/2), perm: make([]int32, n)}
 	for k := 0; k < n/2; k++ {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		tw.cos[k] = int32(math.Round(math.Cos(ang) * 32767))
 		tw.sin[k] = int32(math.Round(math.Sin(ang) * 32767))
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range tw.perm {
+		tw.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
 	}
 	return tw
 }
@@ -112,8 +137,32 @@ func FFTFixed(re, im []int32) error {
 // shared cache.
 func fftFixed(re, im []int32, tw *twiddles) {
 	n := len(re)
-	bitReverseI(re, im)
-	for size := 2; size <= n; size <<= 1 {
+	bitReversePerm(re, im, tw.perm)
+	// The first two stages use only the twiddles 1 and -i, which are exact
+	// in any fixed-point format — specializing them skips the Q15 rounding
+	// multiplies (and their 1-LSB error) on a quarter of all butterflies.
+	if n >= 2 {
+		for start := 0; start+1 < n; start += 2 {
+			ar, ai := re[start]>>1, im[start]>>1
+			br, bi := re[start+1]>>1, im[start+1]>>1
+			re[start], im[start] = ar+br, ai+bi
+			re[start+1], im[start+1] = ar-br, ai-bi
+		}
+	}
+	if n >= 4 {
+		for start := 0; start+3 < n; start += 4 {
+			ar, ai := re[start]>>1, im[start]>>1
+			br, bi := re[start+2]>>1, im[start+2]>>1
+			re[start], im[start] = ar+br, ai+bi
+			re[start+2], im[start+2] = ar-br, ai-bi
+			// k = 1: W = -i rotates (br, bi) to (bi, -br).
+			ar, ai = re[start+1]>>1, im[start+1]>>1
+			br, bi = re[start+3]>>1, im[start+3]>>1
+			re[start+1], im[start+1] = ar+bi, ai-br
+			re[start+3], im[start+3] = ar-bi, ai+br
+		}
+	}
+	for size := 8; size <= n; size <<= 1 {
 		half := size / 2
 		stride := n / size
 		for start := 0; start < n; start += size {
@@ -138,15 +187,79 @@ func fftFixed(re, im []int32, tw *twiddles) {
 	}
 }
 
-func bitReverseI(re, im []int32) {
-	n := len(re)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			re[i], re[j] = re[j], re[i]
-			im[i], im[j] = im[j], im[i]
-		}
+// RFFTFixed computes spectrum bins 0..n/2-1 of the real sequence x
+// (len n, a power of two ≥ 2) with the same 1/n output scaling as an
+// n-point FFTFixed, writing into re/im (each at least n/2 long, resliced
+// to exactly n/2). It packs x into an n/2-point complex FFT (even samples
+// real, odd samples imaginary) and unzips the half-spectra in a split
+// post-pass — about half the butterflies and twiddle loads of the full
+// complex transform. Bin n/2 (the Nyquist bin) is not emitted; the
+// frontend's NumBins ≤ n/2 bins never read it.
+func RFFTFixed(x []int32, re, im []int32) error {
+	n := len(x)
+	if n < 2 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: real-FFT size %d not a power of two ≥ 2", n)
+	}
+	m := n / 2
+	if len(re) < m || len(im) < m {
+		return fmt.Errorf("dsp: rfft output length %d/%d below %d", len(re), len(im), m)
+	}
+	re, im = re[:m], im[:m]
+	for i := 0; i < m; i++ {
+		re[i] = x[2*i]
+		im[i] = x[2*i+1]
+	}
+	rfftFixed(re, im, twiddlesFor(m), twiddlesFor(n))
+	return nil
+}
+
+// rfftFixed is the real-FFT core over already packed data: re/im hold the
+// m = n/2 even/odd samples, half is the m-point twiddle table, full the
+// n-point table whose first m entries supply the post-pass rotations. On
+// return re/im hold spectrum bins 0..m-1 of the length-n real transform.
+//
+// Scaling scheme: the packed m-point fftFixed scales by 1/m; the split
+// post-pass X[k] = (E[k] + W_n^k·O[k]) halves once more with rounding, for
+// a total 1/n — bit-compatible in scale with the full-size FFTFixed path
+// it replaces, so fingerprint features stay within the fixed-point
+// tolerance documented in the frontend.
+func rfftFixed(re, im []int32, half, full *twiddles) {
+	m := len(re)
+	fftFixed(re, im, half)
+	// Unzip pairs (k, m-k): both X[k] and X[m-k] are formed from Z[k] and
+	// Z[m-k], so each pair is loaded once and written back in place.
+	//   E[k] = (Z[k] + conj(Z[m-k]))/2   (spectrum of even samples)
+	//   O[k] = (Z[k] - conj(Z[m-k]))/2i  (spectrum of odd samples)
+	//   X[k] = E[k] + W_n^k·O[k],  W_n = e^{-2πi/n}
+	// The /2 of E and O and the rotation are fused into one rounded >>17
+	// (15 bits of Q15 plus the factor 4 from using doubled E2/O2 terms,
+	// halved once more for the 1/n output scale).
+	const rnd = 1 << 16
+	for k := 1; k < m-k; k++ {
+		j := m - k
+		zrk, zik := int64(re[k]), int64(im[k])
+		zrj, zij := int64(re[j]), int64(im[j])
+		er2 := zrk + zrj                                 // 2·Re E[k]
+		ei2 := zik - zij                                 // 2·Im E[k]
+		or2 := zik + zij                                 // 2·Re O[k]
+		oi2 := zrj - zrk                                 // 2·Im O[k]
+		cw, sw := int64(full.cos[k]), int64(full.sin[k]) // W_n^k in Q15
+		p1 := cw*or2 - sw*oi2
+		p2 := cw*oi2 + sw*or2
+		re[k] = int32((er2<<15 + p1 + rnd) >> 17)
+		im[k] = int32((ei2<<15 + p2 + rnd) >> 17)
+		re[j] = int32((er2<<15 - p1 + rnd) >> 17)
+		im[j] = int32((-ei2<<15 + p2 + rnd) >> 17)
+	}
+	// Self-paired bins. k = 0: X[0] = Re Z[0] + Im Z[0] (E and O are both
+	// real there), halved for the output scale. k = m/2: W_n^{m/2} = -i, so
+	// X[m/2] = Re Z[m/2] - i·Im Z[m/2], halved — both exact, no Q15 twiddle.
+	zr0, zi0 := int64(re[0]), int64(im[0])
+	re[0] = int32((zr0 + zi0 + 1) >> 1)
+	im[0] = 0
+	if h := m / 2; h > 0 {
+		re[h] = int32((int64(re[h]) + 1) >> 1)
+		im[h] = int32((-int64(im[h]) + 1) >> 1)
 	}
 }
 

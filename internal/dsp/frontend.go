@@ -59,7 +59,7 @@ func (c FrontendConfig) validate() error {
 	if c.NumBins > c.FFTSize/2 {
 		return fmt.Errorf("dsp: %d bins exceed FFT capacity %d", c.NumBins, c.FFTSize/2)
 	}
-	if c.AvgWidth <= 0 || c.StrideSamples <= 0 || c.NumFrames <= 0 {
+	if c.AvgWidth <= 0 || c.StrideSamples <= 0 || c.NumFrames <= 0 || c.NumBins <= 0 {
 		return fmt.Errorf("dsp: non-positive frontend geometry")
 	}
 	return nil
@@ -68,14 +68,25 @@ func (c FrontendConfig) validate() error {
 // Frontend extracts uint8 spectrogram fingerprints from PCM16 audio with
 // fixed-point arithmetic throughout, as a microcontroller build would. All
 // per-utterance state is preallocated at construction: the Q15 Hann window,
-// the FFT scratch, the twiddle table for the configured FFT size, and the
-// feature bin sub-ranges of the log-compression stage. ExtractInto is
-// therefore allocation-free; a frontend is cheap to keep per worker.
+// the FFT scratch, the twiddle tables (with bit-reversal permutations) for
+// the configured FFT size, and the feature bin sub-ranges of the
+// log-compression stage. ExtractInto is therefore allocation-free; a
+// frontend is cheap to keep per worker.
+//
+// The spectrum comes from the real-input FFT (rfftFixed): the FFTSize real
+// samples run through an FFTSize/2-point complex FFT plus a split
+// post-pass, halving the butterfly and twiddle-load count per frame versus
+// the full complex transform the frontend originally used. The output
+// scale (1/FFTSize) is unchanged, so feature values match the old path
+// within the fixed-point rounding tolerance (the split post-pass rounds
+// where the discarded butterfly stage truncated — individual fingerprint
+// bytes may differ by a least-significant step, never more).
 type Frontend struct {
 	cfg    FrontendConfig
 	window []int32 // Q15 Hann window
-	re, im []int32 // scratch
-	tw     *twiddles
+	re, im []int32 // packed even/odd scratch → spectrum bins, FFTSize/2 each
+	twHalf *twiddles
+	twFull *twiddles
 	// binLo/binHi are the precomputed [lo, hi) spectrum sub-range of each
 	// feature (the final feature may cover fewer than AvgWidth bins).
 	binLo, binHi []int
@@ -91,9 +102,10 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	f := &Frontend{
 		cfg:    cfg,
 		window: make([]int32, cfg.WindowSamples),
-		re:     make([]int32, cfg.FFTSize),
-		im:     make([]int32, cfg.FFTSize),
-		tw:     twiddlesFor(cfg.FFTSize),
+		re:     make([]int32, cfg.FFTSize/2),
+		im:     make([]int32, cfg.FFTSize/2),
+		twHalf: twiddlesFor(cfg.FFTSize / 2),
+		twFull: twiddlesFor(cfg.FFTSize),
 		binLo:  make([]int, features),
 		binHi:  make([]int, features),
 	}
@@ -147,9 +159,11 @@ func (f *Frontend) ExtractInto(dst []uint8, samples []int16) []uint8 {
 // streamed fingerprints are bit-exact against full recomputation.
 func (f *Frontend) frameInto(dst []uint8, samples []int16, start int) {
 	cfg := f.cfg
-	// Windowed frame in Q15. The window multiply covers the samples
-	// actually present; the tail (zero padding up to FFTSize) and the
-	// imaginary scratch are cleared with branch-free memclr loops.
+	// Windowed frame in Q15, packed straight into the real-FFT layout:
+	// even samples into the real scratch, odd samples into the imaginary
+	// scratch, each at half its sample index. The window multiply covers
+	// the samples actually present; the packed tails (zero padding up to
+	// FFTSize) are cleared with branch-free memclr loops.
 	n := cfg.WindowSamples
 	if rem := len(samples) - start; rem < n {
 		n = rem
@@ -157,17 +171,23 @@ func (f *Frontend) frameInto(dst []uint8, samples []int16, start int) {
 	if n < 0 {
 		n = 0
 	}
-	for i := 0; i < n; i++ {
-		f.re[i] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
+	for i := 0; i+1 < n; i += 2 {
+		f.re[i>>1] = int32((int64(samples[start+i]) * int64(f.window[i]) / 2) >> 15)
+		f.im[i>>1] = int32((int64(samples[start+i+1]) * int64(f.window[i+1]) / 2) >> 15)
 	}
-	tail := f.re[n:]
-	for i := range tail {
-		tail[i] = 0
+	if n&1 == 1 {
+		f.re[n>>1] = int32((int64(samples[start+n-1]) * int64(f.window[n-1]) / 2) >> 15)
+		f.im[n>>1] = 0
 	}
-	for i := range f.im {
-		f.im[i] = 0
+	half := (n + 1) / 2
+	for i := range f.re[half:] {
+		f.re[half+i] = 0
 	}
-	fftFixed(f.re, f.im, f.tw)
+	half = n / 2
+	for i := range f.im[half:] {
+		f.im[half+i] = 0
+	}
+	rfftFixed(f.re, f.im, f.twHalf, f.twFull)
 	for feat := range f.binLo {
 		lo, hi := f.binLo[feat], f.binHi[feat]
 		var acc uint64
@@ -194,11 +214,14 @@ func logCompress(p uint64) uint8 {
 }
 
 // Cycles returns the cost of one full fingerprint extraction on a simulated
-// core: window multiplies, FFT butterflies, and bin post-processing.
+// core: window multiplies, the butterflies of the packed FFTSize/2-point
+// FFT, the real-FFT split post-pass over the FFTSize/2 spectrum bins, and
+// bin post-processing.
 func (f *Frontend) Cycles() uint64 {
 	cfg := f.cfg
 	perFrame := uint64(cfg.WindowSamples)*2 + // window multiply + load
-		ButterflyCount(cfg.FFTSize)*hw.CyclesPerButterfly +
+		ButterflyCount(cfg.FFTSize/2)*hw.CyclesPerButterfly +
+		uint64(cfg.FFTSize/2)*hw.CyclesPerRFFTPostBin +
 		uint64(cfg.NumBins)*hw.CyclesPerFeatureBin
 	return perFrame * uint64(cfg.NumFrames)
 }

@@ -57,6 +57,7 @@ const (
 const (
 	CyclesPerMAC           = 18         // int8 MAC incl. requantization amortization
 	CyclesPerButterfly     = 14         // fixed-point radix-2 FFT butterfly
+	CyclesPerRFFTPostBin   = 7          // real-FFT split post-pass per spectrum bin (half a butterfly's rotate+combine)
 	CyclesPerActivation    = 4          // ReLU / clamp per element
 	CyclesPerSoftmaxTerm   = 40         // exp approximation per logit
 	CyclesPerFeatureBin    = 6          // bin averaging + log compression per bin

@@ -1,0 +1,341 @@
+package tflm
+
+import "fmt"
+
+// Batched execution: PlanBatch sizes a stacked-utterance twin of the graph
+// once, and InvokeBatch runs up to that many utterances through one pass of
+// the node list — one taller im2col/GEMM per convolution (M→B·M patch
+// rows), one wider GEMM per fully-connected layer, one sweep per
+// elementwise node. Per-node dispatch is paid once per batch instead of
+// once per utterance, and the packed weight panels stay L1-resident across
+// the stacked rows.
+//
+// The plan owns stacked int8 slabs for every non-constant tensor; utterance
+// j's input is staged via BatchInput(j) and its result read via
+// BatchOutput(j). Output rows are valid until the next InvokeBatch (or
+// Invoke) on this interpreter — copy what must outlive it. Results are
+// bit-exact with running each utterance through Invoke serially: the
+// batched kernels are the same kernels over stacked rows, and the batch
+// slabs are disjoint from the serial tensors.
+
+// batchPlan is the plan-time state of InvokeBatch.
+type batchPlan struct {
+	capB int
+	// slabs[ti] holds capB stacked copies of tensor ti's storage (nil for
+	// constants and tensors the batched graph never touches). A pure-copy
+	// Reshape aliases its output slab to its input slab, so the copy
+	// disappears from the batched hot path.
+	slabs [][]int8
+	// execs run one node over b stacked utterances; nil execs means the
+	// whole plan fell back to per-utterance serial Invoke (exotic node or
+	// dtype in the graph).
+	execs []func(b int) error
+}
+
+// colCopy is one replayed im2col transfer: col[dst:dst+n] = src[src:src+n].
+type colCopy struct{ dst, src, n int32 }
+
+// recordIm2col compiles the im2col traversal of one utterance (all original
+// batches) into a copy program: the clip arithmetic, branch structure and
+// padding fills run once at plan time; InvokeBatch replays only the
+// surviving contiguous copies. Padding positions are never recorded — the
+// plan prefills the column slab with the zero point once, and no replay
+// touches those bytes again. Adjacent transfers that abut in both source
+// and destination are merged.
+func recordIm2col(g convGeom) []colCopy {
+	var prog []colCopy
+	rowLen := g.kW * g.inC
+	add := func(dst, src, n int) {
+		if n <= 0 {
+			return
+		}
+		if len(prog) > 0 {
+			last := &prog[len(prog)-1]
+			if int(last.dst)+int(last.n) == dst && int(last.src)+int(last.n) == src {
+				last.n += int32(n)
+				return
+			}
+		}
+		prog = append(prog, colCopy{int32(dst), int32(src), int32(n)})
+	}
+	m := 0
+	for b := 0; b < g.batches; b++ {
+		for oy := 0; oy < g.outH; oy++ {
+			iy0 := oy*g.strideH - g.padT
+			kyLo, kyHi := 0, g.kH
+			if iy0 < 0 {
+				kyLo = -iy0
+			}
+			if iy0+g.kH > g.inH {
+				kyHi = g.inH - iy0
+			}
+			for ox := 0; ox < g.outW; ox++ {
+				ix0 := ox*g.strideW - g.padL
+				kxLo, kxHi := 0, g.kW
+				if ix0 < 0 {
+					kxLo = -ix0
+				}
+				if ix0+g.kW > g.inW {
+					kxHi = g.inW - ix0
+				}
+				for ky := kyLo; ky < kyHi; ky++ {
+					if kxHi <= kxLo {
+						break
+					}
+					add(m*g.K+ky*rowLen+kxLo*g.inC,
+						((b*g.inH+iy0+ky)*g.inW+ix0+kxLo)*g.inC,
+						(kxHi-kxLo)*g.inC)
+				}
+				m++
+			}
+		}
+	}
+	return prog
+}
+
+// PlanBatch prepares the interpreter to run up to maxB stacked utterances
+// per InvokeBatch call. It allocates the stacked activation slabs and
+// batched kernel scratch now so InvokeBatch performs no heap allocation.
+// Planning again replaces the previous plan (tickets into old slabs become
+// stale). The model's primary input and output must be int8; graphs with
+// nodes the batched engine cannot stack (float dtypes, pooling, dynamic
+// weights) keep a degraded plan that runs the serial engine per utterance —
+// same results, no stacked GEMM.
+func (ip *Interpreter) PlanBatch(maxB int) error {
+	if maxB < 1 {
+		return fmt.Errorf("tflm: batch capacity %d < 1", maxB)
+	}
+	m := ip.model
+	if len(m.Inputs) != 1 || len(m.Outputs) != 1 {
+		return fmt.Errorf("tflm: PlanBatch needs a single-input single-output model")
+	}
+	if ip.Input(0).Type != Int8 || ip.Output(0).Type != Int8 {
+		return fmt.Errorf("tflm: PlanBatch needs int8 model I/O")
+	}
+	bp := &batchPlan{capB: maxB, slabs: make([][]int8, len(m.Tensors))}
+	slab := func(ti int) []int8 {
+		t := m.Tensors[ti]
+		if t.IsConst || t.Type != Int8 {
+			return nil
+		}
+		if bp.slabs[ti] == nil {
+			bp.slabs[ti] = make([]int8, maxB*t.NumElements())
+		}
+		return bp.slabs[ti]
+	}
+	// Input/output slabs exist even when the node walk degrades to the
+	// serial fallback.
+	slab(m.Inputs[0])
+	slab(m.Outputs[0])
+	// producers[ti] counts nodes writing tensor ti; the Reshape alias below
+	// is only sound when both endpoints have a single writer.
+	producers := make([]int, len(m.Tensors))
+	for _, n := range m.Nodes {
+		for _, o := range n.Outputs {
+			producers[o]++
+		}
+	}
+
+	execs := make([]func(b int) error, len(m.Nodes))
+	for ni, n := range m.Nodes {
+		switch n.Op {
+		case OpConv2D:
+			cp, ok := ip.preps[ni].(*convPrep)
+			if !ok {
+				execs = nil
+			} else {
+				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
+				if src == nil || dst == nil {
+					execs = nil
+					break
+				}
+				g, pr := cp.g, cp.pr
+				// Dedicated column slab per conv node, prefilled with the
+				// node's padding zero point so the replayed copy program
+				// never has to re-fill padding. The slab holds one
+				// utterance: replay and GEMM interleave per utterance so
+				// the column data is consumed while still cache-hot (a
+				// single B·M-row sweep would stream B×col through the
+				// cache between write and read).
+				col := make([]int8, g.batches*g.colLen())
+				fillSlice(col, int8(pr.inZP))
+				prog := recordIm2col(g)
+				uttIn := g.batches * g.inH * g.inW * g.inC
+				rows := g.batches * g.M
+				uttOut := rows * g.outC
+				execs[ni] = func(b int) error {
+					for u := 0; u < b; u++ {
+						sb := u * uttIn
+						for _, cp := range prog {
+							copy(col[cp.dst:cp.dst+cp.n], src[sb+int(cp.src):sb+int(cp.src)+int(cp.n)])
+						}
+						gemmInt8Requant(rows, col, dst[u*uttOut:(u+1)*uttOut], pr)
+					}
+					return nil
+				}
+			}
+		case OpFullyConnected:
+			fp, ok := ip.preps[ni].(*fcPrep)
+			if !ok {
+				execs = nil
+			} else {
+				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
+				if src == nil || dst == nil {
+					execs = nil
+					break
+				}
+				pr, rows := fp.pr, fp.batches
+				execs[ni] = func(b int) error {
+					gemmInt8Requant(b*rows, src, dst, pr)
+					return nil
+				}
+			}
+		case OpSoftmax:
+			sp, ok := ip.preps[ni].(*softmaxPrep)
+			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
+			if !ok || in.Quant == nil || out.Quant == nil {
+				execs = nil
+			} else {
+				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
+				if src == nil || dst == nil {
+					execs = nil
+					break
+				}
+				depth, outer, beta := sp.depth, sp.outer, sp.beta
+				inQ, outQ := in.Quant, out.Quant
+				execs[ni] = func(b int) error {
+					softmaxRowsI8(src, dst, b*outer, depth, beta, inQ, outQ, ip.smLogits, ip.smProbs)
+					return nil
+				}
+			}
+		case OpReshape:
+			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
+			if in.Type != Int8 || out.Type != Int8 || in.NumElements() != out.NumElements() {
+				execs = nil
+			} else {
+				src := slab(n.Inputs[0])
+				if src == nil {
+					execs = nil
+					break
+				}
+				// A reshape is a pure copy; when its endpoints each have a
+				// single writer and the output slab does not exist yet, the
+				// output can alias the input and the node costs nothing per
+				// batch. (The simulated-device cycle charge still applies —
+				// aliasing is a host optimization.)
+				if producers[n.Inputs[0]] <= 1 && producers[n.Outputs[0]] == 1 && bp.slabs[n.Outputs[0]] == nil {
+					bp.slabs[n.Outputs[0]] = src
+					execs[ni] = func(int) error { return nil }
+					break
+				}
+				dst := slab(n.Outputs[0])
+				if dst == nil {
+					execs = nil
+					break
+				}
+				elems := in.NumElements()
+				execs[ni] = func(b int) error {
+					copy(dst[:b*elems], src[:b*elems])
+					return nil
+				}
+			}
+		case OpRelu:
+			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
+			if in.Type != Int8 || in.Quant == nil || in.NumElements() != out.NumElements() {
+				execs = nil
+			} else {
+				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
+				if src == nil || dst == nil {
+					execs = nil
+					break
+				}
+				elems, zp := in.NumElements(), in.Quant.ZeroPoint
+				execs[ni] = func(b int) error {
+					for i, v := range src[:b*elems] {
+						if int32(v) < zp {
+							dst[i] = int8(zp)
+						} else {
+							dst[i] = v
+						}
+					}
+					return nil
+				}
+			}
+		default:
+			execs = nil
+		}
+		if execs == nil {
+			break
+		}
+	}
+	if execs != nil {
+		bp.execs = execs
+	}
+	ip.batch = bp
+	return nil
+}
+
+// BatchCapacity returns the planned stacked-utterance capacity (0 before
+// PlanBatch).
+func (ip *Interpreter) BatchCapacity() int {
+	if ip.batch == nil {
+		return 0
+	}
+	return ip.batch.capB
+}
+
+// BatchInput returns utterance j's input row in the stacked plan; stage
+// quantized features here before InvokeBatch.
+func (ip *Interpreter) BatchInput(j int) []int8 {
+	elems := ip.Input(0).NumElements()
+	return ip.batch.slabs[ip.model.Inputs[0]][j*elems : (j+1)*elems]
+}
+
+// BatchOutput returns utterance j's output row of the most recent
+// InvokeBatch; valid until the next InvokeBatch on this interpreter.
+func (ip *Interpreter) BatchOutput(j int) []int8 {
+	elems := ip.Output(0).NumElements()
+	return ip.batch.slabs[ip.model.Outputs[0]][j*elems : (j+1)*elems]
+}
+
+// InvokeBatch classifies the b staged utterances (1 ≤ b ≤ BatchCapacity)
+// in one pass over the graph. Cycle metering charges b× the per-utterance
+// node costs — batching is a host-side optimization; the simulated device
+// still performs every utterance's work.
+func (ip *Interpreter) InvokeBatch(b int) error {
+	bp := ip.batch
+	if bp == nil {
+		return fmt.Errorf("tflm: InvokeBatch before PlanBatch")
+	}
+	if b < 1 || b > bp.capB {
+		return fmt.Errorf("tflm: batch size %d outside planned capacity [1, %d]", b, bp.capB)
+	}
+	m := ip.model
+	if bp.execs == nil {
+		return ip.invokeBatchSerial(b)
+	}
+	for ni, ex := range bp.execs {
+		if err := ex(b); err != nil {
+			return fmt.Errorf("tflm: node %d (%v): %w", ni, m.Nodes[ni].Op, err)
+		}
+		if ip.meter != nil {
+			ip.meter.Charge(uint64(b) * NodeCycles(m, m.Nodes[ni]))
+		}
+	}
+	return nil
+}
+
+// invokeBatchSerial is the degraded path for graphs the batched engine
+// cannot stack: each staged utterance runs through the ordinary serial
+// Invoke, via the plan's I/O slabs so the caller contract is unchanged.
+func (ip *Interpreter) invokeBatchSerial(b int) error {
+	in, out := ip.Input(0), ip.Output(0)
+	for j := 0; j < b; j++ {
+		copy(in.I8, ip.BatchInput(j))
+		if err := ip.Invoke(); err != nil {
+			return err
+		}
+		copy(ip.BatchOutput(j), out.I8)
+	}
+	return nil
+}

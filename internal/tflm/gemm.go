@@ -51,8 +51,10 @@ func resolveConvGeom(in, w, out *Tensor, p Conv2DParams) (convGeom, error) {
 }
 
 // linearPrep carries the plan-time constants of one int8 linear op: the
-// requantization multiplier, the clamp range, and the per-output-channel
-// accumulator seeds with bias and zero-point correction folded in.
+// requantization multiplier, the clamp range, the per-output-channel
+// accumulator seeds with bias and zero-point correction folded in, and the
+// weight matrix repacked into N-blocked interleaved panels for the
+// register-blocked GEMM micro-kernel.
 type linearPrep struct {
 	mult       QuantizedMultiplier
 	outZP      int32
@@ -60,10 +62,88 @@ type linearPrep struct {
 	inZP       int32
 	acc0       []int32
 	activation Activation
+	// n, k is the weight matrix geometry; panels holds ceil(n/4) panels of
+	// k×4 interleaved weights (panel p, depth i, lane j = w[(4p+j)*k+i],
+	// zero-filled beyond n), and seeds is acc0 padded to the panel grid so
+	// the micro-kernel indexes it unguarded.
+	n, k   int
+	panels []int8
+	seeds  []int32
+	// Requantization constants hoisted out of QuantizedMultiplier.Apply:
+	// acc<<lsh, saturating-rounding-doubling-high-multiply by rqMult, then
+	// rounding divide by 2^rsh with the mask/threshold precomputed. The
+	// epilogue below reproduces Apply's arithmetic exactly.
+	lsh, rsh uint
+	rqMult   int64
+	rqMask   int32
+	rqThr    int32
+}
+
+// requantOne is QuantizedMultiplier.Apply with the shift decomposition and
+// rounding constants precomputed in pr — bit-identical by construction
+// (rqMult is in [2^30, 2^31), so the SQRDMULH saturation corner of two
+// MinInt32 operands cannot occur).
+func (pr *linearPrep) requantOne(acc int32) int32 {
+	x := int32(uint32(acc) << pr.lsh) // TFLite shifts without saturation here
+	ab := int64(x) * pr.rqMult
+	// Branch-free nudge: 1<<30 for non-negative products, 1-(1<<30) for
+	// negative ones (ab>>63 is 0 or -1).
+	nudge := int64(1<<30) + (ab>>63)&(1-(1<<31))
+	v := int32((ab + nudge) / (1 << 31))
+	if pr.rsh == 0 {
+		return v
+	}
+	// Branch-free rounding divide: threshold is rqThr, one higher for
+	// negative values; add 1 when the remainder exceeds it.
+	thr := pr.rqThr - int32(int32(v)>>31)
+	rem := v & pr.rqMask
+	v >>= pr.rsh
+	v -= (thr - rem) >> 31
+	return v
+}
+
+// prepRequant derives the hoisted epilogue constants from mult.
+func (pr *linearPrep) prepRequant() {
+	if pr.mult.Shift > 0 {
+		pr.lsh = uint(pr.mult.Shift)
+	} else {
+		pr.rsh = uint(-pr.mult.Shift)
+	}
+	pr.rqMult = int64(pr.mult.Multiplier)
+	pr.rqMask = int32(1<<pr.rsh) - 1
+	pr.rqThr = pr.rqMask >> 1
+}
+
+// gemmPanel is the output-channel blocking factor of the packed weight
+// layout and the micro-kernel.
+const gemmPanel = 4
+
+// packPanels repacks an n×k row-major weight matrix into gemmPanel-blocked
+// interleaved panels: within a panel the gemmPanel filter values of each
+// depth position sit adjacently, so the micro-kernel's inner loop walks one
+// contiguous stream regardless of which filters it is accumulating.
+func packPanels(w []int8, n, k int) []int8 {
+	nPanels := (n + gemmPanel - 1) / gemmPanel
+	panels := make([]int8, nPanels*gemmPanel*k)
+	for p := 0; p < nPanels; p++ {
+		pan := panels[p*gemmPanel*k : (p+1)*gemmPanel*k]
+		for j := 0; j < gemmPanel; j++ {
+			o := p*gemmPanel + j
+			if o >= n {
+				break // padding lanes stay zero
+			}
+			row := w[o*k : (o+1)*k]
+			for i, v := range row {
+				pan[i*gemmPanel+j] = v
+			}
+		}
+	}
+	return panels
 }
 
 // prepLinearInt8 builds the prep for a weight matrix laid out as N rows of
-// length K (Conv2D OHWI filters flattened, or FullyConnected [out, in]).
+// length K (Conv2D OHWI filters flattened, or FullyConnected [out, in]),
+// including the packed panel image of the weights.
 func prepLinearInt8(in, w, bias, out *Tensor, act Activation, n, k int) (*linearPrep, error) {
 	mult, err := requantMultiplier(in, w, out)
 	if err != nil {
@@ -76,6 +156,7 @@ func prepLinearInt8(in, w, bias, out *Tensor, act Activation, n, k int) (*linear
 		return nil, fmt.Errorf("tflm: bias tensor %q has %d elements, want %d", bias.Name, len(bias.I32), n)
 	}
 	lo, hi := activationRangeQuantized(act, *out.Quant)
+	nPanels := (n + gemmPanel - 1) / gemmPanel
 	pr := &linearPrep{
 		mult:       mult,
 		outZP:      out.Quant.ZeroPoint,
@@ -84,13 +165,19 @@ func prepLinearInt8(in, w, bias, out *Tensor, act Activation, n, k int) (*linear
 		inZP:       in.Quant.ZeroPoint,
 		acc0:       make([]int32, n),
 		activation: act,
+		n:          n,
+		k:          k,
+		panels:     packPanels(w.I8, n, k),
+		seeds:      make([]int32, nPanels*gemmPanel),
 	}
+	pr.prepRequant()
 	for o := 0; o < n; o++ {
 		var sum int32
 		for _, v := range w.I8[o*k : (o+1)*k] {
 			sum += int32(v)
 		}
 		pr.acc0[o] = bias.I32[o] - pr.inZP*sum
+		pr.seeds[o] = pr.acc0[o]
 	}
 	return pr, nil
 }
@@ -105,34 +192,54 @@ func im2col[T int8 | float32](col, src []T, g convGeom, b int, fill T) {
 	m := 0
 	for oy := 0; oy < g.outH; oy++ {
 		iy0 := oy*g.strideH - g.padT
+		// Clip ky to the valid input rows once per output row.
+		kyLo, kyHi := 0, g.kH
+		if iy0 < 0 {
+			kyLo = -iy0
+		}
+		if iy0+g.kH > g.inH {
+			kyHi = g.inH - iy0
+		}
+		if kyHi < kyLo {
+			kyHi = kyLo
+		}
 		for ox := 0; ox < g.outW; ox++ {
 			ix0 := ox*g.strideW - g.padL
 			patch := col[m*g.K : (m+1)*g.K]
-			for ky := 0; ky < g.kH; ky++ {
-				iy := iy0 + ky
-				row := patch[ky*rowLen : (ky+1)*rowLen]
-				if iy < 0 || iy >= g.inH {
-					fillSlice(row, fill)
-					continue
-				}
-				// Clip kx to the valid input columns [0, inW).
-				kxLo, kxHi := 0, g.kW
-				if ix0 < 0 {
-					kxLo = -ix0
-				}
-				if ix0+g.kW > g.inW {
-					kxHi = g.inW - ix0
-				}
-				if kxHi <= kxLo {
-					fillSlice(row, fill)
-					continue
-				}
-				fillSlice(row[:kxLo*g.inC], fill)
-				srcBase := ((b*g.inH+iy)*g.inW + ix0 + kxLo) * g.inC
-				copy(row[kxLo*g.inC:kxHi*g.inC], src[srcBase:srcBase+(kxHi-kxLo)*g.inC])
-				fillSlice(row[kxHi*g.inC:], fill)
-			}
 			m++
+			// Clip kx to the valid input columns once per patch; the clip
+			// depends only on ox, not on ky.
+			kxLo, kxHi := 0, g.kW
+			if ix0 < 0 {
+				kxLo = -ix0
+			}
+			if ix0+g.kW > g.inW {
+				kxHi = g.inW - ix0
+			}
+			if kxHi <= kxLo || kyHi <= kyLo {
+				fillSlice(patch, fill)
+				continue
+			}
+			fillSlice(patch[:kyLo*rowLen], fill)
+			cpLen := (kxHi - kxLo) * g.inC
+			srcRow := ((b*g.inH+iy0+kyLo)*g.inW + ix0 + kxLo) * g.inC
+			if cpLen == rowLen {
+				// Fully interior columns: each kernel row is one straight copy.
+				for ky := kyLo; ky < kyHi; ky++ {
+					copy(patch[ky*rowLen:(ky+1)*rowLen], src[srcRow:srcRow+rowLen])
+					srcRow += g.inW * g.inC
+				}
+			} else {
+				lo, hi := kxLo*g.inC, kxHi*g.inC
+				for ky := kyLo; ky < kyHi; ky++ {
+					row := patch[ky*rowLen : (ky+1)*rowLen]
+					fillSlice(row[:lo], fill)
+					copy(row[lo:hi], src[srcRow:srcRow+cpLen])
+					fillSlice(row[hi:], fill)
+					srcRow += g.inW * g.inC
+				}
+			}
+			fillSlice(patch[kyHi*rowLen:], fill)
 		}
 	}
 }
@@ -143,38 +250,143 @@ func fillSlice[T int8 | float32](s []T, v T) {
 	}
 }
 
-// dotInt8 is the int8×int8→int32 dot product, 4-way unrolled. Partial sums
-// reassociate freely: int32 addition is commutative modulo 2^32, so the
-// result is bit-identical to in-order accumulation.
-func dotInt8(a, b []int8) int32 {
-	b = b[:len(a)]
-	var s0, s1, s2, s3 int32
-	i := 0
-	for ; i <= len(a)-4; i += 4 {
-		s0 += int32(a[i]) * int32(b[i])
-		s1 += int32(a[i+1]) * int32(b[i+1])
-		s2 += int32(a[i+2]) * int32(b[i+2])
-		s3 += int32(a[i+3]) * int32(b[i+3])
+// gemmInt8Requant computes dst[m*n] = requant(acc0[n] + A[m]·B[n]) where A
+// is M rows of K packed patches and B is the panel-packed weight image in
+// pr. The register-blocked micro-kernel runs two im2col rows against one
+// four-filter panel with the depth loop unrolled ×4, so every panel load is
+// shared by both rows and the eight accumulators stay in registers (wider
+// 4×4 blocking spills on amd64's register file and measures slower in Go).
+// Requantization and activation clamping are fused into the output write.
+// Each accumulator still sums its K products in depth order, and int32
+// addition reassociates modulo 2^32, so results are bit-identical to the
+// scalar reference.
+func gemmInt8Requant(mRows int, a []int8, dst []int8, pr *linearPrep) {
+	n, k := pr.n, pr.k
+	panels, seeds := pr.panels, pr.seeds
+	m := 0
+	for ; m+2 <= mRows; m += 2 {
+		a0 := a[m*k : m*k+k]
+		a1 := a[(m+1)*k : (m+1)*k+k]
+		for p, n0 := 0, 0; n0 < n; p, n0 = p+1, n0+gemmPanel {
+			pan := panels[p*gemmPanel*k : (p+1)*gemmPanel*k]
+			c00, c01, c02, c03 := seeds[n0], seeds[n0+1], seeds[n0+2], seeds[n0+3]
+			c10, c11, c12, c13 := c00, c01, c02, c03
+			i := 0
+			for ; i+4 <= k; i += 4 {
+				// One full-width subslice per four depth steps eliminates
+				// all but one bounds check on the panel stream.
+				q := pan[i*gemmPanel : i*gemmPanel+4*gemmPanel : i*gemmPanel+4*gemmPanel]
+				b0, b1, b2, b3 := int32(q[0]), int32(q[1]), int32(q[2]), int32(q[3])
+				av := int32(a0[i])
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = int32(a1[i])
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+				b0, b1, b2, b3 = int32(q[4]), int32(q[5]), int32(q[6]), int32(q[7])
+				av = int32(a0[i+1])
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = int32(a1[i+1])
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+				b0, b1, b2, b3 = int32(q[8]), int32(q[9]), int32(q[10]), int32(q[11])
+				av = int32(a0[i+2])
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = int32(a1[i+2])
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+				b0, b1, b2, b3 = int32(q[12]), int32(q[13]), int32(q[14]), int32(q[15])
+				av = int32(a0[i+3])
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = int32(a1[i+3])
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			for ; i < k; i++ {
+				j := i * gemmPanel
+				b0, b1, b2, b3 := int32(pan[j]), int32(pan[j+1]), int32(pan[j+2]), int32(pan[j+3])
+				av := int32(a0[i])
+				c00 += av * b0
+				c01 += av * b1
+				c02 += av * b2
+				c03 += av * b3
+				av = int32(a1[i])
+				c10 += av * b0
+				c11 += av * b1
+				c12 += av * b2
+				c13 += av * b3
+			}
+			requantQuad(dst[m*n:], n, n0, c00, c01, c02, c03, pr)
+			requantQuad(dst[(m+1)*n:], n, n0, c10, c11, c12, c13, pr)
+		}
 	}
-	for ; i < len(a); i++ {
-		s0 += int32(a[i]) * int32(b[i])
+	if m < mRows {
+		ar := a[m*k : m*k+k]
+		for p, n0 := 0, 0; n0 < n; p, n0 = p+1, n0+gemmPanel {
+			pan := panels[p*gemmPanel*k : (p+1)*gemmPanel*k]
+			c0, c1, c2, c3 := seeds[n0], seeds[n0+1], seeds[n0+2], seeds[n0+3]
+			i := 0
+			for ; i+2 <= k; i += 2 {
+				q := pan[i*gemmPanel : i*gemmPanel+2*gemmPanel : i*gemmPanel+2*gemmPanel]
+				av := int32(ar[i])
+				c0 += av * int32(q[0])
+				c1 += av * int32(q[1])
+				c2 += av * int32(q[2])
+				c3 += av * int32(q[3])
+				av = int32(ar[i+1])
+				c0 += av * int32(q[4])
+				c1 += av * int32(q[5])
+				c2 += av * int32(q[6])
+				c3 += av * int32(q[7])
+			}
+			for ; i < k; i++ {
+				j := i * gemmPanel
+				av := int32(ar[i])
+				c0 += av * int32(pan[j])
+				c1 += av * int32(pan[j+1])
+				c2 += av * int32(pan[j+2])
+				c3 += av * int32(pan[j+3])
+			}
+			requantQuad(dst[m*n:], n, n0, c0, c1, c2, c3, pr)
+		}
 	}
-	return s0 + s1 + s2 + s3
 }
 
-// gemmInt8Requant computes dst[m*n] = requant(acc0[n] + A[m]·B[n]) where A
-// is M rows of K packed patches and B is N rows of K weights. The A row is
-// register/L1-resident across the N dot products (the blocking that
-// matters at these sizes); requantization and activation clamping are fused
-// into the output write.
-func gemmInt8Requant(mRows, nRows, k int, a, b []int8, dst []int8, pr *linearPrep) {
-	for m := 0; m < mRows; m++ {
-		ar := a[m*k : (m+1)*k]
-		drow := dst[m*nRows : (m+1)*nRows]
-		for n := 0; n < nRows; n++ {
-			acc := pr.acc0[n] + dotInt8(ar, b[n*k:(n+1)*k])
-			drow[n] = int8(clampInt32(pr.mult.Apply(acc)+pr.outZP, pr.lo, pr.hi))
-		}
+// requantQuad rescales, offsets, clamps and stores up to four adjacent
+// accumulators of one output row, skipping the panel's zero-padding lanes
+// past the true output-channel count. The unrolled guarded stores keep the
+// function inlinable into the GEMM epilogue.
+func requantQuad(drow []int8, n, n0 int, c0, c1, c2, c3 int32, pr *linearPrep) {
+	lim := n - n0
+	drow = drow[n0:]
+	drow[0] = int8(clampInt32(pr.requantOne(c0)+pr.outZP, pr.lo, pr.hi))
+	if lim > 1 {
+		drow[1] = int8(clampInt32(pr.requantOne(c1)+pr.outZP, pr.lo, pr.hi))
+	}
+	if lim > 2 {
+		drow[2] = int8(clampInt32(pr.requantOne(c2)+pr.outZP, pr.lo, pr.hi))
+	}
+	if lim > 3 {
+		drow[3] = int8(clampInt32(pr.requantOne(c3)+pr.outZP, pr.lo, pr.hi))
 	}
 }
 
@@ -215,14 +427,18 @@ func gemmFloat(mRows, nRows, k int, a, b, bias []float32, act Activation, dst []
 	}
 }
 
-// convInt8Gemm runs the full int8 convolution: per batch, im2col into col
-// then one fused GEMM into the output tensor.
-func convInt8Gemm(in, w, out *Tensor, g convGeom, pr *linearPrep, col []int8) {
+// convInt8Gemm runs the full int8 convolution over the stacked input in
+// src (batches×inH×inW×inC) writing dst: every batch is im2col-packed into
+// col, then a single GEMM over all batches' patch rows feeds the packed
+// weight panels once. src/dst may be the tensor storage (Invoke) or the
+// interpreter's stacked batch slabs (InvokeBatch) — the kernel only sees
+// geometry. col must hold batches·M·K values.
+func convInt8Gemm(src, dst []int8, g convGeom, pr *linearPrep, col []int8) {
 	zpFill := int8(pr.inZP) // int8 zero points are in [-128, 127] by construction
 	for b := 0; b < g.batches; b++ {
-		im2col(col[:g.colLen()], in.I8, g, b, zpFill)
-		gemmInt8Requant(g.M, g.outC, g.K, col, w.I8, out.I8[b*g.M*g.outC:(b+1)*g.M*g.outC], pr)
+		im2col(col[b*g.colLen():(b+1)*g.colLen()], src, g, b, zpFill)
 	}
+	gemmInt8Requant(g.batches*g.M, col, dst, pr)
 }
 
 // convFloatGemm is the float32 counterpart of convInt8Gemm.

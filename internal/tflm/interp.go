@@ -32,11 +32,33 @@ type Interpreter struct {
 	// execs[i] runs node i through its prepped fast path; nil entries fall
 	// back to evalNode.
 	execs []func() error
+	// preps[i] records the plan-time state behind execs[i] so other
+	// execution modes (the batched InvokeBatch plan) can reuse it without
+	// re-deriving geometry or repacking weights.
+	preps []any
 	// Shared kernel scratch, sized at plan time to the largest consumer.
 	colI8    []int8
 	colF32   []float32
 	smLogits []float64
 	smProbs  []float64
+	// batch is the optional stacked-utterance plan built by PlanBatch.
+	batch *batchPlan
+}
+
+// Per-node prep records stashed by prepNodes for reuse by PlanBatch.
+type convPrep struct {
+	g  convGeom
+	pr *linearPrep
+}
+
+type fcPrep struct {
+	batches, outN, inN int
+	pr                 *linearPrep
+}
+
+type softmaxPrep struct {
+	depth, outer int
+	beta         float64
 }
 
 // NewInterpreter validates the model, plans the arena, allocates activation
@@ -67,6 +89,7 @@ func NewInterpreter(m *Model) (*Interpreter, error) {
 func (ip *Interpreter) prepNodes() {
 	m := ip.model
 	ip.execs = make([]func() error, len(m.Nodes))
+	ip.preps = make([]any, len(m.Nodes))
 	maxColI8, maxColF32, maxDepth := 0, 0, 0
 	for ni, n := range m.Nodes {
 		switch n.Op {
@@ -96,11 +119,12 @@ func (ip *Interpreter) prepNodes() {
 				if pr.inZP < -128 || pr.inZP > 127 {
 					continue
 				}
-				if g.colLen() > maxColI8 {
-					maxColI8 = g.colLen()
+				if n := g.batches * g.colLen(); n > maxColI8 {
+					maxColI8 = n
 				}
+				ip.preps[ni] = &convPrep{g: g, pr: pr}
 				ip.execs[ni] = func() error {
-					convInt8Gemm(in, w, out, g, pr, ip.colI8)
+					convInt8Gemm(in.I8, out.I8, g, pr, ip.colI8)
 					return nil
 				}
 			case Float32:
@@ -148,8 +172,9 @@ func (ip *Interpreter) prepNodes() {
 				if err != nil {
 					continue
 				}
+				ip.preps[ni] = &fcPrep{batches: batches, outN: outN, inN: inN, pr: pr}
 				ip.execs[ni] = func() error {
-					gemmInt8Requant(batches, outN, inN, in.I8, w.I8, out.I8, pr)
+					gemmInt8Requant(batches, in.I8, out.I8, pr)
 					return nil
 				}
 			case Float32:
@@ -168,6 +193,11 @@ func (ip *Interpreter) prepNodes() {
 			if depth > maxDepth {
 				maxDepth = depth
 			}
+			beta := p.Beta
+			if beta == 0 {
+				beta = 1
+			}
+			ip.preps[ni] = &softmaxPrep{depth: depth, outer: in.NumElements() / depth, beta: beta}
 			ip.execs[ni] = func() error {
 				return evalSoftmaxScratch(in, out, p, ip.smLogits, ip.smProbs)
 			}
@@ -286,6 +316,19 @@ func InferenceCycles(m *Model) uint64 {
 	return total
 }
 
+// ArgmaxI8 returns the index of the maximum element of an int8 slice
+// (first maximum wins), or -1 when empty — the slice-level decision rule
+// used by batched paths that read stacked output rows.
+func ArgmaxI8(xs []int8) int {
+	best := -1
+	for i, v := range xs {
+		if best < 0 || v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
 // Argmax returns the index of the maximum element of a rank-1-like tensor,
 // the classification decision rule of the keyword spotter. A nil, empty, or
 // unallocated tensor yields -1.
@@ -296,11 +339,7 @@ func Argmax(t *Tensor) int {
 	best := -1
 	switch t.Type {
 	case Int8:
-		for i, v := range t.I8 {
-			if best < 0 || v > t.I8[best] {
-				best = i
-			}
-		}
+		best = ArgmaxI8(t.I8)
 	case UInt8:
 		for i, v := range t.U8 {
 			if best < 0 || v > t.U8[best] {

@@ -112,6 +112,36 @@ func evalSoftmaxScratch(in, out *Tensor, p SoftmaxParams, logits, probs []float6
 	return nil
 }
 
+// softmaxRowsI8 computes softmax over rows of depth int8 logits — the raw
+// kernel behind the int8→int8 case of evalSoftmaxScratch and the batched
+// InvokeBatch plan, which stacks many utterances' rows into one call. The
+// staging buffers must hold depth float64 each.
+func softmaxRowsI8(in, out []int8, rows, depth int, beta float64, inQ, outQ *QuantParams, logits, probs []float64) {
+	logits = logits[:depth]
+	probs = probs[:depth]
+	for b := 0; b < rows; b++ {
+		row := in[b*depth : (b+1)*depth]
+		for i, q := range row {
+			logits[i] = inQ.Dequantize(q)
+		}
+		maxV := logits[0]
+		for _, v := range logits[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range logits {
+			probs[i] = math.Exp(beta * (v - maxV))
+			sum += probs[i]
+		}
+		orow := out[b*depth : (b+1)*depth]
+		for i, p := range probs {
+			orow[i] = outQ.Quantize(p / sum)
+		}
+	}
+}
+
 // SoftmaxOutputParams is the standard TFLite int8 softmax output
 // quantization: scale 1/256, zero point -128, covering [0, 1).
 func SoftmaxOutputParams() QuantParams {
