@@ -4,7 +4,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD)
 
-.PHONY: all help build test vet fmt-check bench bench-save bench-cmp bench-gate ci
+.PHONY: all help build test vet fmt-check bench bench-save bench-cmp bench-gate bench-gate-smoke ci
 
 all: build
 
@@ -18,7 +18,9 @@ help:
 	@echo "make bench-cmp   diff two saved runs: make bench-cmp BASE=BENCH_a.json HEAD=BENCH_b.json"
 	@echo "make bench-gate  rerun the hot-path benchmarks and fail if any regressed >GATE_TOL% (default 25)"
 	@echo "                 against the committed baseline (BASE=..., default: newest BENCH_*.json)"
-	@echo "make ci          tier-1 gate: build + vet + fmt-check + test"
+	@echo "make bench-gate-smoke  one-iteration bench-gate (-benchtime 1x, huge tolerance): catches"
+	@echo "                 deleted or broken gated benchmarks without timing anything"
+	@echo "make ci          tier-1 gate: build + vet + fmt-check + test + bench-gate-smoke"
 
 build:
 	$(GO) build ./...
@@ -53,17 +55,26 @@ bench-cmp:
 # a gated benchmark more than GATE_TOL% slower fails the target. The
 # tolerance is generous because shared CI hosts are noisy — tighten locally
 # with GATE_TOL=10.
-GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract
+GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel
 GATE_TOL ?= 25
+GATE_BENCHTIME ?=
 bench-gate:
 	@set -e; base="$(BASE)"; \
 	if [ -z "$$base" ]; then base="$$(ls -t BENCH_*.json 2>/dev/null | head -1)"; fi; \
 	test -n "$$base" || { echo "bench-gate: no BENCH_*.json baseline found (run make bench-save)"; exit 2; }; \
 	echo "bench-gate: baseline $$base"; \
 	scratch="$$(mktemp -d /tmp/bench_gate.XXXXXX)"; trap 'rm -rf "$$scratch"' EXIT; \
-	$(GO) test -run '^$$' -bench '$(GATE_BENCHES)' -benchmem . > "$$scratch/out.txt" || { cat "$$scratch/out.txt"; echo "bench-gate: benchmark run failed"; exit 1; }; \
+	$(GO) test -run '^$$' -bench '$(GATE_BENCHES)' $(if $(GATE_BENCHTIME),-benchtime $(GATE_BENCHTIME)) -benchmem . > "$$scratch/out.txt" || { cat "$$scratch/out.txt"; echo "bench-gate: benchmark run failed"; exit 1; }; \
 	$(GO) run ./cmd/benchjson -save "$$scratch/head.json" < "$$scratch/out.txt"; \
 	$(GO) run ./cmd/benchjson -cmp -tol $(GATE_TOL) -gate '$(GATE_BENCHES)' "$$base" "$$scratch/head.json"
 
-ci: build vet fmt-check test
+# CI smoke form of the gate: one iteration per gated benchmark with an
+# effectively-infinite tolerance. Single-iteration timings are meaningless,
+# so this does not police performance — it makes a PR that silently deletes
+# or breaks a gated benchmark fail `make ci` instead of only `make
+# bench-gate` (benchjson already fails on removed gated benchmarks).
+bench-gate-smoke:
+	@$(MAKE) --no-print-directory bench-gate GATE_BENCHTIME=1x GATE_TOL=100000
+
+ci: build vet fmt-check test bench-gate-smoke
 	@echo "ci: OK"

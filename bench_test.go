@@ -472,6 +472,82 @@ func BenchmarkInvokeBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkGEMMMicroKernel isolates the SWAR int8 GEMM inner kernel on the
+// two hot shapes of the paper model — the conv patch GEMM (550 rows × 8
+// filters × depth 80) and the FC sweep (1 × 12 × 4400) — reporting MAC
+// throughput. This is the micro-benchmark to rerun before retuning the
+// kernel (ROADMAP rule); the shapes also stress both the two-row main loop
+// and the single-row tail.
+func BenchmarkGEMMMicroKernel(b *testing.B) {
+	for _, shape := range []struct {
+		name    string
+		m, n, k int
+	}{
+		{"conv_550x8x80", 550, 8, 80},
+		{"fc_1x12x4400", 1, 12, 4400},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			gb, err := tflm.NewGEMMBench(shape.m, shape.n, shape.k, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gb.Run()
+			if err := gb.Check(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gb.Run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(gb.MACs())*float64(b.N)/1e6/b.Elapsed().Seconds(), "mmac/s")
+		})
+	}
+}
+
+// BenchmarkInvokeBatchParallel measures the multi-core InvokeBatch fan-out:
+// the interpreter plans min(GOMAXPROCS, batch) shard contexts and fans
+// contiguous utterance spans across its persistent worker group. Run with
+// `-cpu 1,2,4` for the scaling sweep (the shards metric records the planned
+// parallelism per sub-run); at -cpu 1 the plan degenerates to the serial
+// loop, so the delta over BenchmarkInvokeBatch is pure fan-out overhead.
+func BenchmarkInvokeBatchParallel(b *testing.B) {
+	fixture(b)
+	for _, batch := range []int{8, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			model, err := tflm.BuildRandomTinyConv(1, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ip, err := tflm.NewInterpreter(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ip.PlanBatchParallel(batch, 0); err != nil {
+				b.Fatal(err)
+			}
+			defer ip.ReleaseBatch()
+			for j := 0; j < batch; j++ {
+				row := ip.BatchInput(j)
+				for i := range row {
+					row[i] = int8((i + 31*j) % 251)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ip.InvokeBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "utt/s")
+			b.ReportMetric(float64(ip.BatchParallelism()), "shards")
+		})
+	}
+}
+
 // BenchmarkBatchInference measures the concurrent serving path: a batch of
 // utterances fanned across core.Pipeline worker pools of increasing size.
 // The per-op time is for the whole batch; the utt/s metric is the

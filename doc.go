@@ -16,35 +16,53 @@
 // # Inference hot path
 //
 // The engine's linear-algebra hot path is an im2col+GEMM pipeline
-// (internal/tflm/gemm.go): convolutions pack receptive fields into a column
-// matrix (padding is absorbed by the packer, which fills border patches
-// with the input zero point) and run a register-blocked int8×int8→int32
+// (internal/tflm/gemm.go): convolutions replay a plan-compiled im2col copy
+// program into a zero-point-prefilled column slab (padding handling and
+// clip arithmetic ran once at prep time) and run a SWAR int8×int8→int32
 // GEMM with per-filter zero-point corrections bias[oc] − inZP·Σw[oc]
-// folded into the accumulator seeds. Weights are repacked once at plan
-// time into 4-filter interleaved panels (packPanels), so the micro-kernel
-// — two im2col rows against one panel, depth-unrolled ×4 — reads one
-// contiguous weight stream and shares every load across eight
-// accumulators; the requantization constants (multiplier decomposition,
-// rounding masks) are likewise hoisted to plan time. Interpreters prep
-// every node at construction, so Invoke is allocation-free.
+// folded into the accumulator seeds. The SWAR kernel (internal/tflm/
+// swar.go) biases both operands to unsigned bytes and packs three depth
+// positions per uint64 at 21-bit lane spacing — activations ascending,
+// weights reversed — so one 64-bit multiply carries a three-term dot
+// product in bits 42..62 with provably no cross-lane carries; raw products
+// accumulate for eight groups before a single shift+mask folds the lane
+// out, and the bias corrections (−128·Σw at prep time, −128·Σu per packed
+// row) restore the exact signed sum. Weights repack once at plan time into
+// 4-filter interleaved panels of packed words (packPanels64); the
+// requantization constants are likewise hoisted. Every intermediate is an
+// exact integer, so results equal the scalar reference's wrapped int32
+// accumulation modulo 2^32 — bit-exact, including the −128·−128 corner,
+// which the checked-in fuzz corpus (FuzzSWARDot) pins. The depthwise
+// interior rides the same primitive when its reduction axis is contiguous
+// (single input channel). Interpreters prep every node at construction, so
+// Invoke is allocation-free.
 //
 // Interpreter.PlanBatch/InvokeBatch is the stacked-utterance face of the
 // same engine: up to the planned capacity of utterances are staged into
 // per-tensor slabs (BatchInput) and classified in one pass over the graph
-// — each convolution replays a plan-compiled im2col copy program (padding
-// prefilled once with the zero point) and runs the patch rows of each
-// utterance through the shared weight panels while they are cache-hot,
-// pure-copy reshapes alias away entirely, and softmax sweeps all stacked
-// rows at once. Output rows (BatchOutput) stay valid until the next
+// — each convolution replays its im2col program and runs the patch rows of
+// each utterance through the shared weight panels while they are
+// cache-hot, pure-copy reshapes alias away entirely, and softmax sweeps
+// all stacked rows at once. PlanBatchParallel additionally fans the batch
+// across min(GOMAXPROCS, batch) shard contexts: utterances are
+// independent, so each persistent shard worker (spawned once at plan time,
+// parked on a channel between calls) runs the whole node list over a
+// contiguous utterance span with its own im2col/SWAR/softmax scratch —
+// the zero-allocation invariant survives, and shard count 1 degenerates to
+// the serial loop. Output rows (BatchOutput) stay valid until the next
 // InvokeBatch. Results are bit-exact with serial Invoke, and cycle
-// metering still charges every utterance's full simulated cost.
+// metering still charges every utterance's full simulated cost regardless
+// of host parallelism. core.ServerConfig.BatchParallel and
+// KWSApp.SetBatchParallel thread the knob through the serving layers
+// (default serial: the server pool already runs one worker per core).
 //
 // Every optimized kernel has a scalar reference twin
 // (internal/tflm/op_ref.go) and is kept bit-exact against it by randomized
-// equivalence tests (int32 accumulation reassociates exactly modulo 2^32);
-// new operators must ship the same pair. The simulated-device cycle model
-// (NodeCycles) is untouched by all of this: host kernels are fast, modeled
-// hardware costs are calibrated.
+// equivalence tests plus a fuzz suite for the SWAR dot product; new
+// operators must ship the same pair. The simulated-device cycle model
+// (NodeCycles, hw/cost.go) is untouched by all of this: host kernels are
+// fast, modeled hardware costs are calibrated — SWAR and fan-out change
+// wall time, never sim-cycles.
 //
 // # Real-input FFT frontend
 //

@@ -49,9 +49,10 @@ type pipeWorker struct {
 
 // newPipeWorker builds one worker over a clone of model, validating that the
 // model input matches the frontend's fingerprint geometry. maxBatch > 1
-// additionally plans the interpreter's stacked InvokeBatch path so the
-// worker can drain several queued utterances per interpreter call.
-func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig, maxBatch int) (*pipeWorker, error) {
+// additionally plans the interpreter's stacked InvokeBatch path — sharded
+// batchPar ways when above 1 — so the worker can drain several queued
+// utterances per interpreter call.
+func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig, maxBatch, batchPar int) (*pipeWorker, error) {
 	ip, err := tflm.NewInterpreter(model.Clone())
 	if err != nil {
 		return nil, err
@@ -68,7 +69,10 @@ func newPipeWorker(model *tflm.Model, feCfg dsp.FrontendConfig, maxBatch int) (*
 	// Models the batched engine cannot plan (e.g. non-int8 or multi-tensor
 	// output) simply keep the one-utterance-per-call path; batching is an
 	// optimization, not a serving requirement.
-	if maxBatch > 1 && ip.PlanBatch(maxBatch) == nil {
+	if batchPar < 1 {
+		batchPar = 1
+	}
+	if maxBatch > 1 && ip.PlanBatchParallel(maxBatch, batchPar) == nil {
 		w.batch = make([]job, 0, maxBatch)
 	}
 	return w, nil

@@ -40,6 +40,12 @@ type ServerConfig struct {
 	// planned tflm.InvokeBatch call when the queue is backed up (≥ 2
 	// pending). <= 0 means the default of 8; 1 disables batched draining.
 	MaxBatch int
+	// BatchParallel is the intra-batch shard parallelism of each worker's
+	// planned InvokeBatch (tflm.PlanBatchParallel). <= 0 means 1 — serial —
+	// because the pool already runs one worker per core; raising it only
+	// helps low-latency setups with fewer workers than cores that still
+	// want a drained batch classified across several cores.
+	BatchParallel int
 	// Frontend configures feature extraction; the zero value means
 	// dsp.DefaultFrontend().
 	Frontend dsp.FrontendConfig
@@ -115,7 +121,7 @@ func newServer(model *tflm.Model, cfg ServerConfig) (*Server, error) {
 		jobs:      make(chan job, queue),
 	}
 	for i := 0; i < n; i++ {
-		w, err := newPipeWorker(model, feCfg, maxBatch)
+		w, err := newPipeWorker(model, feCfg, maxBatch, cfg.BatchParallel)
 		if err != nil {
 			return nil, fmt.Errorf("core: server worker %d: %w", i, err)
 		}
@@ -326,6 +332,12 @@ func (s *Server) Close() {
 	close(s.jobs)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Retire any interpreter-level batch shard workers deterministically
+	// (they would otherwise linger until a GC cleanup collects the workers'
+	// interpreters).
+	for _, w := range s.workers {
+		w.ip.ReleaseBatch()
+	}
 }
 
 // streamScratchSlack is how many fingerprint buffers a Stream owns beyond

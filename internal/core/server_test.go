@@ -352,6 +352,71 @@ func TestServerMixedSubmitRunBatch(t *testing.T) {
 	}
 }
 
+// TestServerParallelBatchRace: with intra-batch shard parallelism enabled,
+// concurrent Submit and RunBatch load must stay correct and race-free (run
+// with -race): every drained batch fans across the worker interpreter's
+// shard goroutines while multiple server workers run concurrently.
+func TestServerParallelBatchRace(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 12)
+	want := serialResults(t, model, utts)
+	srv, err := NewServer(model, ServerConfig{Workers: 2, Queue: 6, MaxBatch: 6, BatchParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range srv.workers {
+		if got := w.ip.BatchParallelism(); got != 2 {
+			t.Fatalf("worker interpreter BatchParallelism = %d, want 2", got)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) { // Submit path
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, u := range utts {
+					p, err := srv.Submit(u)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if r := p.Wait(); r.Err != nil || r.Label != want[i] {
+						errs <- fmt.Errorf("goroutine %d utterance %d: label %d err %v, want %d", g, i, r.Label, r.Err, want[i])
+						p.Release()
+						return
+					}
+					p.Release()
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) { // RunBatch path
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, r := range srv.RunBatch(utts) {
+					if r.Err != nil || r.Label != want[i] {
+						errs <- fmt.Errorf("batch goroutine %d utterance %d: label %d err %v, want %d", g, i, r.Label, r.Err, want[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Close must also retire the interpreters' shard workers.
+	for _, w := range srv.workers {
+		if got := w.ip.BatchParallelism(); got != 0 {
+			t.Fatalf("shard workers alive after Close: BatchParallelism = %d", got)
+		}
+	}
+}
+
 // TestPendingRelease: released tickets recycle through the pool and a
 // reused ticket observes only its own submission's result.
 func TestPendingRelease(t *testing.T) {

@@ -1,6 +1,10 @@
 package tflm
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Batched execution: PlanBatch sizes a stacked-utterance twin of the graph
 // once, and InvokeBatch runs up to that many utterances through one pass of
@@ -17,19 +21,55 @@ import "fmt"
 // bit-exact with running each utterance through Invoke serially: the
 // batched kernels are the same kernels over stacked rows, and the batch
 // slabs are disjoint from the serial tensors.
+//
+// PlanBatchParallel additionally fans InvokeBatch across a persistent
+// shard-worker group: utterances are independent, so the batch splits into
+// contiguous utterance spans and each shard runs the whole node list over
+// its span. Every shard owns its own kernel scratch — im2col column slabs
+// (padding prefilled per conv node), SWAR packed-activation rows, softmax
+// staging — so the zero-allocation invariant survives; the stacked tensor
+// slabs are shared but each shard touches only its span's disjoint rows.
+// Workers are spawned once at plan time and parked on a channel between
+// calls (no per-call goroutine churn); the degenerate parallelism of 1 is
+// exactly the previous serial loop on shard 0. Cycle metering is untouched:
+// InvokeBatch charges b× the per-utterance node costs regardless of how
+// many host cores ran them — parallelism, like SWAR, is a host-side
+// optimization invisible to the simulated device.
+
+// batchShard is one execution context of the batched plan: every kernel
+// scratch buffer a span sweep needs, so concurrent shards never share
+// mutable state beyond the (row-disjoint) tensor slabs.
+type batchShard struct {
+	cols     [][]int8 // per conv node column slab, padding prefilled
+	gemmX    []uint64
+	smLogits []float64
+	smProbs  []float64
+}
+
+// batchSpan is one unit of fan-out work: utterances [u0, u1).
+type batchSpan struct{ u0, u1 int }
 
 // batchPlan is the plan-time state of InvokeBatch.
 type batchPlan struct {
 	capB int
+	par  int // shard count; 1 = serial
 	// slabs[ti] holds capB stacked copies of tensor ti's storage (nil for
 	// constants and tensors the batched graph never touches). A pure-copy
 	// Reshape aliases its output slab to its input slab, so the copy
 	// disappears from the batched hot path.
 	slabs [][]int8
-	// execs run one node over b stacked utterances; nil execs means the
-	// whole plan fell back to per-utterance serial Invoke (exotic node or
-	// dtype in the graph).
-	execs []func(b int) error
+	// runs[ni] executes node ni over utterances [u0, u1) with shard sc's
+	// scratch; nil runs means the whole plan fell back to per-utterance
+	// serial Invoke (exotic node or dtype in the graph).
+	runs   []func(sc *batchShard, u0, u1 int) error
+	ops    []OpCode // node opcodes, for error messages off the fast path
+	shards []*batchShard
+	// Persistent worker group (par > 1 only): workers park on work and
+	// answer on done; closing stop retires them.
+	work     chan batchSpan
+	done     chan error
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // colCopy is one replayed im2col transfer: col[dst:dst+n] = src[src:src+n].
@@ -93,15 +133,48 @@ func recordIm2col(g convGeom) []colCopy {
 	return prog
 }
 
+// replayIm2col replays a compiled copy program into col, reading src at a
+// byte offset (0 for serial Invoke, the utterance base for InvokeBatch).
+// Short transfers move inline: the program is dominated by single-kernel-row
+// segments a few bytes long, where memmove's call overhead dwarfs the move.
+func replayIm2col(prog []colCopy, col, src []int8, off int) {
+	for i := range prog {
+		c := &prog[i]
+		s := src[off+int(c.src) : off+int(c.src)+int(c.n)]
+		d := col[c.dst : int(c.dst)+int(c.n)]
+		if len(s) <= 16 {
+			for j, v := range s {
+				d[j] = v
+			}
+		} else {
+			copy(d, s)
+		}
+	}
+}
+
+// convColSpec records one conv node's per-shard column-slab requirement.
+type convColSpec struct {
+	length int
+	fill   int8
+}
+
 // PlanBatch prepares the interpreter to run up to maxB stacked utterances
-// per InvokeBatch call. It allocates the stacked activation slabs and
-// batched kernel scratch now so InvokeBatch performs no heap allocation.
-// Planning again replaces the previous plan (tickets into old slabs become
-// stale). The model's primary input and output must be int8; graphs with
+// per InvokeBatch call with the serial (single-shard) engine; see
+// PlanBatchParallel for the multi-core form.
+func (ip *Interpreter) PlanBatch(maxB int) error { return ip.PlanBatchParallel(maxB, 1) }
+
+// PlanBatchParallel prepares the interpreter to run up to maxB stacked
+// utterances per InvokeBatch call, fanned across parallel shard contexts
+// (parallel <= 0 means min(GOMAXPROCS, maxB)). It allocates the stacked
+// activation slabs, the per-shard kernel scratch, and — for parallelism
+// above 1 — the persistent worker goroutines now, so InvokeBatch performs
+// no heap allocation and no goroutine spawning. Planning again replaces the
+// previous plan (tickets into old slabs become stale; the old worker group
+// retires). The model's primary input and output must be int8; graphs with
 // nodes the batched engine cannot stack (float dtypes, pooling, dynamic
-// weights) keep a degraded plan that runs the serial engine per utterance —
-// same results, no stacked GEMM.
-func (ip *Interpreter) PlanBatch(maxB int) error {
+// weights) keep a degraded single-shard plan that runs the serial engine
+// per utterance — same results, no stacked GEMM, no fan-out.
+func (ip *Interpreter) PlanBatchParallel(maxB, parallel int) error {
 	if maxB < 1 {
 		return fmt.Errorf("tflm: batch capacity %d < 1", maxB)
 	}
@@ -112,7 +185,14 @@ func (ip *Interpreter) PlanBatch(maxB int) error {
 	if ip.Input(0).Type != Int8 || ip.Output(0).Type != Int8 {
 		return fmt.Errorf("tflm: PlanBatch needs int8 model I/O")
 	}
-	bp := &batchPlan{capB: maxB, slabs: make([][]int8, len(m.Tensors))}
+	par := parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > maxB {
+		par = maxB
+	}
+	bp := &batchPlan{capB: maxB, par: par, slabs: make([][]int8, len(m.Tensors))}
 	slab := func(ti int) []int8 {
 		t := m.Tensors[ti]
 		if t.IsConst || t.Type != Int8 {
@@ -136,40 +216,43 @@ func (ip *Interpreter) PlanBatch(maxB int) error {
 		}
 	}
 
-	execs := make([]func(b int) error, len(m.Nodes))
+	var cols []convColSpec
+	maxGemmX, maxDepth := 0, 0
+	runs := make([]func(sc *batchShard, u0, u1 int) error, len(m.Nodes))
 	for ni, n := range m.Nodes {
 		switch n.Op {
 		case OpConv2D:
 			cp, ok := ip.preps[ni].(*convPrep)
 			if !ok {
-				execs = nil
+				runs = nil
 			} else {
 				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
 				if src == nil || dst == nil {
-					execs = nil
+					runs = nil
 					break
 				}
 				g, pr := cp.g, cp.pr
-				// Dedicated column slab per conv node, prefilled with the
-				// node's padding zero point so the replayed copy program
-				// never has to re-fill padding. The slab holds one
+				// Dedicated column slab per (shard, conv node), prefilled
+				// with the node's padding zero point so the replayed copy
+				// program never has to re-fill padding. The slab holds one
 				// utterance: replay and GEMM interleave per utterance so
 				// the column data is consumed while still cache-hot (a
 				// single B·M-row sweep would stream B×col through the
 				// cache between write and read).
-				col := make([]int8, g.batches*g.colLen())
-				fillSlice(col, int8(pr.inZP))
-				prog := recordIm2col(g)
+				ci := len(cols)
+				cols = append(cols, convColSpec{length: g.batches * g.colLen(), fill: int8(pr.inZP)})
+				if n := pr.gemmScratchLen(); n > maxGemmX {
+					maxGemmX = n
+				}
+				prog := cp.prog // compiled once at prepNodes time
 				uttIn := g.batches * g.inH * g.inW * g.inC
 				rows := g.batches * g.M
 				uttOut := rows * g.outC
-				execs[ni] = func(b int) error {
-					for u := 0; u < b; u++ {
-						sb := u * uttIn
-						for _, cp := range prog {
-							copy(col[cp.dst:cp.dst+cp.n], src[sb+int(cp.src):sb+int(cp.src)+int(cp.n)])
-						}
-						gemmInt8Requant(rows, col, dst[u*uttOut:(u+1)*uttOut], pr)
+				runs[ni] = func(sc *batchShard, u0, u1 int) error {
+					col := sc.cols[ci]
+					for u := u0; u < u1; u++ {
+						replayIm2col(prog, col, src, u*uttIn)
+						gemmInt8Requant(rows, col, dst[u*uttOut:(u+1)*uttOut], pr, sc.gemmX)
 					}
 					return nil
 				}
@@ -177,16 +260,20 @@ func (ip *Interpreter) PlanBatch(maxB int) error {
 		case OpFullyConnected:
 			fp, ok := ip.preps[ni].(*fcPrep)
 			if !ok {
-				execs = nil
+				runs = nil
 			} else {
 				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
 				if src == nil || dst == nil {
-					execs = nil
+					runs = nil
 					break
 				}
 				pr, rows := fp.pr, fp.batches
-				execs[ni] = func(b int) error {
-					gemmInt8Requant(b*rows, src, dst, pr)
+				if n := pr.gemmScratchLen(); n > maxGemmX {
+					maxGemmX = n
+				}
+				inRow, outRow := rows*pr.k, rows*pr.n
+				runs[ni] = func(sc *batchShard, u0, u1 int) error {
+					gemmInt8Requant((u1-u0)*rows, src[u0*inRow:u1*inRow], dst[u0*outRow:u1*outRow], pr, sc.gemmX)
 					return nil
 				}
 			}
@@ -194,28 +281,33 @@ func (ip *Interpreter) PlanBatch(maxB int) error {
 			sp, ok := ip.preps[ni].(*softmaxPrep)
 			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
 			if !ok || in.Quant == nil || out.Quant == nil {
-				execs = nil
+				runs = nil
 			} else {
 				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
 				if src == nil || dst == nil {
-					execs = nil
+					runs = nil
 					break
 				}
 				depth, outer, beta := sp.depth, sp.outer, sp.beta
+				if depth > maxDepth {
+					maxDepth = depth
+				}
 				inQ, outQ := in.Quant, out.Quant
-				execs[ni] = func(b int) error {
-					softmaxRowsI8(src, dst, b*outer, depth, beta, inQ, outQ, ip.smLogits, ip.smProbs)
+				uttLen := outer * depth
+				runs[ni] = func(sc *batchShard, u0, u1 int) error {
+					softmaxRowsI8(src[u0*uttLen:u1*uttLen], dst[u0*uttLen:u1*uttLen],
+						(u1-u0)*outer, depth, beta, inQ, outQ, sc.smLogits, sc.smProbs)
 					return nil
 				}
 			}
 		case OpReshape:
 			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
 			if in.Type != Int8 || out.Type != Int8 || in.NumElements() != out.NumElements() {
-				execs = nil
+				runs = nil
 			} else {
 				src := slab(n.Inputs[0])
 				if src == nil {
-					execs = nil
+					runs = nil
 					break
 				}
 				// A reshape is a pure copy; when its endpoints each have a
@@ -225,55 +317,152 @@ func (ip *Interpreter) PlanBatch(maxB int) error {
 				// aliasing is a host optimization.)
 				if producers[n.Inputs[0]] <= 1 && producers[n.Outputs[0]] == 1 && bp.slabs[n.Outputs[0]] == nil {
 					bp.slabs[n.Outputs[0]] = src
-					execs[ni] = func(int) error { return nil }
+					runs[ni] = func(*batchShard, int, int) error { return nil }
 					break
 				}
 				dst := slab(n.Outputs[0])
 				if dst == nil {
-					execs = nil
+					runs = nil
 					break
 				}
 				elems := in.NumElements()
-				execs[ni] = func(b int) error {
-					copy(dst[:b*elems], src[:b*elems])
+				runs[ni] = func(sc *batchShard, u0, u1 int) error {
+					copy(dst[u0*elems:u1*elems], src[u0*elems:u1*elems])
 					return nil
 				}
 			}
 		case OpRelu:
 			in, out := m.Tensor(n.Inputs[0]), m.Tensor(n.Outputs[0])
 			if in.Type != Int8 || in.Quant == nil || in.NumElements() != out.NumElements() {
-				execs = nil
+				runs = nil
 			} else {
 				src, dst := slab(n.Inputs[0]), slab(n.Outputs[0])
 				if src == nil || dst == nil {
-					execs = nil
+					runs = nil
 					break
 				}
 				elems, zp := in.NumElements(), in.Quant.ZeroPoint
-				execs[ni] = func(b int) error {
-					for i, v := range src[:b*elems] {
+				runs[ni] = func(sc *batchShard, u0, u1 int) error {
+					off := u0 * elems
+					for i, v := range src[off : u1*elems] {
 						if int32(v) < zp {
-							dst[i] = int8(zp)
+							dst[off+i] = int8(zp)
 						} else {
-							dst[i] = v
+							dst[off+i] = v
 						}
 					}
 					return nil
 				}
 			}
 		default:
-			execs = nil
+			runs = nil
 		}
-		if execs == nil {
+		if runs == nil {
 			break
 		}
 	}
-	if execs != nil {
-		bp.execs = execs
+	if runs != nil {
+		bp.runs = runs
+		bp.ops = make([]OpCode, len(m.Nodes))
+		for ni, n := range m.Nodes {
+			bp.ops[ni] = n.Op
+		}
+		bp.shards = make([]*batchShard, bp.par)
+		for s := range bp.shards {
+			sc := &batchShard{cols: make([][]int8, len(cols))}
+			for i, spec := range cols {
+				col := make([]int8, spec.length)
+				fillSlice(col, spec.fill)
+				sc.cols[i] = col
+			}
+			if maxGemmX > 0 {
+				sc.gemmX = make([]uint64, maxGemmX)
+			}
+			if maxDepth > 0 {
+				sc.smLogits = make([]float64, maxDepth)
+				sc.smProbs = make([]float64, maxDepth)
+			}
+			bp.shards[s] = sc
+		}
+	} else {
+		// The serial fallback replays Invoke per utterance through the
+		// single tensor storage; it cannot shard.
+		bp.par = 1
 	}
+	ip.releaseBatchPlan()
 	ip.batch = bp
+	if bp.par > 1 {
+		bp.startWorkers()
+		// Retire the worker group when the interpreter itself is dropped
+		// without a replacing plan. The cleanup must capture the plan, not
+		// the interpreter, or the interpreter would never be collected; the
+		// handle is stopped on replan/release so retired plans don't stay
+		// pinned by their own backstop.
+		c := runtime.AddCleanup(ip, func(old *batchPlan) { old.stopWorkers() }, bp)
+		ip.batchCleanup = &c
+	}
 	return nil
 }
+
+// releaseBatchPlan retires the current plan's workers and cancels its GC
+// cleanup backstop, dropping every reference the interpreter holds to it.
+func (ip *Interpreter) releaseBatchPlan() {
+	if ip.batch != nil {
+		ip.batch.stopWorkers()
+		ip.batch = nil
+	}
+	if ip.batchCleanup != nil {
+		ip.batchCleanup.Stop()
+		ip.batchCleanup = nil
+	}
+}
+
+// startWorkers launches the persistent shard workers (shards 1..par−1;
+// shard 0 always runs on the InvokeBatch caller). Workers hold no reference
+// to the interpreter — only to the plan — and park on the work channel
+// between calls.
+func (bp *batchPlan) startWorkers() {
+	bp.work = make(chan batchSpan)
+	bp.done = make(chan error, bp.par)
+	bp.stop = make(chan struct{})
+	for w := 1; w < bp.par; w++ {
+		sc := bp.shards[w]
+		go func() {
+			for {
+				select {
+				case <-bp.stop:
+					return
+				case sp := <-bp.work:
+					bp.done <- bp.runSpan(sc, sp.u0, sp.u1)
+				}
+			}
+		}()
+	}
+}
+
+// stopWorkers retires the worker group; safe to call repeatedly and on
+// serial plans.
+func (bp *batchPlan) stopWorkers() {
+	if bp.stop != nil {
+		bp.stopOnce.Do(func() { close(bp.stop) })
+	}
+}
+
+// runSpan executes every node over utterances [u0, u1) with sc's scratch.
+func (bp *batchPlan) runSpan(sc *batchShard, u0, u1 int) error {
+	for ni, run := range bp.runs {
+		if err := run(sc, u0, u1); err != nil {
+			return fmt.Errorf("tflm: node %d (%v): %w", ni, bp.ops[ni], err)
+		}
+	}
+	return nil
+}
+
+// ReleaseBatch drops the batch plan and retires its worker group, if any.
+// Optional — a dropped interpreter's workers are retired by a GC cleanup —
+// but callers that own worker lifecycles (core.Server) release explicitly
+// so goroutine accounting is deterministic.
+func (ip *Interpreter) ReleaseBatch() { ip.releaseBatchPlan() }
 
 // BatchCapacity returns the planned stacked-utterance capacity (0 before
 // PlanBatch).
@@ -282,6 +471,15 @@ func (ip *Interpreter) BatchCapacity() int {
 		return 0
 	}
 	return ip.batch.capB
+}
+
+// BatchParallelism returns the planned shard count (0 before PlanBatch; 1
+// for serial plans, including the degraded fallback).
+func (ip *Interpreter) BatchParallelism() int {
+	if ip.batch == nil {
+		return 0
+	}
+	return ip.batch.par
 }
 
 // BatchInput returns utterance j's input row in the stacked plan; stage
@@ -299,9 +497,12 @@ func (ip *Interpreter) BatchOutput(j int) []int8 {
 }
 
 // InvokeBatch classifies the b staged utterances (1 ≤ b ≤ BatchCapacity)
-// in one pass over the graph. Cycle metering charges b× the per-utterance
-// node costs — batching is a host-side optimization; the simulated device
-// still performs every utterance's work.
+// in one pass over the graph, fanning contiguous utterance spans across the
+// planned shards when the plan is parallel (spans only as many shards as
+// there are utterances; a lone utterance never leaves the caller). Cycle
+// metering charges b× the per-utterance node costs — batching and host
+// parallelism are host-side optimizations; the simulated device still
+// performs every utterance's work.
 func (ip *Interpreter) InvokeBatch(b int) error {
 	bp := ip.batch
 	if bp == nil {
@@ -311,15 +512,46 @@ func (ip *Interpreter) InvokeBatch(b int) error {
 		return fmt.Errorf("tflm: batch size %d outside planned capacity [1, %d]", b, bp.capB)
 	}
 	m := ip.model
-	if bp.execs == nil {
+	if bp.runs == nil {
 		return ip.invokeBatchSerial(b)
 	}
-	for ni, ex := range bp.execs {
-		if err := ex(b); err != nil {
-			return fmt.Errorf("tflm: node %d (%v): %w", ni, m.Nodes[ni].Op, err)
+	p := bp.par
+	if p > b {
+		p = b
+	}
+	var err error
+	if p <= 1 {
+		err = bp.runSpan(bp.shards[0], 0, b)
+	} else {
+		// Balanced contiguous spans: the first b%p spans take one extra
+		// utterance. The caller keeps span 0 and collects the rest.
+		q, r := b/p, b%p
+		u1 := q
+		if r > 0 {
+			u1++
 		}
-		if ip.meter != nil {
-			ip.meter.Charge(uint64(b) * NodeCycles(m, m.Nodes[ni]))
+		u := u1
+		for w := 1; w < p; w++ {
+			sz := q
+			if w < r {
+				sz++
+			}
+			bp.work <- batchSpan{u, u + sz}
+			u += sz
+		}
+		err = bp.runSpan(bp.shards[0], 0, u1)
+		for w := 1; w < p; w++ {
+			if e := <-bp.done; err == nil {
+				err = e
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if ip.meter != nil {
+		for _, n := range m.Nodes {
+			ip.meter.Charge(uint64(b) * NodeCycles(m, n))
 		}
 	}
 	return nil

@@ -1,0 +1,168 @@
+package tflm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestInvokeBatchParallelMatchesSerial: for shard counts beyond one and
+// batch sizes straddling the shard count (1, P−1, P, 2P+3), the fanned-out
+// InvokeBatch must be bit-exact with running each utterance through serial
+// Invoke — which the kernel equivalence tests in turn pin to the scalar
+// reference kernels. Randomized conv geometries plus the paper tiny_conv.
+func TestInvokeBatchParallelMatchesSerial(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		for _, par := range []int{2, 3, 4} {
+			t.Run(fmt.Sprintf("trial%d_par%d", trial, par), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(17000 + 31*trial + par)))
+				var model *Model
+				if trial == 0 {
+					var err error
+					if model, err = BuildRandomTinyConv(1, 7); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					model = buildRandomConvModel(t, r)
+				}
+				batched, err := NewInterpreter(model.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial, err := NewInterpreter(model.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				maxB := 2*par + 3
+				if err := batched.PlanBatchParallel(maxB, par); err != nil {
+					t.Fatal(err)
+				}
+				if got := batched.BatchParallelism(); got != par {
+					t.Fatalf("BatchParallelism = %d, want %d", got, par)
+				}
+				inElems := serial.Input(0).NumElements()
+				outElems := serial.Output(0).NumElements()
+				for _, b := range []int{1, par - 1, par, 2*par + 3} {
+					if b < 1 {
+						continue
+					}
+					inputs := make([][]int8, b)
+					for j := 0; j < b; j++ {
+						inputs[j] = make([]int8, inElems)
+						for i := range inputs[j] {
+							inputs[j][i] = int8(r.Intn(256) - 128)
+						}
+						copy(batched.BatchInput(j), inputs[j])
+					}
+					if err := batched.InvokeBatch(b); err != nil {
+						t.Fatal(err)
+					}
+					for j := 0; j < b; j++ {
+						copy(serial.Input(0).I8, inputs[j])
+						if err := serial.Invoke(); err != nil {
+							t.Fatal(err)
+						}
+						got := batched.BatchOutput(j)
+						for i := 0; i < outElems; i++ {
+							if got[i] != serial.Output(0).I8[i] {
+								t.Fatalf("B=%d utterance %d output %d: parallel %d != serial %d",
+									b, j, i, got[i], serial.Output(0).I8[i])
+							}
+						}
+					}
+				}
+				batched.ReleaseBatch()
+			})
+		}
+	}
+}
+
+// TestInvokeBatchParallelZeroAlloc: the fan-out must not touch the heap —
+// shard scratch is plan-owned and the worker handoff is channel traffic of
+// plain structs. AllocsPerRun reads the global allocation counter, so the
+// worker goroutines' behavior is covered too.
+func TestInvokeBatchParallelZeroAlloc(t *testing.T) {
+	model, err := BuildRandomTinyConv(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterpreter(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 8
+	if err := ip.PlanBatchParallel(batch, 2); err != nil {
+		t.Fatal(err)
+	}
+	defer ip.ReleaseBatch()
+	for j := 0; j < batch; j++ {
+		row := ip.BatchInput(j)
+		for i := range row {
+			row[i] = int8((i + j) % 251)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := ip.InvokeBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("parallel InvokeBatch allocates %v times per run, want 0", allocs)
+	}
+}
+
+// waitGoroutines polls for the goroutine count to drop back to want.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines = %d, want <= %d (leaked shard workers?)", runtime.NumGoroutine(), want)
+}
+
+// TestPlanBatchParallelWorkerLifecycle: replanning retires the previous
+// worker group, ReleaseBatch retires the last one, and parallelism clamps
+// to the batch capacity (no worker can ever get an empty span).
+func TestPlanBatchParallelWorkerLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	model, err := BuildRandomTinyConv(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterpreter(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.PlanBatchParallel(8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.BatchParallelism(); got != 3 {
+		t.Fatalf("BatchParallelism = %d, want 3", got)
+	}
+	// Replanning must not stack a second worker group on the first.
+	if err := ip.PlanBatchParallel(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base+3) // 4 shards → 3 workers
+	// Parallelism clamps to capacity.
+	if err := ip.PlanBatchParallel(2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.BatchParallelism(); got != 2 {
+		t.Fatalf("BatchParallelism = %d after clamp, want 2", got)
+	}
+	ip.ReleaseBatch()
+	waitGoroutines(t, base)
+	if got := ip.BatchParallelism(); got != 0 {
+		t.Fatalf("BatchParallelism after release = %d, want 0", got)
+	}
+	if err := ip.InvokeBatch(1); err == nil {
+		t.Fatal("InvokeBatch after ReleaseBatch accepted")
+	}
+}

@@ -62,13 +62,15 @@ type linearPrep struct {
 	inZP       int32
 	acc0       []int32
 	activation Activation
-	// n, k is the weight matrix geometry; panels holds ceil(n/4) panels of
-	// k×4 interleaved weights (panel p, depth i, lane j = w[(4p+j)*k+i],
-	// zero-filled beyond n), and seeds is acc0 padded to the panel grid so
-	// the micro-kernel indexes it unguarded.
-	n, k   int
-	panels []int8
-	seeds  []int32
+	// n, k is the weight matrix geometry; kg = ceil(k/3) is the packed SWAR
+	// group count. pan64 holds ceil(n/4) panels of kg×4 interleaved
+	// reversed-lane weight words (panel p, group g, lane j packs filter
+	// 4p+j's depths 3g..3g+2 per swar.go), and seeds is the SWAR-corrected
+	// accumulator seed acc0 − 128·Σw padded to the panel grid so the
+	// micro-kernel indexes it unguarded.
+	n, k, kg int
+	pan64    []uint64
+	seeds    []int32
 	// Requantization constants hoisted out of QuantizedMultiplier.Apply:
 	// acc<<lsh, saturating-rounding-doubling-high-multiply by rqMult, then
 	// rounding divide by 2^rsh with the mask/threshold precomputed. The
@@ -118,24 +120,26 @@ func (pr *linearPrep) prepRequant() {
 // layout and the micro-kernel.
 const gemmPanel = 4
 
-// packPanels repacks an n×k row-major weight matrix into gemmPanel-blocked
-// interleaved panels: within a panel the gemmPanel filter values of each
-// depth position sit adjacently, so the micro-kernel's inner loop walks one
-// contiguous stream regardless of which filters it is accumulating.
-func packPanels(w []int8, n, k int) []int8 {
+// packPanels64 repacks an n×k row-major weight matrix into gemmPanel-blocked
+// interleaved SWAR panels: within a panel the gemmPanel filters' packed
+// weight words of each depth group sit adjacently, so the micro-kernel's
+// inner loop walks one contiguous uint64 stream regardless of which filters
+// it is accumulating. Padding lanes (filters ≥ n, depths ≥ k) hold the
+// biased zero weight; their accumulators are never stored.
+func packPanels64(w []int8, n, k int) []uint64 {
 	nPanels := (n + gemmPanel - 1) / gemmPanel
-	panels := make([]int8, nPanels*gemmPanel*k)
-	for p := 0; p < nPanels; p++ {
-		pan := panels[p*gemmPanel*k : (p+1)*gemmPanel*k]
-		for j := 0; j < gemmPanel; j++ {
-			o := p*gemmPanel + j
-			if o >= n {
-				break // padding lanes stay zero
-			}
-			row := w[o*k : (o+1)*k]
-			for i, v := range row {
-				pan[i*gemmPanel+j] = v
-			}
+	kg := swarGroups(k)
+	panels := make([]uint64, nPanels*kg*gemmPanel)
+	scratch := make([]uint64, kg)
+	for o := 0; o < nPanels*gemmPanel; o++ {
+		p, j := o/gemmPanel, o%gemmPanel
+		if o < n {
+			swarPackReversed(w[o*k:(o+1)*k], scratch)
+		} else {
+			swarPackReversed(nil, scratch)
+		}
+		for g, q := range scratch {
+			panels[(p*kg+g)*gemmPanel+j] = q
 		}
 	}
 	return panels
@@ -167,20 +171,25 @@ func prepLinearInt8(in, w, bias, out *Tensor, act Activation, n, k int) (*linear
 		activation: act,
 		n:          n,
 		k:          k,
-		panels:     packPanels(w.I8, n, k),
+		kg:         swarGroups(k),
+		pan64:      packPanels64(w.I8, n, k),
 		seeds:      make([]int32, nPanels*gemmPanel),
 	}
 	pr.prepRequant()
 	for o := 0; o < n; o++ {
-		var sum int32
-		for _, v := range w.I8[o*k : (o+1)*k] {
-			sum += int32(v)
-		}
+		sum := swarSum(w.I8[o*k : (o+1)*k])
 		pr.acc0[o] = bias.I32[o] - pr.inZP*sum
-		pr.seeds[o] = pr.acc0[o]
+		// The SWAR seed additionally folds in the weight half of the bias
+		// correction (−128·Σw); the activation half arrives per row from
+		// swarExpandRow.
+		pr.seeds[o] = pr.acc0[o] - swarBias*sum
 	}
 	return pr, nil
 }
+
+// gemmScratchLen returns the packed-activation scratch (in uint64 words) one
+// gemmInt8Requant call needs: two rows of kg groups.
+func (pr *linearPrep) gemmScratchLen() int { return 2 * pr.kg }
 
 // im2col packs the receptive fields of one batch into col, one patch per
 // GEMM row in (ky, kx, ic) order. Out-of-bounds positions are filled with
@@ -244,131 +253,97 @@ func im2col[T int8 | float32](col, src []T, g convGeom, b int, fill T) {
 	}
 }
 
-func fillSlice[T int8 | float32](s []T, v T) {
+// fillSlice is the one memclr-style prefill helper: the im2col packer, the
+// batch plan's padding prefill and the SWAR scratch all flow through it, so
+// the idiom lives (and gets tuned) in exactly one place.
+func fillSlice[T any](s []T, v T) {
 	for i := range s {
 		s[i] = v
 	}
 }
 
+// swarBlock is how many raw X·Y products may accumulate in one uint64
+// before the mid lane must be folded out: each product contributes < 2^18
+// to the 21-bit mid window (and < 2^18 to each lower lane), so eight
+// products sum to < 2^21 in every lane — still carry-free, see swar.go.
+// Deferring the extraction this way makes the steady-state MAC step a bare
+// multiply-add; the shift+mask runs once per block instead of per product.
+const swarBlock = 8
+
 // gemmInt8Requant computes dst[m*n] = requant(acc0[n] + A[m]·B[n]) where A
-// is M rows of K packed patches and B is the panel-packed weight image in
-// pr. The register-blocked micro-kernel runs two im2col rows against one
-// four-filter panel with the depth loop unrolled ×4, so every panel load is
-// shared by both rows and the eight accumulators stay in registers (wider
-// 4×4 blocking spills on amd64's register file and measures slower in Go).
-// Requantization and activation clamping are fused into the output write.
-// Each accumulator still sums its K products in depth order, and int32
-// addition reassociates modulo 2^32, so results are bit-identical to the
-// scalar reference.
-func gemmInt8Requant(mRows int, a []int8, dst []int8, pr *linearPrep) {
-	n, k := pr.n, pr.k
-	panels, seeds := pr.panels, pr.seeds
+// is M rows of K packed patches and B is the SWAR panel image in pr. The
+// micro-kernel runs two im2col rows against one four-filter panel, three
+// depth positions per step: each row is first expanded once into packed
+// 21-bit-lane words (xb, caller-owned scratch of pr.gemmScratchLen() words,
+// shared across every panel), then each 64-bit multiply against a panel
+// word retires three MACs into one of eight raw accumulators, whose mid
+// lanes are folded out once per swarBlock groups — see swar.go for the lane
+// layout and the carry-freeness proof. Requantization and activation
+// clamping are fused into the output write. All intermediate sums are exact
+// integers, so the final int32 truncation matches the scalar reference's
+// wrapped accumulation bit for bit.
+func gemmInt8Requant(mRows int, a []int8, dst []int8, pr *linearPrep, xb []uint64) {
+	n, k, kg := pr.n, pr.k, pr.kg
+	panels, seeds := pr.pan64, pr.seeds
+	x0 := xb[:kg]
+	x1 := xb[kg : 2*kg]
 	m := 0
 	for ; m+2 <= mRows; m += 2 {
-		a0 := a[m*k : m*k+k]
-		a1 := a[(m+1)*k : (m+1)*k+k]
+		adj0 := swarExpandRow(a[m*k:m*k+k], x0)
+		adj1 := swarExpandRow(a[(m+1)*k:(m+1)*k+k], x1)
 		for p, n0 := 0, 0; n0 < n; p, n0 = p+1, n0+gemmPanel {
-			pan := panels[p*gemmPanel*k : (p+1)*gemmPanel*k]
-			c00, c01, c02, c03 := seeds[n0], seeds[n0+1], seeds[n0+2], seeds[n0+3]
-			c10, c11, c12, c13 := c00, c01, c02, c03
-			i := 0
-			for ; i+4 <= k; i += 4 {
-				// One full-width subslice per four depth steps eliminates
-				// all but one bounds check on the panel stream.
-				q := pan[i*gemmPanel : i*gemmPanel+4*gemmPanel : i*gemmPanel+4*gemmPanel]
-				b0, b1, b2, b3 := int32(q[0]), int32(q[1]), int32(q[2]), int32(q[3])
-				av := int32(a0[i])
-				c00 += av * b0
-				c01 += av * b1
-				c02 += av * b2
-				c03 += av * b3
-				av = int32(a1[i])
-				c10 += av * b0
-				c11 += av * b1
-				c12 += av * b2
-				c13 += av * b3
-				b0, b1, b2, b3 = int32(q[4]), int32(q[5]), int32(q[6]), int32(q[7])
-				av = int32(a0[i+1])
-				c00 += av * b0
-				c01 += av * b1
-				c02 += av * b2
-				c03 += av * b3
-				av = int32(a1[i+1])
-				c10 += av * b0
-				c11 += av * b1
-				c12 += av * b2
-				c13 += av * b3
-				b0, b1, b2, b3 = int32(q[8]), int32(q[9]), int32(q[10]), int32(q[11])
-				av = int32(a0[i+2])
-				c00 += av * b0
-				c01 += av * b1
-				c02 += av * b2
-				c03 += av * b3
-				av = int32(a1[i+2])
-				c10 += av * b0
-				c11 += av * b1
-				c12 += av * b2
-				c13 += av * b3
-				b0, b1, b2, b3 = int32(q[12]), int32(q[13]), int32(q[14]), int32(q[15])
-				av = int32(a0[i+3])
-				c00 += av * b0
-				c01 += av * b1
-				c02 += av * b2
-				c03 += av * b3
-				av = int32(a1[i+3])
-				c10 += av * b0
-				c11 += av * b1
-				c12 += av * b2
-				c13 += av * b3
-			}
-			for ; i < k; i++ {
-				j := i * gemmPanel
-				b0, b1, b2, b3 := int32(pan[j]), int32(pan[j+1]), int32(pan[j+2]), int32(pan[j+3])
-				av := int32(a0[i])
-				c00 += av * b0
-				c01 += av * b1
-				c02 += av * b2
-				c03 += av * b3
-				av = int32(a1[i])
-				c10 += av * b0
-				c11 += av * b1
-				c12 += av * b2
-				c13 += av * b3
-			}
-			requantQuad(dst[m*n:], n, n0, c00, c01, c02, c03, pr)
-			requantQuad(dst[(m+1)*n:], n, n0, c10, c11, c12, c13, pr)
+			pan := panels[p*kg*gemmPanel : (p+1)*kg*gemmPanel]
+			m00, m01, m02, m03 := gemmRowPanel(x0, pan)
+			m10, m11, m12, m13 := gemmRowPanel(x1, pan)
+			requantQuad(dst[m*n:], n, n0,
+				seeds[n0]+adj0+int32(m00), seeds[n0+1]+adj0+int32(m01),
+				seeds[n0+2]+adj0+int32(m02), seeds[n0+3]+adj0+int32(m03), pr)
+			requantQuad(dst[(m+1)*n:], n, n0,
+				seeds[n0]+adj1+int32(m10), seeds[n0+1]+adj1+int32(m11),
+				seeds[n0+2]+adj1+int32(m12), seeds[n0+3]+adj1+int32(m13), pr)
 		}
 	}
 	if m < mRows {
-		ar := a[m*k : m*k+k]
+		adj := swarExpandRow(a[m*k:m*k+k], x0)
 		for p, n0 := 0, 0; n0 < n; p, n0 = p+1, n0+gemmPanel {
-			pan := panels[p*gemmPanel*k : (p+1)*gemmPanel*k]
-			c0, c1, c2, c3 := seeds[n0], seeds[n0+1], seeds[n0+2], seeds[n0+3]
-			i := 0
-			for ; i+2 <= k; i += 2 {
-				q := pan[i*gemmPanel : i*gemmPanel+2*gemmPanel : i*gemmPanel+2*gemmPanel]
-				av := int32(ar[i])
-				c0 += av * int32(q[0])
-				c1 += av * int32(q[1])
-				c2 += av * int32(q[2])
-				c3 += av * int32(q[3])
-				av = int32(ar[i+1])
-				c0 += av * int32(q[4])
-				c1 += av * int32(q[5])
-				c2 += av * int32(q[6])
-				c3 += av * int32(q[7])
-			}
-			for ; i < k; i++ {
-				j := i * gemmPanel
-				av := int32(ar[i])
-				c0 += av * int32(pan[j])
-				c1 += av * int32(pan[j+1])
-				c2 += av * int32(pan[j+2])
-				c3 += av * int32(pan[j+3])
-			}
-			requantQuad(dst[m*n:], n, n0, c0, c1, c2, c3, pr)
+			pan := panels[p*kg*gemmPanel : (p+1)*kg*gemmPanel]
+			m0, m1, m2, m3 := gemmRowPanel(x0, pan)
+			requantQuad(dst[m*n:], n, n0,
+				seeds[n0]+adj+int32(m0), seeds[n0+1]+adj+int32(m1),
+				seeds[n0+2]+adj+int32(m2), seeds[n0+3]+adj+int32(m3), pr)
 		}
 	}
+}
+
+// gemmRowPanel sweeps one expanded activation row against one four-filter
+// panel and returns the four mid totals. Keeping the tile one row wide holds
+// the live set to four raw accumulators plus the streaming operands, which
+// fits amd64's register file without spilling (the two-row tile spilled its
+// eight raw accumulators to the stack every group).
+func gemmRowPanel(x []uint64, pan []uint64) (m0, m1, m2, m3 uint64) {
+	kg := len(x)
+	for g0 := 0; g0 < kg; g0 += swarBlock {
+		gEnd := g0 + swarBlock
+		if gEnd > kg {
+			gEnd = kg
+		}
+		var s0, s1, s2, s3 uint64
+		for g := g0; g < gEnd; g++ {
+			// One full-width subslice per group eliminates all but one
+			// bounds check on the panel stream.
+			q := pan[g*gemmPanel : g*gemmPanel+gemmPanel : g*gemmPanel+gemmPanel]
+			xa := x[g]
+			s0 += xa * q[0]
+			s1 += xa * q[1]
+			s2 += xa * q[2]
+			s3 += xa * q[3]
+		}
+		m0 += (s0 >> (2 * swarShift)) & swarMidMask
+		m1 += (s1 >> (2 * swarShift)) & swarMidMask
+		m2 += (s2 >> (2 * swarShift)) & swarMidMask
+		m3 += (s3 >> (2 * swarShift)) & swarMidMask
+	}
+	return
 }
 
 // requantQuad rescales, offsets, clamps and stores up to four adjacent
@@ -432,13 +407,14 @@ func gemmFloat(mRows, nRows, k int, a, b, bias []float32, act Activation, dst []
 // col, then a single GEMM over all batches' patch rows feeds the packed
 // weight panels once. src/dst may be the tensor storage (Invoke) or the
 // interpreter's stacked batch slabs (InvokeBatch) — the kernel only sees
-// geometry. col must hold batches·M·K values.
-func convInt8Gemm(src, dst []int8, g convGeom, pr *linearPrep, col []int8) {
+// geometry. col must hold batches·M·K values and xb pr.gemmScratchLen()
+// words.
+func convInt8Gemm(src, dst []int8, g convGeom, pr *linearPrep, col []int8, xb []uint64) {
 	zpFill := int8(pr.inZP) // int8 zero points are in [-128, 127] by construction
 	for b := 0; b < g.batches; b++ {
 		im2col(col[b*g.colLen():(b+1)*g.colLen()], src, g, b, zpFill)
 	}
-	gemmInt8Requant(g.batches*g.M, col, dst, pr)
+	gemmInt8Requant(g.batches*g.M, col, dst, pr, xb)
 }
 
 // convFloatGemm is the float32 counterpart of convInt8Gemm.
@@ -452,10 +428,22 @@ func convFloatGemm(in, w, bias, out *Tensor, g convGeom, act Activation, col []f
 // depthwisePrep is the plan-time state of an int8 DepthwiseConv2D: geometry
 // plus per-channel zero-point corrections (the filter layout is [1, kH, kW,
 // outC], so the weight sums stride by outC rather than being row-major).
+// When the input has a single channel the reduction axis is contiguous in
+// the source, so the interior additionally packs each output channel's taps
+// into SWAR weight words (kH rows of swarGroups(kW) reversed-lane groups)
+// with the −128·Σw half of the bias correction folded into swSeeds; the
+// win scales with the depth multiplier, which shares one packed-activation
+// expansion across all of a pixel's output channels. Strided multi-channel
+// geometries keep the scalar interior — SWAR needs contiguous bytes.
 type depthwisePrep struct {
 	g   convGeom
 	lp  linearPrep
 	mul int // depth multiplier
+	// SWAR interior state (inC == 1 only; nil otherwise).
+	kgW     int      // packed groups per kernel row
+	wPack64 []uint64 // [oc][ky][g] packed taps, oc-major
+	swSeeds []int32  // acc0[oc] − 128·Σw[oc]
+	xwin    []uint64 // window expansion scratch, kH·kgW words (serial Invoke only)
 }
 
 func prepDepthwiseInt8(in, w, bias, out *Tensor, p Conv2DParams) (*depthwisePrep, error) {
@@ -512,6 +500,24 @@ func prepDepthwiseInt8(in, w, bias, out *Tensor, p Conv2DParams) (*depthwisePrep
 		}
 		dp.lp.acc0[oc] = bias.I32[oc] - dp.lp.inZP*sum
 	}
+	if g.inC == 1 {
+		dp.kgW = swarGroups(g.kW)
+		dp.wPack64 = make([]uint64, g.outC*g.kH*dp.kgW)
+		dp.swSeeds = make([]int32, g.outC)
+		dp.xwin = make([]uint64, g.kH*dp.kgW)
+		row := make([]int8, g.kW)
+		for oc := 0; oc < g.outC; oc++ {
+			var sum int32
+			for ky := 0; ky < g.kH; ky++ {
+				for kx := 0; kx < g.kW; kx++ {
+					row[kx] = w.I8[(ky*g.kW+kx)*g.outC+oc]
+				}
+				sum += swarSum(row)
+				swarPackReversed(row, dp.wPack64[(oc*g.kH+ky)*dp.kgW:(oc*g.kH+ky+1)*dp.kgW])
+			}
+			dp.swSeeds[oc] = dp.lp.acc0[oc] - swarBias*sum
+		}
+	}
 	return dp, nil
 }
 
@@ -531,6 +537,28 @@ func depthwiseInt8Opt(in, w, bias, out *Tensor, dp *depthwisePrep) {
 				ix0 := ox*g.strideW - g.padL
 				dBase := ((b*g.outH+oy)*g.outW + ox) * g.outC
 				if rowInterior && ix0 >= 0 && ix0+g.kW <= g.inW {
+					if dp.wPack64 != nil {
+						// Contiguous reduction axis (inC == 1): expand the
+						// window's source rows into SWAR words once, then
+						// sweep every output channel's packed taps — three
+						// MACs per multiply, expansion shared across the
+						// depth multiplier.
+						var adj int32
+						for ky := 0; ky < g.kH; ky++ {
+							sRow := (b*g.inH+iy0+ky)*g.inW + ix0
+							adj += swarExpandRow(src[sRow:sRow+g.kW], dp.xwin[ky*dp.kgW:(ky+1)*dp.kgW])
+						}
+						for oc := 0; oc < g.outC; oc++ {
+							pan := dp.wPack64[oc*g.kH*dp.kgW : (oc+1)*g.kH*dp.kgW]
+							var s uint64
+							for i, x := range dp.xwin {
+								s += (x * pan[i] >> (2 * swarShift)) & swarMidMask
+							}
+							acc := dp.swSeeds[oc] + adj + int32(s)
+							dst[dBase+oc] = int8(clampInt32(lp.mult.Apply(acc)+lp.outZP, lp.lo, lp.hi))
+						}
+						continue
+					}
 					for ic := 0; ic < g.inC; ic++ {
 						for m := 0; m < dp.mul; m++ {
 							oc := ic*dp.mul + m

@@ -2,6 +2,7 @@ package tflm
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/hw"
 )
@@ -36,19 +37,33 @@ type Interpreter struct {
 	// execution modes (the batched InvokeBatch plan) can reuse it without
 	// re-deriving geometry or repacking weights.
 	preps []any
-	// Shared kernel scratch, sized at plan time to the largest consumer.
-	colI8    []int8
+	// Shared kernel scratch, sized at plan time to the largest consumer
+	// (int8 convolutions instead own a dedicated column slab per node, in
+	// their convPrep, so the plan-compiled copy program can prefill padding
+	// once).
 	colF32   []float32
+	gemmX    []uint64 // SWAR packed-activation rows for gemmInt8Requant
 	smLogits []float64
 	smProbs  []float64
-	// batch is the optional stacked-utterance plan built by PlanBatch.
-	batch *batchPlan
+	// batch is the optional stacked-utterance plan built by PlanBatch, and
+	// batchCleanup the GC backstop that retires its worker group; the
+	// handle is stopped and replaced on replan so retired plans (and their
+	// slabs) do not stay pinned for the interpreter's lifetime.
+	batch        *batchPlan
+	batchCleanup *runtime.Cleanup
 }
 
 // Per-node prep records stashed by prepNodes for reuse by PlanBatch.
 type convPrep struct {
 	g  convGeom
 	pr *linearPrep
+	// prog is the plan-compiled im2col copy program (recordIm2col) and col
+	// the node's dedicated, zero-point-prefilled column slab: serial Invoke
+	// replays only the surviving contiguous copies — the clip arithmetic
+	// and padding fills ran once at prep time. PlanBatch reuses prog with
+	// per-shard column slabs.
+	prog []colCopy
+	col  []int8
 }
 
 type fcPrep struct {
@@ -90,7 +105,7 @@ func (ip *Interpreter) prepNodes() {
 	m := ip.model
 	ip.execs = make([]func() error, len(m.Nodes))
 	ip.preps = make([]any, len(m.Nodes))
-	maxColI8, maxColF32, maxDepth := 0, 0, 0
+	maxColF32, maxDepth, maxGemmX := 0, 0, 0
 	for ni, n := range m.Nodes {
 		switch n.Op {
 		case OpConv2D:
@@ -119,12 +134,16 @@ func (ip *Interpreter) prepNodes() {
 				if pr.inZP < -128 || pr.inZP > 127 {
 					continue
 				}
-				if n := g.batches * g.colLen(); n > maxColI8 {
-					maxColI8 = n
+				if n := pr.gemmScratchLen(); n > maxGemmX {
+					maxGemmX = n
 				}
-				ip.preps[ni] = &convPrep{g: g, pr: pr}
+				cp := &convPrep{g: g, pr: pr, prog: recordIm2col(g), col: make([]int8, g.batches*g.colLen())}
+				fillSlice(cp.col, int8(pr.inZP))
+				rows := g.batches * g.M
+				ip.preps[ni] = cp
 				ip.execs[ni] = func() error {
-					convInt8Gemm(in.I8, out.I8, g, pr, ip.colI8)
+					replayIm2col(cp.prog, cp.col, in.I8, 0)
+					gemmInt8Requant(rows, cp.col, out.I8, pr, ip.gemmX)
 					return nil
 				}
 			case Float32:
@@ -172,9 +191,12 @@ func (ip *Interpreter) prepNodes() {
 				if err != nil {
 					continue
 				}
+				if n := pr.gemmScratchLen(); n > maxGemmX {
+					maxGemmX = n
+				}
 				ip.preps[ni] = &fcPrep{batches: batches, outN: outN, inN: inN, pr: pr}
 				ip.execs[ni] = func() error {
-					gemmInt8Requant(batches, in.I8, out.I8, pr)
+					gemmInt8Requant(batches, in.I8, out.I8, pr, ip.gemmX)
 					return nil
 				}
 			case Float32:
@@ -203,8 +225,8 @@ func (ip *Interpreter) prepNodes() {
 			}
 		}
 	}
-	if maxColI8 > 0 {
-		ip.colI8 = make([]int8, maxColI8)
+	if maxGemmX > 0 {
+		ip.gemmX = make([]uint64, maxGemmX)
 	}
 	if maxColF32 > 0 {
 		ip.colF32 = make([]float32, maxColF32)
@@ -224,10 +246,17 @@ func (ip *Interpreter) Model() *Model { return ip.model }
 // ArenaSize returns the planned activation arena in bytes (peak RAM).
 func (ip *Interpreter) ArenaSize() int { return ip.plan.Total }
 
-// ScratchSize returns the bytes of kernel scratch (im2col columns, softmax
-// staging) the interpreter owns on top of the activation arena.
+// ScratchSize returns the bytes of kernel scratch (im2col columns — shared
+// for float, per conv node for int8 — SWAR rows, softmax staging) the
+// interpreter owns on top of the activation arena.
 func (ip *Interpreter) ScratchSize() int {
-	return len(ip.colI8) + 4*len(ip.colF32) + 8*len(ip.smLogits) + 8*len(ip.smProbs)
+	total := 4*len(ip.colF32) + 8*len(ip.gemmX) + 8*len(ip.smLogits) + 8*len(ip.smProbs)
+	for _, p := range ip.preps {
+		if cp, ok := p.(*convPrep); ok {
+			total += len(cp.col)
+		}
+	}
+	return total
 }
 
 // Input returns the i-th model input tensor.

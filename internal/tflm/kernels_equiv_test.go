@@ -133,6 +133,13 @@ func TestDepthwiseConv2DOptMatchesRef(t *testing.T) {
 		{2, 11, 7, 3, 1, 5, 3, 2, 2, PaddingValid, ActNone},
 		{1, 6, 6, 2, 3, 4, 4, 3, 1, PaddingSame, ActReLU6},
 		{1, 5, 5, 1, 1, 7, 7, 1, 1, PaddingSame, ActNone}, // kernel larger than input
+		// inC == 1 geometries ride the SWAR interior (contiguous reduction
+		// axis): single and multi depth-multiplier, ragged kW % 3, strides,
+		// and a large all-interior VALID sweep.
+		{1, 12, 12, 1, 1, 3, 3, 1, 1, PaddingSame, ActNone},
+		{1, 14, 13, 1, 4, 3, 5, 1, 1, PaddingSame, ActReLU},
+		{2, 16, 11, 1, 3, 4, 7, 2, 3, PaddingSame, ActReLU6},
+		{1, 20, 20, 1, 2, 5, 8, 2, 2, PaddingValid, ActNone},
 	}
 	for ci, c := range cases {
 		t.Run(fmt.Sprintf("case%d", ci), func(t *testing.T) {

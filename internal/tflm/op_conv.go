@@ -41,7 +41,7 @@ func evalConv2DInt8(in, w, bias, out *Tensor, p Conv2DParams) error {
 	if pr.inZP < -128 || pr.inZP > 127 {
 		return evalConv2DInt8Ref(in, w, bias, out, p)
 	}
-	convInt8Gemm(in.I8, out.I8, g, pr, make([]int8, g.batches*g.colLen()))
+	convInt8Gemm(in.I8, out.I8, g, pr, make([]int8, g.batches*g.colLen()), make([]uint64, pr.gemmScratchLen()))
 	return nil
 }
 

@@ -31,7 +31,7 @@ func evalFullyConnected(in, w, bias, out *Tensor, p FullyConnectedParams) error 
 		if err != nil {
 			return err
 		}
-		gemmInt8Requant(batches, in.I8, out.I8, pr)
+		gemmInt8Requant(batches, in.I8, out.I8, pr, make([]uint64, pr.gemmScratchLen()))
 		return nil
 	case Float32:
 		gemmFloat(batches, outN, inN, in.F32, w.F32, bias.F32, p.Activation, out.F32)

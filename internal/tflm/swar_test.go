@@ -1,0 +1,129 @@
+package tflm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refDotI8 is the scalar ground truth: plain wrapped int32 accumulation,
+// exactly what the reference kernels in op_ref.go do per output.
+func refDotI8(a, b []int8) int32 {
+	var acc int32
+	for i := range a {
+		acc += int32(a[i]) * int32(b[i])
+	}
+	return acc
+}
+
+// TestSWARDotMatchesScalar sweeps random lengths (including every tail
+// residue mod 3 and mod 8) and value distributions including the saturating
+// extremes, where −128·−128 = 16384 would overflow a naive 16-bit product
+// lane.
+func TestSWARDotMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		k := r.Intn(300)
+		a := make([]int8, k)
+		b := make([]int8, k)
+		switch trial % 4 {
+		case 0: // uniform
+			for i := range a {
+				a[i] = int8(r.Intn(256) - 128)
+				b[i] = int8(r.Intn(256) - 128)
+			}
+		case 1: // saturating corners only
+			corners := []int8{-128, -127, 127}
+			for i := range a {
+				a[i] = corners[r.Intn(len(corners))]
+				b[i] = corners[r.Intn(len(corners))]
+			}
+		case 2: // all −128: every product is the 16384 overflow corner
+			for i := range a {
+				a[i], b[i] = -128, -128
+			}
+		case 3: // sparse
+			for i := range a {
+				if r.Intn(4) == 0 {
+					a[i] = int8(r.Intn(256) - 128)
+				}
+				if r.Intn(4) == 0 {
+					b[i] = int8(r.Intn(256) - 128)
+				}
+			}
+		}
+		if got, want := swarDotI8(a, b), refDotI8(a, b); got != want {
+			t.Fatalf("k=%d trial=%d: swarDotI8 = %d, want %d", k, trial, got, want)
+		}
+	}
+	// Long vector: exercises the lane-sum fold bound and accumulator width.
+	k := swarGroup*swarFoldGroups + 17
+	a := make([]int8, k)
+	b := make([]int8, k)
+	for i := range a {
+		a[i], b[i] = -128, -128
+	}
+	if got, want := swarDotI8(a, b), refDotI8(a, b); got != want {
+		t.Fatalf("long all-min dot: swarDotI8 = %d, want %d", got, want)
+	}
+}
+
+// TestSWARExpandRowFold pins swarExpandRow's chunked lane-sum fold against a
+// direct byte sum across the fold boundary.
+func TestSWARExpandRowFold(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3, 7, 8, 80, swarGroup * swarFoldGroups, swarGroup*swarFoldGroups + 1, swarGroup*swarFoldGroups + 5} {
+		a := make([]int8, k)
+		for i := range a {
+			a[i] = int8((i*37 + 11) % 256)
+			if i%5 == 0 {
+				a[i] = -128
+			}
+		}
+		x := make([]uint64, swarGroups(k))
+		adj := swarExpandRow(a, x)
+		var usum int64
+		for _, v := range a {
+			usum += int64(v) + 128
+		}
+		if want := int32(-128 * usum); adj != want {
+			t.Fatalf("k=%d: adj = %d, want %d", k, adj, want)
+		}
+		// Lanes must reproduce the biased bytes, zero past the end.
+		for i := 0; i < len(x)*swarGroup; i++ {
+			lane := x[i/swarGroup] >> (uint(i%swarGroup) * swarShift) & swarMidMask
+			want := uint64(0)
+			if i < k {
+				want = uint64(uint8(a[i]) ^ swarBias)
+			}
+			if lane != want {
+				t.Fatalf("k=%d lane %d = %d, want %d", k, i, lane, want)
+			}
+		}
+	}
+}
+
+// FuzzSWARDot fuzzes the SWAR dot product against the scalar reference: the
+// input splits into two equal halves (so ragged lengths with every residue
+// mod 3 and mod 8 arise naturally), and the checked-in seed corpus pins the
+// saturating −128·−128 lane corner and both tail shapes.
+func FuzzSWARDot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80}) // single-pair −128·−128
+	// 8 pairs of −128: overflows a 16-bit lane twice over if mishandled.
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{1, 255, 128, 127, 0, 3})                           // k=3 (no tail)
+	f.Add([]byte{1, 255, 128, 127, 0, 3, 80, 81})                   // k=4 → tail 1
+	f.Add([]byte{1, 255, 128, 127, 0, 3, 80, 81, 200, 201})         // k=5 → tail 2
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 254, 128, 127}) // k=7
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := len(data) / 2
+		a := make([]int8, k)
+		b := make([]int8, k)
+		for i := 0; i < k; i++ {
+			a[i] = int8(data[i])
+			b[i] = int8(data[k+i])
+		}
+		if got, want := swarDotI8(a, b), refDotI8(a, b); got != want {
+			t.Fatalf("k=%d: swarDotI8 = %d, want %d (a=%v b=%v)", k, got, want, a, b)
+		}
+	})
+}
