@@ -4,7 +4,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD)
 
-.PHONY: all help build test vet fmt-check bench bench-save bench-cmp bench-gate bench-gate-smoke ci
+.PHONY: all help build test vet fmt-check docs-check examples-check bench bench-save bench-cmp bench-gate bench-gate-smoke ci
 
 all: build
 
@@ -13,6 +13,8 @@ help:
 	@echo "make test        run the test suite"
 	@echo "make vet         go vet"
 	@echo "make fmt-check   fail if gofmt would change anything"
+	@echo "make docs-check  fail on undocumented exported identifiers (cmd/docscheck)"
+	@echo "make examples-check  build + vet the examples so they cannot rot silently"
 	@echo "make bench       run hot-path + evaluation benchmarks (-benchmem)"
 	@echo "make bench-save  run benchmarks and save BENCH_<rev>.json (perf trajectory)"
 	@echo "make bench-cmp   diff two saved runs: make bench-cmp BASE=BENCH_a.json HEAD=BENCH_b.json"
@@ -36,6 +38,17 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Godoc contract: every exported identifier in the audited engine packages
+# carries a doc comment (see cmd/docscheck for the exact rules).
+docs-check:
+	$(GO) run ./cmd/docscheck
+
+# Examples are real programs; building and vetting them in CI keeps them
+# from rotting when the APIs they demonstrate move.
+examples-check:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+
 # Hot-path and evaluation benchmarks with allocation reporting.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -55,7 +68,7 @@ bench-cmp:
 # a gated benchmark more than GATE_TOL% slower fails the target. The
 # tolerance is generous because shared CI hosts are noisy — tighten locally
 # with GATE_TOL=10.
-GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel
+GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput
 GATE_TOL ?= 25
 GATE_BENCHTIME ?=
 bench-gate:
@@ -76,5 +89,5 @@ bench-gate:
 bench-gate-smoke:
 	@$(MAKE) --no-print-directory bench-gate GATE_BENCHTIME=1x GATE_TOL=100000
 
-ci: build vet fmt-check test bench-gate-smoke
+ci: build vet fmt-check docs-check examples-check test bench-gate-smoke
 	@echo "ci: OK"

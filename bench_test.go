@@ -21,6 +21,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 
@@ -31,6 +32,8 @@ import (
 	"repro/internal/hw"
 	"repro/internal/intnet"
 	"repro/internal/mpc"
+	"repro/internal/netfront"
+	"repro/internal/netfront/client"
 	"repro/internal/omgcrypto"
 	"repro/internal/speechcmd"
 	"repro/internal/tflm"
@@ -673,6 +676,93 @@ func BenchmarkServerThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "utt/s")
+		})
+	}
+}
+
+// BenchmarkNetServerThroughput measures the network serving edge end to
+// end: N concurrent client connections over loopback TCP, each submitting
+// one-shot utterances against one shared core.Server behind the netfront
+// wire protocol. Compare against BenchmarkServerThroughput (the same pool
+// without the wire) for the protocol's fixed per-utterance overhead —
+// framing, two socket hops, and decode — which stream batching amortizes
+// but one-shots pay in full.
+func BenchmarkNetServerThroughput(b *testing.B) {
+	fixture(b)
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+	utts := make([][]int16, 16)
+	for i := range utts {
+		utts[i] = gen.Example(i%speechcmd.NumLabels, i/speechcmd.NumLabels, 0).Samples
+	}
+	srv, err := core.NewServer(model, core.ServerConfig{Workers: 4, Queue: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+	go fe.Serve(l)
+	defer fe.Close()
+	for _, conns := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("conns=%d", conns), func(b *testing.B) {
+			clients := make([]*client.Client, conns)
+			for i := range clients {
+				c, err := client.Dial("tcp", l.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = c
+				defer c.Close()
+			}
+			// Warm every connection's buffers and the server pools.
+			for _, c := range clients {
+				if _, err := c.Classify(utts[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, conns)
+			for ci, c := range clients {
+				n := b.N / conns
+				if ci < b.N%conns {
+					n++
+				}
+				wg.Add(1)
+				go func(c *client.Client, n, ci int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						label, err := c.Classify(utts[(ci+i)%len(utts)])
+						for err == client.ErrBusy {
+							label, err = c.Classify(utts[(ci+i)%len(utts)])
+						}
+						if err != nil {
+							errs <- err
+							return
+						}
+						if label < 0 {
+							errs <- fmt.Errorf("conn %d: label %d", ci, label)
+							return
+						}
+					}
+				}(c, n, ci)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "utt/s")
 		})
 	}
 }

@@ -1,0 +1,99 @@
+// Command omg-serve runs the netfront serving edge: a persistent
+// core.Server worker pool behind the length-prefixed wire protocol, on a
+// TCP address and/or a Unix socket. It is the network face of the engine —
+// the piece that lets external load (internal/netfront/client, the
+// streaming-client example, BenchmarkNetServerThroughput) drive the same
+// worker pool the in-process benchmarks measure.
+//
+// The model served is the benchmark tiny_conv (random weights over the
+// paper's geometry, tflm.BuildRandomTinyConv): omg-serve exercises the
+// serving stack, not keyword accuracy. Swap in a trained model by loading
+// its OMGM bytes where buildModel is called.
+//
+// Usage:
+//
+//	omg-serve                          serve on 127.0.0.1:7071
+//	omg-serve -tcp :9000 -unix /tmp/omg.sock
+//	omg-serve -workers 8 -queue 64 -max-batch 16 -batch-parallel 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/netfront"
+	"repro/internal/tflm"
+)
+
+func main() {
+	tcpAddr := flag.String("tcp", "127.0.0.1:7071", "TCP listen address (empty disables)")
+	unixPath := flag.String("unix", "", "Unix socket path (empty disables)")
+	workers := flag.Int("workers", 0, "core.Server worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "submission queue depth (0 = 2×workers)")
+	maxBatch := flag.Int("max-batch", 0, "max utterances per drained InvokeBatch (0 = default 8, 1 disables)")
+	batchParallel := flag.Int("batch-parallel", 0, "intra-batch shard parallelism per worker (0 = serial)")
+	modelMul := flag.Int("model-mul", 1, "tiny_conv width multiplier of the served model")
+	modelSeed := flag.Int64("model-seed", 7, "weight seed of the served model")
+	flag.Parse()
+
+	if *tcpAddr == "" && *unixPath == "" {
+		log.Fatal("omg-serve: nothing to listen on (set -tcp and/or -unix)")
+	}
+
+	model, err := tflm.BuildRandomTinyConv(*modelMul, *modelSeed)
+	if err != nil {
+		log.Fatalf("omg-serve: build model: %v", err)
+	}
+	srv, err := core.NewServer(model, core.ServerConfig{
+		Workers:       *workers,
+		Queue:         *queue,
+		MaxBatch:      *maxBatch,
+		BatchParallel: *batchParallel,
+	})
+	if err != nil {
+		log.Fatalf("omg-serve: server: %v", err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+
+	var wg sync.WaitGroup
+	serve := func(network, addr string) {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			log.Fatalf("omg-serve: listen %s %s: %v", network, addr, err)
+		}
+		fmt.Printf("omg-serve: listening on %s %s (workers=%d queue=%d)\n",
+			network, l.Addr(), srv.Workers(), srv.QueueDepth())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fe.Serve(l); err != netfront.ErrFrontEndClosed {
+				log.Printf("omg-serve: %s listener: %v", network, err)
+			}
+		}()
+	}
+	if *tcpAddr != "" {
+		serve("tcp", *tcpAddr)
+	}
+	if *unixPath != "" {
+		os.Remove(*unixPath) // a stale socket file would fail the bind
+		serve("unix", *unixPath)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("omg-serve: shutting down")
+	fe.Close()  // stop accepting, close connections
+	wg.Wait()   // listeners gone
+	srv.Close() // drain in-flight work
+	if *unixPath != "" {
+		os.Remove(*unixPath)
+	}
+}

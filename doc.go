@@ -4,9 +4,11 @@
 // The implementation lives under internal/: a cycle-approximate ARM SoC
 // simulator with TrustZone and SANCTUARY enclaves, a TFLM-style int8
 // inference engine, the paper's audio frontend and training pipeline, the
-// OMG three-phase protocol, and HE/SMPC baselines. See README.md for the
-// map and DESIGN.md for the design rationale; cmd/omg-bench regenerates
-// every number in EXPERIMENTS.md.
+// OMG three-phase protocol, a network serving edge, and HE/SMPC baselines.
+// ARCHITECTURE.md is the onboarding entry point — the data-flow map, the
+// ownership and bit-exactness rules, and the metering stance in one place.
+// README.md has the package map, DESIGN.md the design rationale;
+// cmd/omg-bench regenerates every number in EXPERIMENTS.md.
 //
 // The benchmarks in this package (bench_test.go) cover every table and
 // figure of the paper's evaluation; run them with
@@ -102,7 +104,28 @@
 // utterances are pending a worker classifies up to ServerConfig.MaxBatch
 // of them through one planned InvokeBatch call, and submission tickets
 // recycle through a freelist (Pending.Release), keeping the steady-state
-// submission path allocation-free.
+// submission path allocation-free. Alongside ticket polling the server
+// offers a callback completion path — Server.SubmitFunc invokes its
+// callback on the completing worker, and Stream.OnResult delivers stream
+// results strictly in hop order through a per-stream sequencer — with a
+// drain-on-Close contract: every submission accepted before Close has
+// completed (ticket resolved, callback fired) by the time Close returns.
+//
+// # Network serving edge
+//
+// internal/netfront turns the server into the paper's "ML-as-a-service,
+// deployed offline" boundary: a length-prefixed binary protocol over TCP
+// or Unix sockets (cmd/omg-serve) multiplexing three request kinds —
+// one-shot utterance, open stream with chunked audio and per-hop results
+// in hop order, and whole batches — from any number of connections onto
+// one shared core.Server. Queue backpressure surfaces as an explicit BUSY
+// reply instead of blocking the read loop, and the per-connection
+// read→decode→submit path reuses pooled frames, sample buffers and
+// pre-bound callbacks — 0 allocs/op in steady state. Labels over the wire
+// are bit-exact with direct Server calls. internal/netfront/client is the
+// Go client; BenchmarkNetServerThroughput and experiment E14 measure the
+// loopback edge against the in-process ceiling, and the streaming-client
+// example is the guided tour.
 //
 // On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
 // iterations inside a single enclave Run, pulling several utterances per

@@ -274,6 +274,7 @@ func (a *KWSApp) Version() uint64 { return a.version }
 
 // QueryResult is what leaves the enclave in step 8.
 type QueryResult struct {
+	// Label is the argmax class of the classified utterance.
 	Label int
 	// Probs are the dequantized class probabilities (the "output
 	// presented to the user or made available to other applications").

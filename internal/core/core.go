@@ -78,18 +78,24 @@ const ModelBlobName = "omg/model.enc"
 // ModelPackage is the encrypted model the vendor provisions in step 3.
 // Everything here is safe to store on untrusted flash.
 type ModelPackage struct {
+	// Version is the model version the license mechanism pins.
 	Version uint64
-	Blob    []byte // serialized omgcrypto.Envelope over the OMGM bytes
+	// Blob is the serialized omgcrypto.Envelope over the OMGM bytes.
+	Blob []byte
 }
 
 // KeyRequest is the enclave's initialization-phase request: a fresh
 // attestation whose nonce the enclave itself generated, so that the
 // response cannot be replayed across sessions.
 type KeyRequest struct {
-	Report  *omgcrypto.AttestationReport
-	Chain   []*omgcrypto.Certificate
-	Nonce   []byte
-	Version uint64 // version of the locally stored ciphertext
+	// Report attests the enclave's measurement and key.
+	Report *omgcrypto.AttestationReport
+	// Chain certifies the platform key that signed the report.
+	Chain []*omgcrypto.Certificate
+	// Nonce is enclave-generated freshness the response must echo.
+	Nonce []byte
+	// Version is the version of the locally stored model ciphertext.
+	Version uint64
 }
 
 // KeyResponse is the vendor's initialization-phase message (step 5): KU
@@ -98,9 +104,13 @@ type KeyRequest struct {
 // image. The signature + nonce binding is what makes withholding KU an
 // effective license/rollback mechanism even against a replaying OS.
 type KeyResponse struct {
-	Version   uint64
+	// Version is the model version KU unlocks.
+	Version uint64
+	// WrappedKU is the model key encrypted to the attested enclave key.
 	WrappedKU []byte
-	Nonce     []byte
+	// Nonce echoes the request nonce (replay protection).
+	Nonce []byte
+	// VendorSig signs the canonical TBS encoding under the pinned key.
 	VendorSig []byte
 }
 

@@ -13,11 +13,16 @@ import (
 // with the platform keys the device vendor provisioned at the factory, and
 // the SANCTUARY driver in the commodity OS.
 type Device struct {
-	SoC       *hw.SoC
-	Monitor   *trustzone.Monitor
-	SecureOS  *trustzone.SecureOS
+	// SoC is the cycle-approximate ARM hardware model.
+	SoC *hw.SoC
+	// Monitor is the EL3 secure monitor mediating world switches.
+	Monitor *trustzone.Monitor
+	// SecureOS runs in the secure world (mic capture, key services).
+	SecureOS *trustzone.SecureOS
+	// Sanctuary manages enclave lifecycle in the commodity OS.
 	Sanctuary *sanctuary.Manager
-	Keys      *trustzone.PlatformKeys
+	// Keys are the factory-provisioned platform keys certifying the device.
+	Keys *trustzone.PlatformKeys
 }
 
 // DeviceConfig parameterizes device construction.

@@ -59,7 +59,8 @@ type ServerConfig struct {
 const defaultMaxBatch = 8
 
 // job is one unit of work on the queue. Exactly one of samples/fp describes
-// the input; the worker writes *res and then signals done, so a batch can
+// the input; the worker writes *res and then signals completion — through
+// done (ticket path) or by invoking cb (callback path) — so a batch can
 // share one results slice and one completion channel.
 type job struct {
 	samples []int16
@@ -67,6 +68,78 @@ type job struct {
 	recycle chan []uint8 // fingerprint freelist to return fp to (may be nil)
 	res     *Result
 	done    chan<- struct{}
+	cb      *cbTicket // callback-path completion (done is nil when set)
+}
+
+// cbTicket is the callback-path counterpart of Pending: the worker writes
+// res, then either invokes fn directly (SubmitFunc) or hands the ticket to
+// its stream's sequencer for in-hop-order delivery. Tickets recycle through
+// cbPool, so the steady-state callback submission path allocates nothing.
+type cbTicket struct {
+	res Result
+	fn  func(Result)
+	seq uint64       // per-stream hop sequence (sequencer path)
+	sq  *seqDelivery // non-nil routes completion through the stream sequencer
+}
+
+// cbPool recycles callback tickets across submissions.
+var cbPool = sync.Pool{New: func() any { return new(cbTicket) }}
+
+// newCbTicket draws a recycled callback ticket and resets it.
+func newCbTicket(fn func(Result)) *cbTicket {
+	t := cbPool.Get().(*cbTicket)
+	t.res = Result{}
+	t.fn = fn
+	t.seq = 0
+	t.sq = nil
+	return t
+}
+
+// complete delivers a finished callback job: sequenced streams reorder
+// through their seqDelivery, plain submissions fire immediately. The ticket
+// returns to the pool either way; the Result passed to fn (including Probs)
+// is only valid for the duration of the callback.
+func (t *cbTicket) complete() {
+	if t.sq != nil {
+		t.sq.complete(t)
+		return
+	}
+	fn, res := t.fn, t.res
+	cbPool.Put(t)
+	fn(res)
+}
+
+// seqDelivery serializes one stream's result callbacks into hop order: the
+// pool's workers complete hops out of order, so each finished ticket parks
+// in pending until every earlier hop has fired. Callbacks run under the
+// sequencer lock — one at a time per stream, in submission order — on
+// whichever worker goroutine completed the next-due hop.
+type seqDelivery struct {
+	mu      sync.Mutex
+	fn      func(hop uint64, r Result)
+	next    uint64               // next hop sequence to deliver
+	pending map[uint64]*cbTicket // finished hops waiting on earlier ones
+}
+
+// complete files one finished hop and fires every consecutively ready
+// callback starting at next.
+func (q *seqDelivery) complete(t *cbTicket) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.seq != q.next {
+		q.pending[t.seq] = t
+		return
+	}
+	for t != nil {
+		q.fn(t.seq, t.res)
+		q.next++
+		nt, ok := q.pending[q.next]
+		if ok {
+			delete(q.pending, q.next)
+		}
+		cbPool.Put(t)
+		t = nt
+	}
 }
 
 // Server is the persistent serving layer. Construct with NewServer, submit
@@ -155,6 +228,10 @@ func (s *Server) start() {
 					case j.recycle <- j.fp:
 					default:
 					}
+				}
+				if j.cb != nil {
+					j.cb.complete()
+					return
 				}
 				j.done <- struct{}{}
 			}
@@ -298,6 +375,35 @@ func (s *Server) TrySubmit(samples []int16) (*Pending, error) {
 	return p, nil
 }
 
+// SubmitFunc enqueues one utterance, blocking while the queue is full, and
+// invokes fn exactly once with the result when a worker completes it. The
+// callback runs on a worker goroutine: it must not block for long (it stalls
+// that worker) and must not submit back into the same server (a full queue
+// would deadlock the pool). The Result — including Probs — is only valid for
+// the duration of the callback; copy what outlives it. Unlike ticket
+// submissions there is nothing to Release: the completion state recycles
+// internally, so the steady-state SubmitFunc path is allocation-free.
+func (s *Server) SubmitFunc(samples []int16, fn func(Result)) error {
+	t := newCbTicket(fn)
+	if err := s.send(job{samples: samples, res: &t.res, cb: t}, true); err != nil {
+		cbPool.Put(t)
+		return err
+	}
+	return nil
+}
+
+// TrySubmitFunc is SubmitFunc that fails with ErrQueueFull instead of
+// blocking when the queue is at capacity — the callback-path face of
+// backpressure (network front ends map it to an explicit BUSY reply).
+func (s *Server) TrySubmitFunc(samples []int16, fn func(Result)) error {
+	t := newCbTicket(fn)
+	if err := s.send(job{samples: samples, res: &t.res, cb: t}, false); err != nil {
+		cbPool.Put(t)
+		return err
+	}
+	return nil
+}
+
 // RunBatch classifies every utterance and returns one Result per input, in
 // order — the Pipeline compatibility surface. The batch shares one results
 // slice and one completion channel, so the per-utterance hot path allocates
@@ -320,7 +426,16 @@ func (s *Server) RunBatch(utts [][]int16) []Result {
 }
 
 // Close marks the server closed, drains all queued work, and waits for the
-// workers to exit. Tickets obtained before Close all resolve. Close is
+// workers to exit. The drain contract: every submission accepted before
+// Close completes — tickets obtained before Close all resolve, and every
+// accepted callback (SubmitFunc, OnResult streams) has fired by the time
+// Close returns. Work never accepted (a send that observed the closed flag)
+// reports ErrServerClosed to its submitter instead; no accepted callback is
+// silently dropped. A SubmitStream racing Close either gets its remaining
+// hops in before the flag flips (they drain) or gets ErrServerClosed for
+// the rest of the chunk — it never deadlocks, because sends hold the
+// read-lock for the full channel send, so the queue cannot close under a
+// blocked sender while the still-running workers drain it. Close is
 // idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -354,6 +469,10 @@ type Stream struct {
 	srv  *Server
 	st   *dsp.Streamer
 	free chan []uint8
+	// Callback delivery (OnResult): hops carries the next hop sequence to
+	// assign and sq reorders worker completions back into hop order.
+	hops uint64
+	sq   *seqDelivery
 }
 
 // OpenStream creates a stream over a private frontend with the server's
@@ -378,11 +497,47 @@ func (s *Server) OpenStream() (*Stream, error) {
 // frame accounting).
 func (st *Stream) Streamer() *dsp.Streamer { return st.st }
 
+// Hops returns how many inference hops SubmitStream has submitted for this
+// stream so far — the difference across a SubmitStream call is how many
+// hops that call accepted. Like all Stream methods it is single-goroutine
+// state; concurrent callbacks do not change it.
+func (st *Stream) Hops() uint64 { return st.hops }
+
+// OnResult switches the stream from ticket polling to callback delivery:
+// every subsequent SubmitStream call submits its hops as callback jobs and
+// returns no tickets, and fn is invoked once per hop with the hop's sequence
+// number (0-based, counting every inference hop submitted since OpenStream)
+// and its Result. Callbacks for
+// one stream fire strictly in hop order, serialized, even though the pool's
+// workers complete them out of order; hops of different streams are
+// unordered relative to each other. fn runs on worker goroutines under the
+// stream's delivery lock — it must not block for long and must not submit
+// back into the same server. The Result (including Probs) is valid only for
+// the duration of the callback.
+//
+// Drain contract: Server.Close processes every hop accepted before it, so
+// after Close returns every accepted hop's callback has fired. A fn of nil
+// panics; OnResult must be called before the first SubmitStream whose
+// callbacks it should receive and cannot be un-set (the stream is
+// single-goroutine state, so "before the next SubmitStream" is well
+// defined).
+func (st *Stream) OnResult(fn func(hop uint64, r Result)) {
+	if fn == nil {
+		panic("core: Stream.OnResult(nil)")
+	}
+	st.sq = &seqDelivery{fn: fn, next: st.hops, pending: make(map[uint64]*cbTicket)}
+}
+
 // SubmitStream advances the stream by chunk and submits one inference per
 // newly completed hop once the stream is warm (a full fingerprint window
-// observed), returning the tickets in hop order. When all of the stream's
-// fingerprint buffers are in flight it waits for a worker to recycle one —
-// the streaming face of queue backpressure.
+// observed), returning the tickets in hop order — or, after Stream.OnResult,
+// no tickets: each hop's result is then delivered through the stream's
+// callback in hop order. When all of the stream's fingerprint buffers are in
+// flight it waits for a worker to recycle one — the streaming face of queue
+// backpressure. On error (ErrServerClosed mid-chunk) the already submitted
+// hops are unaffected — their tickets are returned/callbacks still fire —
+// and the remainder of the chunk is dropped; SubmitStream never leaves a
+// hop half-submitted.
 func (s *Server) SubmitStream(st *Stream, chunk []int16) ([]*Pending, error) {
 	if st.srv != s {
 		return nil, errors.New("core: stream belongs to a different server")
@@ -396,12 +551,24 @@ func (s *Server) SubmitStream(st *Stream, chunk []int16) ([]*Pending, error) {
 			continue
 		}
 		fp := st.st.Fingerprint(<-st.free)
+		if st.sq != nil {
+			t := newCbTicket(nil)
+			t.seq, t.sq = st.hops, st.sq
+			if err := s.send(job{fp: fp, recycle: st.free, res: &t.res, cb: t}, true); err != nil {
+				st.free <- fp
+				cbPool.Put(t)
+				return tickets, err
+			}
+			st.hops++
+			continue
+		}
 		p := newPending()
 		if err := s.send(job{fp: fp, recycle: st.free, res: &p.res, done: p.done}, true); err != nil {
 			st.free <- fp
 			pendingPool.Put(p)
 			return tickets, err
 		}
+		st.hops++
 		tickets = append(tickets, p)
 	}
 	return tickets, nil

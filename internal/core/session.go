@@ -11,11 +11,15 @@ import (
 // phases. The vendor connection exists only during preparation and
 // initialization; the operation phase is fully offline.
 type Session struct {
+	// Device is U's simulated phone (SoC, TrustZone firmware, SANCTUARY).
 	Device *Device
+	// Vendor is V's side of the protocol: model provisioning and licensing.
 	Vendor *Vendor
-	User   *User
-	App    *KWSApp
-	rng    io.Reader
+	// User is U's verifier state: trust anchor and accepted enclave key.
+	User *User
+	// App is the enclave application; nil until Prepare launches it.
+	App *KWSApp
+	rng io.Reader
 }
 
 // NewSession creates a session over an already-booted device.

@@ -1,0 +1,404 @@
+// Package client is the Go client for the netfront wire protocol: it dials
+// an omg-serve front end over TCP or a Unix socket and exposes the three
+// request kinds — one-shot classification, open streams with per-hop result
+// callbacks, and whole batches — over a single multiplexed connection. All
+// methods are safe for concurrent use; any number of requests and streams
+// may be outstanding at once.
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/netfront"
+)
+
+// ErrBusy reports that the server's submission queue was full when the
+// request arrived — the wire form of core.ErrQueueFull backpressure. The
+// request was not enqueued; retry later.
+var ErrBusy = errors.New("client: server busy")
+
+// ErrClosed is returned by requests after Close, or when the connection to
+// the server was lost.
+var ErrClosed = errors.New("client: connection closed")
+
+// RemoteError is a per-request failure reported by the server.
+type RemoteError struct {
+	// Msg is the server's error text, verbatim from the FrameError body.
+	Msg string
+}
+
+// Error returns the server's message.
+func (e *RemoteError) Error() string { return "client: server error: " + e.Msg }
+
+// Frame types and encoding primitives are shared with package netfront —
+// the protocol has exactly one definition.
+const (
+	frameUtterance    = netfront.FrameUtterance
+	frameStreamOpen   = netfront.FrameStreamOpen
+	frameStreamChunk  = netfront.FrameStreamChunk
+	frameStreamClose  = netfront.FrameStreamClose
+	frameBatch        = netfront.FrameBatch
+	frameResult       = netfront.FrameResult
+	frameStreamResult = netfront.FrameStreamResult
+	frameBusy         = netfront.FrameBusy
+	frameError        = netfront.FrameError
+	frameBatchResult  = netfront.FrameBatchResult
+	frameStreamClosed = netfront.FrameStreamClosed
+	frameStreamError  = netfront.FrameStreamError
+)
+
+// NoHop is the hop value passed to a stream callback for a stream-level
+// failure (a control-frame error that is not tied to any single hop); a
+// per-hop failure arrives with its real hop number instead.
+const NoHop = ^uint64(0)
+
+// pendingReply is one in-flight request's reply slot.
+type pendingReply struct {
+	ch chan reply
+}
+
+// reply is one response frame, pre-parsed.
+type reply struct {
+	labels []int32 // one label (one-shot) or the batch's labels
+	hops   uint64  // FrameStreamClosed payload
+	err    error
+}
+
+// Client is one connection to a netfront server.
+type Client struct {
+	nc net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]*pendingReply
+	streams map[uint32]*Stream
+	err     error // terminal connection error, set once by the read loop
+	done    chan struct{}
+}
+
+// Dial connects to a netfront server; network/addr are as in net.Dial
+// ("tcp", "127.0.0.1:7071" or "unix", "/tmp/omg.sock").
+func Dial(network, addr string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		pending: make(map[uint32]*pendingReply),
+		streams: make(map[uint32]*Stream),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection. Outstanding requests fail with
+// ErrClosed; open streams stop receiving callbacks. Idempotent.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.done // read loop has failed every pending request
+	return err
+}
+
+// fail terminates every pending request and stream with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, p := range c.pending {
+		delete(c.pending, id)
+		p.ch <- reply{err: c.err}
+	}
+	for id, s := range c.streams {
+		delete(c.streams, id)
+		close(s.closed)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// readLoop dispatches response frames to their requests/streams until the
+// connection dies.
+func (c *Client) readLoop() {
+	var hdr [netfront.HeaderLen]byte
+	var body []byte
+	rd := c.nc
+	for {
+		typ, b, err := netfront.ReadFrame(rd, &hdr, body, netfront.DefaultMaxBody)
+		body = b[:cap(b)]
+		if err != nil {
+			c.fail(ErrClosed)
+			return
+		}
+		switch typ {
+		case frameResult:
+			if len(b) != 8 {
+				c.fail(fmt.Errorf("client: malformed result frame (%d bytes)", len(b)))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			label := int32(binary.LittleEndian.Uint32(b[4:8]))
+			c.deliver(id, reply{labels: []int32{label}})
+		case frameBusy:
+			if len(b) != 4 {
+				c.fail(fmt.Errorf("client: malformed busy frame (%d bytes)", len(b)))
+				return
+			}
+			c.deliver(binary.LittleEndian.Uint32(b[0:4]), reply{err: ErrBusy})
+		case frameError:
+			if len(b) < 4 {
+				c.fail(fmt.Errorf("client: malformed error frame (%d bytes)", len(b)))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			rerr := &RemoteError{Msg: string(b[4:])}
+			// A FrameError may belong to a stream (a control failure,
+			// delivered via its callback as NoHop) or to a pending
+			// one-shot/batch request.
+			c.mu.Lock()
+			s := c.streams[id]
+			c.mu.Unlock()
+			if s != nil {
+				s.fn(NoHop, -1, rerr)
+			} else {
+				c.deliver(id, reply{err: rerr})
+			}
+		case frameStreamError:
+			if len(b) < 12 {
+				c.fail(fmt.Errorf("client: malformed stream error (%d bytes)", len(b)))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			hop := binary.LittleEndian.Uint64(b[4:12])
+			rerr := &RemoteError{Msg: string(b[12:])}
+			c.mu.Lock()
+			s := c.streams[id]
+			c.mu.Unlock()
+			if s != nil {
+				s.fn(hop, -1, rerr)
+			}
+		case frameBatchResult:
+			if len(b) < 8 {
+				c.fail(fmt.Errorf("client: malformed batch result (%d bytes)", len(b)))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			n := int(binary.LittleEndian.Uint32(b[4:8]))
+			if len(b) != 8+4*n {
+				c.fail(fmt.Errorf("client: batch result count %d does not match body", n))
+				return
+			}
+			labels := make([]int32, n)
+			for i := range labels {
+				labels[i] = int32(binary.LittleEndian.Uint32(b[8+4*i:]))
+			}
+			c.deliver(id, reply{labels: labels})
+		case frameStreamResult:
+			if len(b) != 16 {
+				c.fail(fmt.Errorf("client: malformed stream result (%d bytes)", len(b)))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			hop := binary.LittleEndian.Uint64(b[4:12])
+			label := int32(binary.LittleEndian.Uint32(b[12:16]))
+			c.mu.Lock()
+			s := c.streams[id]
+			c.mu.Unlock()
+			if s != nil {
+				s.fn(hop, int(label), nil)
+			}
+		case frameStreamClosed:
+			if len(b) != 12 {
+				c.fail(fmt.Errorf("client: malformed stream-closed frame (%d bytes)", len(b)))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			hops := binary.LittleEndian.Uint64(b[4:12])
+			c.mu.Lock()
+			s := c.streams[id]
+			delete(c.streams, id)
+			c.mu.Unlock()
+			if s != nil {
+				s.hops = hops
+				close(s.closed)
+			}
+		default:
+			c.fail(fmt.Errorf("client: unknown response frame 0x%02x", typ))
+			return
+		}
+	}
+}
+
+// deliver hands a reply to its pending request, if still registered.
+func (c *Client) deliver(id uint32, r reply) {
+	c.mu.Lock()
+	p := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if p != nil {
+		p.ch <- r
+	}
+}
+
+// register allocates a request id and its reply slot.
+func (c *Client) register() (uint32, *pendingReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	id := c.nextID
+	c.nextID++
+	p := &pendingReply{ch: make(chan reply, 1)}
+	c.pending[id] = p
+	return id, p, nil
+}
+
+// writeFrame builds and sends one frame; payload is appended by fill.
+func (c *Client) writeFrame(typ byte, bodyLen int, fill func([]byte) []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = netfront.AppendFrameHeader(c.wbuf[:0], typ, bodyLen)
+	c.wbuf = fill(c.wbuf)
+	_, err := c.nc.Write(c.wbuf)
+	return err
+}
+
+// Classify submits one utterance and blocks for its label. ErrBusy reports
+// server backpressure (nothing was enqueued); a *RemoteError is a
+// per-request server-side failure.
+func (c *Client) Classify(samples []int16) (int, error) {
+	id, p, err := c.register()
+	if err != nil {
+		return -1, err
+	}
+	err = c.writeFrame(frameUtterance, 4+2*len(samples), func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, id)
+		return netfront.AppendSamples(b, samples)
+	})
+	if err != nil {
+		return -1, err
+	}
+	r := <-p.ch
+	if r.err != nil {
+		return -1, r.err
+	}
+	return int(r.labels[0]), nil
+}
+
+// ClassifyBatch submits a whole batch and blocks for its labels, one per
+// utterance in order; an utterance the server failed to classify reports
+// label -1.
+func (c *Client) ClassifyBatch(utts [][]int16) ([]int, error) {
+	id, p, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	bodyLen := 8
+	for _, u := range utts {
+		bodyLen += 4 + 2*len(u)
+	}
+	err = c.writeFrame(frameBatch, bodyLen, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, id)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(utts)))
+		for _, u := range utts {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(u)))
+			b = netfront.AppendSamples(b, u)
+		}
+		return b
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := <-p.ch
+	if r.err != nil {
+		return nil, r.err
+	}
+	labels := make([]int, len(r.labels))
+	for i, l := range r.labels {
+		labels[i] = int(l)
+	}
+	return labels, nil
+}
+
+// Stream is one open audio stream. Send audio with Send; results arrive
+// through the callback passed to OpenStream, in hop order. Close flushes.
+type Stream struct {
+	c      *Client
+	id     uint32
+	fn     func(hop uint64, label int, err error)
+	closed chan struct{}
+	hops   uint64
+}
+
+// OpenStream opens a stream on the connection. fn is invoked on the
+// client's read goroutine once per completed hop, strictly in hop order —
+// it must not block (it stalls every response on the connection) and must
+// not call back into the client. A non-nil err in the callback reports a
+// server-side failure: a per-hop failure carries its real hop number (that
+// hop produced no label), a stream-level control failure carries NoHop.
+func (c *Client) OpenStream(fn func(hop uint64, label int, err error)) (*Stream, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return nil, c.err
+	}
+	id := c.nextID
+	c.nextID++
+	s := &Stream{c: c, id: id, fn: fn, closed: make(chan struct{})}
+	c.streams[id] = s
+	c.mu.Unlock()
+	err := c.writeFrame(frameStreamOpen, 4, func(b []byte) []byte {
+		return binary.LittleEndian.AppendUint32(b, id)
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.streams, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Send appends a chunk of audio to the stream. Results for hops the chunk
+// completes arrive asynchronously through the stream callback.
+func (s *Stream) Send(chunk []int16) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	return s.c.writeFrame(frameStreamChunk, 4+2*len(chunk), func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint32(b, s.id)
+		return netfront.AppendSamples(b, chunk)
+	})
+}
+
+// Close flushes the stream — it blocks until the server has delivered every
+// outstanding hop's result (all callbacks have run) — and returns the total
+// number of hops the stream classified.
+func (s *Stream) Close() (uint64, error) {
+	err := s.c.writeFrame(frameStreamClose, 4, func(b []byte) []byte {
+		return binary.LittleEndian.AppendUint32(b, s.id)
+	})
+	if err != nil {
+		return 0, err
+	}
+	<-s.closed
+	s.c.mu.Lock()
+	err = s.c.err
+	s.c.mu.Unlock()
+	if err != nil {
+		return s.hops, err
+	}
+	return s.hops, nil
+}

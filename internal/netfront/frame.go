@@ -1,0 +1,193 @@
+// Package netfront is the network-facing serving edge over core.Server: a
+// length-prefixed binary protocol spoken over TCP or Unix sockets that
+// multiplexes one-shot utterances, open audio streams and whole batches from
+// many connections onto one shared inference server. It is the "ML-as-a-
+// service, deployed offline" boundary the paper frames in §V — the model
+// and its license checks stay on the device, and this package is how
+// external load reaches them.
+//
+// # Wire protocol (version 1)
+//
+// Every frame is a 5-byte header — uint32 little-endian body length, then
+// one type byte — followed by the body. Multi-byte integers are little
+// endian throughout; audio samples are PCM16. Request frames carry a
+// caller-chosen 32-bit id (request id for one-shot/batch, stream id for
+// stream frames) that the matching response echoes, so one connection can
+// interleave any number of outstanding requests.
+//
+//	FrameUtterance    id | int16 samples...            one-shot classification
+//	FrameStreamOpen   id                               open a continuous stream
+//	FrameStreamChunk  id | int16 samples...            append audio to a stream
+//	FrameStreamClose  id                               flush + close a stream
+//	FrameBatch        id | n | n × (len | samples...)  classify a whole batch
+//
+//	FrameResult       id | int32 label                 one-shot result
+//	FrameStreamResult id | uint64 hop | int32 label    one hop's result, in hop order
+//	FrameBusy         id                               queue full — retry later
+//	FrameError        id | utf-8 message               per-request/stream-control failure
+//	FrameBatchResult  id | n | n × int32 label         batch results, in order
+//	FrameStreamClosed id | uint64 hops                 stream flushed; total hops
+//	FrameStreamError  id | uint64 hop | utf-8 message  one hop's failure, keeping its place
+//
+// Backpressure: a full core.Server queue surfaces as FrameBusy for one-shot
+// requests (the connection's read loop never blocks on them); stream chunks
+// instead block the submitting connection — per-stream flow control — and
+// batches block the submitting connection until fully enqueued. A stream's
+// results always arrive in hop order (core.Stream.OnResult sequencing);
+// results of different requests are unordered relative to each other.
+package netfront
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types. Requests have the high bit clear, responses set.
+const (
+	FrameUtterance    = 0x01
+	FrameStreamOpen   = 0x02
+	FrameStreamChunk  = 0x03
+	FrameStreamClose  = 0x04
+	FrameBatch        = 0x05
+	FrameResult       = 0x81
+	FrameStreamResult = 0x82
+	FrameBusy         = 0x83
+	FrameError        = 0x84
+	FrameBatchResult  = 0x85
+	FrameStreamClosed = 0x86
+	FrameStreamError  = 0x87
+)
+
+// HeaderLen is the fixed frame-header size: uint32 body length + type byte.
+const HeaderLen = 5
+
+// DefaultMaxBody caps a frame body when Config.MaxBody is unset: 4 MiB
+// holds a 64-utterance batch of one-second 16 kHz PCM16 audio with room to
+// spare, while bounding what one connection can force the peer to buffer.
+const DefaultMaxBody = 4 << 20
+
+// ErrFrameTooLarge reports a frame whose declared body length exceeds the
+// receiver's limit; the connection cannot resync and must close.
+var ErrFrameTooLarge = errors.New("netfront: frame exceeds maximum body size")
+
+// ErrMalformedFrame reports a frame body that does not parse under its
+// declared type. The connection cannot tell payload from framing afterwards
+// and must close.
+var ErrMalformedFrame = errors.New("netfront: malformed frame")
+
+// ReadFrame reads one frame from r: the fixed header into *hdr, then the
+// body into buf (grown only when its capacity is insufficient — the reuse
+// that keeps a connection's steady-state read path allocation-free). It
+// returns the frame type and the body slice. io.EOF is returned unwrapped
+// when the reader is exactly at end of stream; a partial header or body
+// reports io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, hdr *[HeaderLen]byte, buf []byte, maxBody int) (typ byte, body []byte, err error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n > maxBody {
+		return 0, buf, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxBody)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body = buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, body, err
+	}
+	return hdr[4], body, nil
+}
+
+// AppendFrameHeader appends a frame header for a body of n bytes.
+func AppendFrameHeader(dst []byte, typ byte, n int) []byte {
+	var h [HeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(n))
+	h[4] = typ
+	return append(dst, h[:]...)
+}
+
+// DecodeID splits a body that starts with the 32-bit request/stream id,
+// returning the id and the rest.
+func DecodeID(body []byte) (id uint32, rest []byte, err error) {
+	if len(body) < 4 {
+		return 0, nil, fmt.Errorf("%w: %d-byte body, want id", ErrMalformedFrame, len(body))
+	}
+	return binary.LittleEndian.Uint32(body[0:4]), body[4:], nil
+}
+
+// DecodeSamples converts a PCM16 payload into dst, reusing dst's backing
+// array when its capacity suffices. An odd byte count is malformed.
+func DecodeSamples(dst []int16, b []byte) ([]int16, error) {
+	if len(b)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd sample payload (%d bytes)", ErrMalformedFrame, len(b))
+	}
+	n := len(b) / 2
+	if cap(dst) < n {
+		dst = make([]int16, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int16(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return dst, nil
+}
+
+// AppendSamples appends chunk as PCM16 bytes.
+func AppendSamples(dst []byte, chunk []int16) []byte {
+	for _, s := range chunk {
+		dst = append(dst, byte(s), byte(uint16(s)>>8))
+	}
+	return dst
+}
+
+// DecodeBatch parses a FrameBatch body: id, then a count-prefixed sequence
+// of length-prefixed utterances. The declared lengths must exactly cover the
+// body. The returned utterances are freshly allocated (the core server holds
+// them until their jobs complete, past the next read into the connection's
+// frame buffer; a batch is not the steady-state hot path).
+func DecodeBatch(body []byte) (id uint32, utts [][]int16, err error) {
+	id, rest, err := DecodeID(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(rest) < 4 {
+		return 0, nil, fmt.Errorf("%w: batch body lacks count", ErrMalformedFrame)
+	}
+	count := int(binary.LittleEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	// Each utterance costs at least its 4-byte length prefix, so an honest
+	// count is bounded by the remaining bytes — reject absurd counts before
+	// allocating for them.
+	if count < 0 || count > len(rest)/4 {
+		return 0, nil, fmt.Errorf("%w: batch count %d exceeds body", ErrMalformedFrame, count)
+	}
+	utts = make([][]int16, count)
+	for i := range utts {
+		if len(rest) < 4 {
+			return 0, nil, fmt.Errorf("%w: batch utterance %d lacks length", ErrMalformedFrame, i)
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		rest = rest[4:]
+		// Overflow-safe form (like the count check above): n*2 would wrap
+		// on 32-bit ints for a hostile 2^30-sample declaration.
+		if n < 0 || n > len(rest)/2 {
+			return 0, nil, fmt.Errorf("%w: batch utterance %d declares %d samples beyond body", ErrMalformedFrame, i, n)
+		}
+		samples, err := DecodeSamples(make([]int16, 0, n), rest[:n*2])
+		if err != nil {
+			return 0, nil, err
+		}
+		utts[i] = samples
+		rest = rest[n*2:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrMalformedFrame, len(rest))
+	}
+	return id, utts, nil
+}

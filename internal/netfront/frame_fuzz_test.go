@@ -1,0 +1,77 @@
+package netfront
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary byte streams through the full receive
+// path — frame reader, then the per-type body decoders — asserting the
+// invariants a hostile peer must not be able to break: no panics, errors
+// only from the documented set, decoded payloads bounded by the bytes that
+// carried them, and the reader never over- or under-consuming the stream.
+// The checked-in corpus (testdata/fuzz/FuzzFrameDecode) pins the regression
+// cases: truncated header, truncated body, oversize length, zero-length
+// body, odd sample payload, lying batch counts.
+func FuzzFrameDecode(f *testing.F) {
+	// Truncated header.
+	f.Add([]byte{0x01, 0x00})
+	// Zero-length body (legal framing).
+	f.Add(AppendFrameHeader(nil, FrameStreamClose, 0))
+	// Oversize declared length.
+	f.Add(AppendFrameHeader(nil, FrameUtterance, 1<<30))
+	// Truncated body.
+	f.Add(append(AppendFrameHeader(nil, FrameUtterance, 100), 1, 2, 3))
+	// Well-formed utterance frame.
+	f.Add(append(AppendFrameHeader(nil, FrameUtterance, 8), 1, 0, 0, 0, 10, 0, 20, 0))
+	// Odd sample payload.
+	f.Add(append(AppendFrameHeader(nil, FrameStreamChunk, 7), 1, 0, 0, 0, 10, 0, 20))
+	// Batch whose count lies about the body.
+	f.Add(append(AppendFrameHeader(nil, FrameBatch, 8), 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF))
+	// Well-formed two-utterance batch.
+	batch := []byte{9, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 0, 0}
+	f.Add(append(AppendFrameHeader(nil, FrameBatch, len(batch)), batch...))
+
+	const maxBody = 1 << 16 // small cap keeps the fuzzer fast
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := bytes.NewReader(data)
+		var hdr [HeaderLen]byte
+		var buf []byte
+		for {
+			before := rd.Len()
+			typ, body, err := ReadFrame(rd, &hdr, buf, maxBody)
+			buf = body[:cap(body)]
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("ReadFrame error outside the documented set: %v", err)
+				}
+				return
+			}
+			if consumed := before - rd.Len(); consumed != HeaderLen+len(body) {
+				t.Fatalf("ReadFrame consumed %d bytes for a %d-byte frame", consumed, HeaderLen+len(body))
+			}
+			switch typ {
+			case FrameUtterance, FrameStreamChunk:
+				if _, rest, err := DecodeID(body); err == nil {
+					if s, err := DecodeSamples(nil, rest); err == nil && len(s) != len(rest)/2 {
+						t.Fatalf("%d samples from %d payload bytes", len(s), len(rest))
+					}
+				}
+			case FrameBatch:
+				if _, utts, err := DecodeBatch(body); err == nil {
+					total := 0
+					for _, u := range utts {
+						total += 2 * len(u)
+					}
+					if total > len(body) {
+						t.Fatalf("batch decoded %d sample bytes from a %d-byte body", total, len(body))
+					}
+				}
+			case FrameStreamOpen, FrameStreamClose:
+				DecodeID(body)
+			}
+		}
+	})
+}

@@ -1,0 +1,498 @@
+package netfront
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes a FrontEnd.
+type Config struct {
+	// MaxBody caps a received frame's body; <= 0 means DefaultMaxBody. A
+	// frame declaring more closes its connection.
+	MaxBody int
+	// WriteTimeout bounds every response write; <= 0 means
+	// DefaultWriteTimeout. Completion callbacks run on core.Server worker
+	// goroutines, so a peer that stops reading would otherwise park workers
+	// in socket writes until the whole pool wedges — on timeout the
+	// connection is closed instead and the slow peer pays, not the pool.
+	WriteTimeout time.Duration
+}
+
+// DefaultWriteTimeout is the response-write bound when Config.WriteTimeout
+// is unset: generous for any live peer, finite for a stalled one.
+const DefaultWriteTimeout = 30 * time.Second
+
+// FrontEnd serves the netfront wire protocol over any net.Listener,
+// multiplexing every connection onto one shared core.Server. Construct with
+// NewFrontEnd, run Serve per listener (each blocks, like http.Serve), and
+// Close to stop: Close closes the listeners and connections but not the
+// core.Server, whose lifetime belongs to the caller.
+type FrontEnd struct {
+	srv *core.Server
+	cfg Config
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewFrontEnd wraps srv; the zero Config is ready to use.
+func NewFrontEnd(srv *core.Server, cfg Config) *FrontEnd {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	return &FrontEnd{
+		srv:   srv,
+		cfg:   cfg,
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// ErrFrontEndClosed is returned by Serve after Close.
+var ErrFrontEndClosed = errors.New("netfront: front end closed")
+
+// Serve accepts connections on l until l fails or the front end is closed,
+// handling each connection on its own goroutine. It always returns a
+// non-nil error: ErrFrontEndClosed after Close, the accept error otherwise.
+// Serve may be called concurrently for several listeners (e.g. one TCP, one
+// Unix socket) sharing the same core server.
+func (f *FrontEnd) Serve(l net.Listener) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		l.Close()
+		return ErrFrontEndClosed
+	}
+	f.lns[l] = struct{}{}
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.lns, l)
+		f.mu.Unlock()
+		l.Close()
+	}()
+	var backoff time.Duration
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			f.mu.Lock()
+			closed := f.closed
+			f.mu.Unlock()
+			if closed {
+				return ErrFrontEndClosed
+			}
+			// Transient accept failures (EMFILE under connection load,
+			// ECONNABORTED) must not kill the listener for good: back off
+			// and retry, as net/http does. Temporary is deprecated but
+			// remains the only signal the net package offers for this.
+			//nolint:staticcheck
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		c := newConn(f, nc)
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			nc.Close()
+			return ErrFrontEndClosed
+		}
+		f.conns[c] = struct{}{}
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go func() {
+			defer f.wg.Done()
+			c.serve()
+			f.mu.Lock()
+			delete(f.conns, c)
+			f.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the front end: listeners close (their Serve calls return),
+// open connections close, and Close waits for every connection handler to
+// exit. In-flight submissions still complete on the core server — their
+// response writes fail harmlessly against the closed sockets. Idempotent.
+func (f *FrontEnd) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	for l := range f.lns {
+		l.Close()
+	}
+	for c := range f.conns {
+		c.nc.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}
+
+// reqCtx is the pooled per-request state of the one-shot path: the sample
+// buffer handed to the core server and the pre-bound completion callback
+// that writes the response. Pooling both (and binding fn exactly once, at
+// construction) is what makes the connection's steady-state
+// read→decode→submit path allocation-free.
+type reqCtx struct {
+	c     *conn
+	reqID uint32
+	buf   []int16
+	fn    func(core.Result)
+}
+
+// complete is the reqCtx's core.Server callback: write the response, then
+// recycle the context.
+func (rc *reqCtx) complete(r core.Result) {
+	if r.Err != nil {
+		rc.c.writeError(rc.reqID, r.Err)
+	} else {
+		rc.c.writeResult(FrameResult, rc.reqID, int32(r.Label))
+	}
+	rc.c.putReq(rc)
+}
+
+// connStream is one open stream multiplexed on a connection: the underlying
+// core stream plus the flush accounting that lets FrameStreamClose wait for
+// every submitted hop's result to reach the wire before acknowledging.
+type connStream struct {
+	st        *core.Stream
+	buf       []int16 // chunk decode scratch (SubmitStream does not retain it)
+	submitted uint64  // hops handed to the core server (read-loop owned)
+	delivered atomic.Uint64
+	flush     chan struct{} // cap 1: callback → closer wakeup
+}
+
+// conn is one protocol connection. The read loop (serve) owns hdr/body and
+// the decode scratch; response writes — from the read loop and from worker
+// callbacks — serialize on wmu and build frames in wbuf.
+type conn struct {
+	fe *FrontEnd
+	nc net.Conn
+
+	hdr     [HeaderLen]byte
+	body    []byte
+	streams map[uint32]*connStream
+	reqFree chan *reqCtx
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+// reqPoolDepth bounds how many idle one-shot request contexts a connection
+// keeps. Beyond it (more outstanding requests than the pool) contexts are
+// allocated and dropped — correctness is unaffected, only allocation rate.
+const reqPoolDepth = 64
+
+func newConn(f *FrontEnd, nc net.Conn) *conn {
+	return &conn{
+		fe:      f,
+		nc:      nc,
+		streams: make(map[uint32]*connStream),
+		reqFree: make(chan *reqCtx, reqPoolDepth),
+	}
+}
+
+// getReq draws a pooled request context (allocating and binding its
+// callback only on pool miss).
+func (c *conn) getReq() *reqCtx {
+	select {
+	case rc := <-c.reqFree:
+		return rc
+	default:
+		rc := &reqCtx{c: c}
+		rc.fn = rc.complete
+		return rc
+	}
+}
+
+// putReq recycles a request context, dropping it when the pool is full.
+func (c *conn) putReq(rc *reqCtx) {
+	select {
+	case c.reqFree <- rc:
+	default:
+	}
+}
+
+// serve is the connection's read loop: read one frame, decode, submit,
+// repeat. It returns when the peer closes, a frame is malformed or
+// oversized, or the front end shuts the socket. Stream results and one-shot
+// results are written asynchronously by core worker callbacks; only BUSY,
+// batch and stream-control replies are written from this loop.
+func (c *conn) serve() {
+	defer c.nc.Close()
+	for {
+		typ, body, err := ReadFrame(c.nc, &c.hdr, c.body, c.fe.cfg.MaxBody)
+		c.body = body[:cap(body)]
+		if err != nil {
+			// io.EOF between frames is the clean shutdown; everything else
+			// (including a partial frame) just ends the connection — there
+			// is no resync in a length-prefixed stream.
+			return
+		}
+		switch typ {
+		case FrameUtterance:
+			if !c.handleUtterance(body) {
+				return
+			}
+		case FrameStreamOpen:
+			if !c.handleStreamOpen(body) {
+				return
+			}
+		case FrameStreamChunk:
+			if !c.handleStreamChunk(body) {
+				return
+			}
+		case FrameStreamClose:
+			if !c.handleStreamClose(body) {
+				return
+			}
+		case FrameBatch:
+			if !c.handleBatch(body) {
+				return
+			}
+		default:
+			return // unknown frame type: protocol error
+		}
+	}
+}
+
+// handleUtterance submits a one-shot classification. A full queue is
+// reported as FrameBusy instead of blocking the read loop — the wire face
+// of core.ErrQueueFull backpressure.
+func (c *conn) handleUtterance(body []byte) bool {
+	reqID, rest, err := DecodeID(body)
+	if err != nil {
+		return false
+	}
+	rc := c.getReq()
+	rc.reqID = reqID
+	if rc.buf, err = DecodeSamples(rc.buf, rest); err != nil {
+		c.putReq(rc)
+		return false
+	}
+	switch err := c.fe.srv.TrySubmitFunc(rc.buf, rc.fn); {
+	case err == nil:
+		return true
+	case errors.Is(err, core.ErrQueueFull):
+		c.writeID(FrameBusy, reqID)
+		c.putReq(rc)
+		return true
+	default:
+		c.writeError(reqID, err)
+		c.putReq(rc)
+		return true
+	}
+}
+
+// handleStreamOpen opens a stream under the peer's id. Reusing a live id is
+// a per-request error, not a connection error.
+func (c *conn) handleStreamOpen(body []byte) bool {
+	id, rest, err := DecodeID(body)
+	if err != nil || len(rest) != 0 {
+		return false
+	}
+	if _, live := c.streams[id]; live {
+		c.writeError(id, errors.New("netfront: stream id already open"))
+		return true
+	}
+	st, err := c.fe.srv.OpenStream()
+	if err != nil {
+		c.writeError(id, err)
+		return true
+	}
+	cs := &connStream{st: st, flush: make(chan struct{}, 1)}
+	st.OnResult(func(hop uint64, r core.Result) {
+		if r.Err != nil {
+			c.writeStreamError(id, hop, r.Err)
+		} else {
+			c.writeStreamResult(id, hop, int32(r.Label))
+		}
+		cs.delivered.Add(1)
+		select {
+		case cs.flush <- struct{}{}:
+		default:
+		}
+	})
+	c.streams[id] = cs
+	return true
+}
+
+// handleStreamChunk advances a stream. Unlike one-shot requests the submit
+// may block — on the stream's fingerprint pool or the submission queue —
+// which is the per-stream flow control: the peer cannot outrun its own
+// results by more than the stream's buffer budget.
+func (c *conn) handleStreamChunk(body []byte) bool {
+	id, rest, err := DecodeID(body)
+	if err != nil {
+		return false
+	}
+	cs, ok := c.streams[id]
+	if !ok {
+		c.writeError(id, errors.New("netfront: chunk for unopened stream"))
+		return true
+	}
+	if cs.buf, err = DecodeSamples(cs.buf, rest); err != nil {
+		return false
+	}
+	before := cs.st.Hops()
+	_, err = c.fe.srv.SubmitStream(cs.st, cs.buf)
+	cs.submitted += cs.st.Hops() - before
+	if err != nil {
+		c.writeError(id, err)
+	}
+	return true
+}
+
+// handleStreamClose flushes and closes a stream: it waits until every
+// submitted hop's callback has written its result, then acknowledges with
+// the total hop count so the peer knows exactly how many results to expect.
+func (c *conn) handleStreamClose(body []byte) bool {
+	id, rest, err := DecodeID(body)
+	if err != nil || len(rest) != 0 {
+		return false
+	}
+	cs, ok := c.streams[id]
+	if !ok {
+		c.writeError(id, errors.New("netfront: close for unopened stream"))
+		return true
+	}
+	for cs.delivered.Load() < cs.submitted {
+		<-cs.flush
+	}
+	delete(c.streams, id)
+	c.writeResult64(FrameStreamClosed, id, cs.submitted)
+	return true
+}
+
+// handleBatch classifies a whole batch synchronously: the read loop blocks
+// until the batch completes, which is the batch face of backpressure (a
+// batch peer has nothing to pipeline behind its own batch anyway).
+func (c *conn) handleBatch(body []byte) bool {
+	reqID, utts, err := DecodeBatch(body)
+	if err != nil {
+		return false
+	}
+	results := c.fe.srv.RunBatch(utts)
+	c.writeBatchResult(reqID, results)
+	return true
+}
+
+// send writes the assembled wbuf under a deadline; callers hold wmu. A
+// failed or timed-out write closes the socket so every later write — and
+// the read loop — fails fast instead of parking worker goroutines: workers
+// must never be hostage to a peer that stopped reading.
+func (c *conn) send() {
+	c.nc.SetWriteDeadline(time.Now().Add(c.fe.cfg.WriteTimeout))
+	if _, err := c.nc.Write(c.wbuf); err != nil {
+		c.nc.Close()
+	}
+}
+
+// writeFrame sends one frame built from payload under the write lock.
+func (c *conn) writeFrame(typ byte, payload []byte) {
+	c.wmu.Lock()
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], typ, len(payload))
+	c.wbuf = append(c.wbuf, payload...)
+	c.send()
+	c.wmu.Unlock()
+}
+
+// writeID sends an id-only frame (FrameBusy).
+func (c *conn) writeID(typ byte, id uint32) {
+	var p [4]byte
+	binary.LittleEndian.PutUint32(p[0:4], id)
+	c.writeFrame(typ, p[:])
+}
+
+// writeResult sends an id + int32 frame (FrameResult).
+func (c *conn) writeResult(typ byte, id uint32, v int32) {
+	var p [8]byte
+	binary.LittleEndian.PutUint32(p[0:4], id)
+	binary.LittleEndian.PutUint32(p[4:8], uint32(v))
+	c.writeFrame(typ, p[:])
+}
+
+// writeResult64 sends an id + uint64 frame (FrameStreamClosed).
+func (c *conn) writeResult64(typ byte, id uint32, v uint64) {
+	var p [12]byte
+	binary.LittleEndian.PutUint32(p[0:4], id)
+	binary.LittleEndian.PutUint64(p[4:12], v)
+	c.writeFrame(typ, p[:])
+}
+
+// writeStreamResult sends one hop's result (FrameStreamResult).
+func (c *conn) writeStreamResult(id uint32, hop uint64, label int32) {
+	var p [16]byte
+	binary.LittleEndian.PutUint32(p[0:4], id)
+	binary.LittleEndian.PutUint64(p[4:12], hop)
+	binary.LittleEndian.PutUint32(p[12:16], uint32(label))
+	c.writeFrame(FrameStreamResult, p[:])
+}
+
+// writeError sends a FrameError carrying err's message.
+func (c *conn) writeError(id uint32, err error) {
+	msg := err.Error()
+	c.wmu.Lock()
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameError, 4+len(msg))
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, id)
+	c.wbuf = append(c.wbuf, msg...)
+	c.send()
+	c.wmu.Unlock()
+}
+
+// writeStreamError sends a FrameStreamError: a per-hop failure that keeps
+// its hop number, so the peer can tell exactly which result is missing
+// from the hop sequence.
+func (c *conn) writeStreamError(id uint32, hop uint64, err error) {
+	msg := err.Error()
+	c.wmu.Lock()
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameStreamError, 12+len(msg))
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, id)
+	c.wbuf = binary.LittleEndian.AppendUint64(c.wbuf, hop)
+	c.wbuf = append(c.wbuf, msg...)
+	c.send()
+	c.wmu.Unlock()
+}
+
+// writeBatchResult sends a FrameBatchResult; errored utterances report
+// label -1 (the protocol keeps batch results fixed-size; per-utterance error
+// text is a one-shot-path affordance).
+func (c *conn) writeBatchResult(id uint32, results []core.Result) {
+	c.wmu.Lock()
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameBatchResult, 8+4*len(results))
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, id)
+	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, uint32(len(results)))
+	for i := range results {
+		label := int32(results[i].Label)
+		if results[i].Err != nil {
+			label = -1
+		}
+		c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, uint32(label))
+	}
+	c.send()
+	c.wmu.Unlock()
+}

@@ -63,42 +63,53 @@ const (
 // Conv2DParams parameterizes Conv2D and DepthwiseConv2D. Filters are OHWI
 // for Conv2D and 1HWC (channel multiplier folded into C) for depthwise.
 type Conv2DParams struct {
+	// StrideH and StrideW are the vertical/horizontal strides.
 	StrideH, StrideW int
-	Padding          Padding
-	Activation       Activation
+	// Padding selects SAME or VALID edge handling.
+	Padding Padding
+	// Activation is the fused post-accumulation activation.
+	Activation Activation
 	// DepthMultiplier applies to DepthwiseConv2D only.
 	DepthMultiplier int
 }
 
 // FullyConnectedParams parameterizes FullyConnected; weights are [out, in].
 type FullyConnectedParams struct {
+	// Activation is the fused post-accumulation activation.
 	Activation Activation
 }
 
 // SoftmaxParams parameterizes Softmax.
 type SoftmaxParams struct {
+	// Beta scales the logits before exponentiation (1.0 is standard).
 	Beta float64
 }
 
 // PoolParams parameterizes the pooling ops.
 type PoolParams struct {
+	// FilterH and FilterW are the pooling window dimensions.
 	FilterH, FilterW int
+	// StrideH and StrideW are the window strides.
 	StrideH, StrideW int
-	Padding          Padding
+	// Padding selects SAME or VALID edge handling.
+	Padding Padding
 }
 
 // ReshapeParams carries the target shape (one dimension may be -1).
 type ReshapeParams struct {
+	// NewShape is the target shape; one dimension may be -1 (inferred).
 	NewShape []int
 }
 
 // Node is one operator application: it reads Inputs and writes Outputs
 // (indices into the model's tensor table).
 type Node struct {
-	Op      OpCode
-	Inputs  []int
-	Outputs []int
-	Params  any
+	// Op selects the operator.
+	Op OpCode
+	// Inputs and Outputs index the model's tensor table.
+	Inputs, Outputs []int
+	// Params is the op-specific parameter struct (Conv2DParams etc.).
+	Params any
 }
 
 // Model is a dataflow graph plus its tensor table, the unit that gets
@@ -109,11 +120,12 @@ type Model struct {
 	// Version is the model version the vendor licenses; the nonce-based
 	// rollback protection of §V is keyed on it.
 	Version uint64
+	// Tensors is the tensor table Node indices refer to.
 	Tensors []*Tensor
-	Nodes   []Node
+	// Nodes is the operator list in execution order.
+	Nodes []Node
 	// Inputs and Outputs index the model's external interface tensors.
-	Inputs  []int
-	Outputs []int
+	Inputs, Outputs []int
 }
 
 // Tensor returns tensor i (panics on bad index, which indicates a malformed

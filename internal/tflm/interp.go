@@ -10,6 +10,7 @@ import (
 // Meter receives cycle charges for simulated work. *hw.Core implements it;
 // a nil meter means pure functional execution (host-speed, unmetered).
 type Meter interface {
+	// Charge adds cycles of simulated work to the meter.
 	Charge(cycles uint64)
 }
 

@@ -13,8 +13,10 @@ import (
 // QuantizedMultiplier represents a real multiplier as
 // real = M * 2^(Shift-31) with M in [2^30, 2^31).
 type QuantizedMultiplier struct {
+	// Multiplier is M, the Q31 mantissa in [2^30, 2^31).
 	Multiplier int32
-	Shift      int
+	// Shift is the power-of-two exponent of the decomposition.
+	Shift int
 }
 
 // NewQuantizedMultiplier decomposes a positive real multiplier, mirroring

@@ -60,7 +60,9 @@ func (d DType) Size() int {
 // QuantParams holds per-tensor affine quantization parameters:
 // real = Scale * (q - ZeroPoint).
 type QuantParams struct {
-	Scale     float64
+	// Scale is the real-domain step per quantized unit.
+	Scale float64
+	// ZeroPoint is the quantized value representing real 0.
 	ZeroPoint int32
 }
 
@@ -94,16 +96,21 @@ func roundAwayFromZero(x float64) float64 {
 // 4-D tensors use NHWC layout; convolution filters use OHWI (output
 // channels, height, width, input channels), matching TFLite.
 type Tensor struct {
-	Name  string
-	Type  DType
+	// Name is the tensor's debug name.
+	Name string
+	// Type is the element dtype, matching the allocated storage slice.
+	Type DType
+	// Shape is the dimension list (NHWC for 4-D activations).
 	Shape []int
+	// Quant holds the affine quantization parameters; nil for float.
 	Quant *QuantParams
 
-	// Exactly one of the following is non-nil once allocated, matching Type.
-	F32 []float32
-	I8  []int8
-	U8  []uint8
-	I32 []int32
+	// F32, I8, U8, I32 are the element storage: exactly one is non-nil
+	// once allocated, matching Type.
+	F32 []float32 // Float32 storage
+	I8  []int8    // Int8 storage
+	U8  []uint8   // UInt8 storage
+	I32 []int32   // Int32 storage
 
 	// IsConst marks weight/bias tensors whose data is baked into the model.
 	IsConst bool
