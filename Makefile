@@ -4,7 +4,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD)
 
-.PHONY: all help build test vet fmt-check docs-check examples-check bench bench-save bench-cmp bench-gate bench-gate-smoke ci
+.PHONY: all help build test vet fmt-check docs-check examples-check bench bench-save bench-cmp bench-gate bench-gate-smoke chaos ci
 
 all: build
 
@@ -22,7 +22,8 @@ help:
 	@echo "                 against the committed baseline (BASE=..., default: newest BENCH_*.json)"
 	@echo "make bench-gate-smoke  one-iteration bench-gate (-benchtime 1x, huge tolerance): catches"
 	@echo "                 deleted or broken gated benchmarks without timing anything"
-	@echo "make ci          tier-1 gate: build + vet + fmt-check + test + bench-gate-smoke"
+	@echo "make chaos       fault-matrix chaos suite under -race -count=2 (netfront resilience gate)"
+	@echo "make ci          tier-1 gate: build + vet + fmt-check + test + chaos + bench-gate-smoke"
 
 build:
 	$(GO) build ./...
@@ -70,6 +71,11 @@ bench-cmp:
 # with GATE_TOL=10.
 GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput
 GATE_TOL ?= 25
+# The inner inference hot loop gets a tighter leash: the PR-5-era 15%
+# InterpreterInvoke regression class must fail the gate, not slide under the
+# generous noise tolerance above.
+GATE_TIGHT_BENCHES ?= BenchmarkInterpreterInvoke
+GATE_TIGHT_TOL ?= 12
 GATE_BENCHTIME ?=
 bench-gate:
 	@set -e; base="$(BASE)"; \
@@ -79,7 +85,8 @@ bench-gate:
 	scratch="$$(mktemp -d /tmp/bench_gate.XXXXXX)"; trap 'rm -rf "$$scratch"' EXIT; \
 	$(GO) test -run '^$$' -bench '$(GATE_BENCHES)' $(if $(GATE_BENCHTIME),-benchtime $(GATE_BENCHTIME)) -benchmem . > "$$scratch/out.txt" || { cat "$$scratch/out.txt"; echo "bench-gate: benchmark run failed"; exit 1; }; \
 	$(GO) run ./cmd/benchjson -save "$$scratch/head.json" < "$$scratch/out.txt"; \
-	$(GO) run ./cmd/benchjson -cmp -tol $(GATE_TOL) -gate '$(GATE_BENCHES)' "$$base" "$$scratch/head.json"
+	$(GO) run ./cmd/benchjson -cmp -tol $(GATE_TOL) -gate '$(GATE_BENCHES)' "$$base" "$$scratch/head.json"; \
+	$(GO) run ./cmd/benchjson -cmp -tol $(GATE_TIGHT_TOL) -gate '$(GATE_TIGHT_BENCHES)' "$$base" "$$scratch/head.json"
 
 # CI smoke form of the gate: one iteration per gated benchmark with an
 # effectively-infinite tolerance. Single-iteration timings are meaningless,
@@ -87,7 +94,14 @@ bench-gate:
 # or breaks a gated benchmark fail `make ci` instead of only `make
 # bench-gate` (benchjson already fails on removed gated benchmarks).
 bench-gate-smoke:
-	@$(MAKE) --no-print-directory bench-gate GATE_BENCHTIME=1x GATE_TOL=100000
+	@$(MAKE) --no-print-directory bench-gate GATE_BENCHTIME=1x GATE_TOL=100000 GATE_TIGHT_TOL=100000
 
-ci: build vet fmt-check docs-check examples-check test bench-gate-smoke
+# Resilience gate: the fault-matrix chaos suite (faultconn profiles against
+# a live front end) under the race detector, twice, plus the harness's own
+# determinism tests. See ISSUE 6 / ARCHITECTURE.md "Failure semantics".
+chaos:
+	$(GO) test -race -count=2 -run 'TestServerSurvivesFaultMatrix' ./internal/netfront/
+	$(GO) test -race -count=2 ./internal/netfront/faultconn/
+
+ci: build vet fmt-check docs-check examples-check test chaos bench-gate-smoke
 	@echo "ci: OK"

@@ -19,6 +19,7 @@ package repro
 // reports simulated device time where meaningful.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -741,7 +742,7 @@ func BenchmarkNetServerThroughput(b *testing.B) {
 					defer wg.Done()
 					for i := 0; i < n; i++ {
 						label, err := c.Classify(utts[(ci+i)%len(utts)])
-						for err == client.ErrBusy {
+						for errors.Is(err, client.ErrBusy) {
 							label, err = c.Classify(utts[(ci+i)%len(utts)])
 						}
 						if err != nil {

@@ -35,6 +35,7 @@ var defaultDirs = []string{
 	"internal/dsp",
 	"internal/netfront",
 	"internal/netfront/client",
+	"internal/netfront/faultconn",
 }
 
 func main() {

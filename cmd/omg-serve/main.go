@@ -15,6 +15,12 @@
 //	omg-serve                          serve on 127.0.0.1:7071
 //	omg-serve -tcp :9000 -unix /tmp/omg.sock
 //	omg-serve -workers 8 -queue 64 -max-batch 16 -batch-parallel 2
+//	omg-serve -drain 10s               SIGTERM grace for in-flight streams
+//
+// On SIGINT/SIGTERM the server drains gracefully: listeners close, quiet
+// connections are released, and busy connections get the -drain grace to
+// finish before being force-closed (ARCHITECTURE.md "Failure semantics").
+// A second signal skips the grace and force-closes immediately.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netfront"
@@ -41,6 +48,7 @@ func main() {
 	batchParallel := flag.Int("batch-parallel", 0, "intra-batch shard parallelism per worker (0 = serial)")
 	modelMul := flag.Int("model-mul", 1, "tiny_conv width multiplier of the served model")
 	modelSeed := flag.Int64("model-seed", 7, "weight seed of the served model")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain grace period on SIGTERM")
 	flag.Parse()
 
 	if *tcpAddr == "" && *unixPath == "" {
@@ -89,10 +97,24 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("omg-serve: shutting down")
-	fe.Close()  // stop accepting, close connections
+	fmt.Printf("omg-serve: draining (grace %v; signal again to force)\n", *drain)
+	// A second signal force-closes: Shutdown polls connection quiescence, so
+	// an impatient operator can cut the grace short.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sig:
+			fmt.Println("omg-serve: forced shutdown")
+			fe.Close()
+		case <-done:
+		}
+	}()
+	if err := fe.Shutdown(*drain); err != nil {
+		log.Printf("omg-serve: drain: %v", err)
+	}
+	close(done)
 	wg.Wait()   // listeners gone
-	srv.Close() // drain in-flight work
+	srv.Close() // drain accepted work
 	if *unixPath != "" {
 		os.Remove(*unixPath)
 	}

@@ -127,6 +127,19 @@
 // loopback edge against the in-process ceiling, and the streaming-client
 // example is the guided tour.
 //
+// The edge is fault-tolerant by contract — ARCHITECTURE.md "Failure
+// semantics" is the authoritative statement. Wire protocol v2 replies
+// carry structured errors (code + retry-after hint); worker panics are
+// recovered with the pool at full strength (core.Server.InjectPanic is the
+// chaos hook); queue deadlines shed stale work at dequeue; the client
+// offers bounded dials, request deadlines, opt-in retry with backoff and
+// jitter, and redial-with-backoff (streams fail cleanly with
+// ErrStreamBroken, never duplicating hops); FrontEnd.Shutdown drains
+// gracefully under a grace period (SIGTERM in cmd/omg-serve). The
+// internal/netfront/faultconn package injects deterministic network chaos
+// — latency, partial writes, resets, stalls, corruption — and `make chaos`
+// gates every profile under the race detector.
+//
 // On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
 // iterations inside a single enclave Run, pulling several utterances per
 // SMC round trip through the shared-SW window, classifying each

@@ -16,17 +16,36 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dsp"
 	"repro/internal/tflm"
 )
 
-// ErrServerClosed is returned by submissions after Close.
+// ErrServerClosed is returned by submissions after Close. The contract is
+// deterministic: once Close has been called, every submission path — Submit,
+// TrySubmit, SubmitFunc, TrySubmitFunc, SubmitStream, RunBatch (per
+// utterance) — reports this error and never panics, regardless of how the
+// call races Close (sends hold a read-lock over the closed flag for the full
+// channel send, so the queue cannot close under them).
 var ErrServerClosed = errors.New("core: server closed")
 
 // ErrQueueFull is returned by TrySubmit when the submission queue is at
 // capacity — the caller is being backpressured.
 var ErrQueueFull = errors.New("core: submission queue full")
+
+// ErrDeadlineExceeded completes a submission whose queue deadline passed
+// before a worker dequeued it: the work is shed at dequeue — load-shedding —
+// instead of wasting a worker on a result the caller has already given up
+// on. The submission still completes exactly once (ticket resolves, callback
+// fires) with this error as its Result.Err.
+var ErrDeadlineExceeded = errors.New("core: queue deadline exceeded")
+
+// ErrWorkerPanic is the error class a recovered inference panic completes
+// its submission with (wrapped with the panic value). The panicking worker
+// recovers, reports the failure through the job's normal completion path,
+// and re-arms for the next job — the pool never shrinks.
+var ErrWorkerPanic = errors.New("core: inference panicked")
 
 // ServerConfig parameterizes NewServer.
 type ServerConfig struct {
@@ -69,6 +88,10 @@ type job struct {
 	res     *Result
 	done    chan<- struct{}
 	cb      *cbTicket // callback-path completion (done is nil when set)
+	// deadline, when nonzero, is the queue deadline: a worker that dequeues
+	// the job after it completes the job with ErrDeadlineExceeded without
+	// running inference.
+	deadline time.Time
 }
 
 // cbTicket is the callback-path counterpart of Pending: the worker writes
@@ -155,6 +178,10 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 	live   atomic.Int32 // running worker goroutines, for leak assertions
+
+	panics     atomic.Uint64 // recovered worker panics (Panics)
+	shed       atomic.Uint64 // jobs shed at dequeue past their deadline (Shed)
+	panicQueue atomic.Int64  // pending injected panics (InjectPanic chaos hook)
 }
 
 // NewServer builds the worker pool over clones of model (constant weight
@@ -208,6 +235,13 @@ func newServer(model *tflm.Model, cfg ServerConfig) (*Server, error) {
 // remains on the serving path. When the queue is backed up a worker drains
 // up to its planned batch capacity and classifies the whole batch through
 // one tflm.InvokeBatch call; a lone job keeps the single-utterance path.
+//
+// Fault isolation: inference runs under a recover guard — a panic (model
+// bug, hostile input, injected chaos) completes the affected job(s) with
+// ErrWorkerPanic through the normal completion path and the worker loops on,
+// so the pool never shrinks and no accepted submission is lost. Jobs whose
+// queue deadline passed are shed at dequeue with ErrDeadlineExceeded before
+// any inference work is spent on them.
 func (s *Server) start() {
 	for _, w := range s.workers {
 		s.wg.Add(1)
@@ -215,14 +249,45 @@ func (s *Server) start() {
 		go func(w *pipeWorker) {
 			defer s.wg.Done()
 			defer s.live.Add(-1)
+			// guard runs fn with panic isolation: a recovered panic is
+			// returned as an ErrWorkerPanic for the caller to write into the
+			// affected results. The injected-panic hook fires inside the
+			// guard so chaos tests exercise the real recovery path.
+			guard := func(fn func()) (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						s.panics.Add(1)
+						err = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+					}
+				}()
+				if s.takeInjectedPanic() {
+					panic("injected chaos panic (Server.InjectPanic)")
+				}
+				fn()
+				return nil
+			}
 			runOne := func(j job) {
-				if j.fp != nil {
-					*j.res = w.runFingerprint(j.fp, s.withProbs)
-				} else {
-					*j.res = w.run(j.samples, s.withProbs)
+				err := guard(func() {
+					if j.fp != nil {
+						*j.res = w.runFingerprint(j.fp, s.withProbs)
+					} else {
+						*j.res = w.run(j.samples, s.withProbs)
+					}
+				})
+				if err != nil {
+					*j.res = Result{Label: -1, Err: err}
 				}
 			}
 			finish := func(j job) {
+				// A panicking completion callback must not take down the
+				// worker (or strand the rest of a drained batch): callbacks
+				// are documented not to panic, but a hostile one is isolated
+				// like a panicking inference.
+				defer func() {
+					if r := recover(); r != nil {
+						s.panics.Add(1)
+					}
+				}()
 				if j.fp != nil && j.recycle != nil {
 					select {
 					case j.recycle <- j.fp:
@@ -235,7 +300,21 @@ func (s *Server) start() {
 				}
 				j.done <- struct{}{}
 			}
+			// shed completes an expired job without running it; reports
+			// whether the job was shed.
+			shed := func(j job) bool {
+				if j.deadline.IsZero() || !time.Now().After(j.deadline) {
+					return false
+				}
+				s.shed.Add(1)
+				*j.res = Result{Label: -1, Err: ErrDeadlineExceeded}
+				finish(j)
+				return true
+			}
 			for j := range s.jobs {
+				if shed(j) {
+					continue
+				}
 				if cap(w.batch) <= 1 {
 					// Batched draining disabled (or unplannable model):
 					// classify in place.
@@ -261,15 +340,22 @@ func (s *Server) start() {
 						if !ok {
 							break drain
 						}
+						if shed(j2) {
+							continue
+						}
 						batch = append(batch, j2)
 					default:
 						break drain
 					}
 				}
 				if len(batch) == 1 {
-					runOne(j)
-				} else {
-					w.runJobs(batch, s.withProbs)
+					runOne(batch[0])
+				} else if err := guard(func() { w.runJobs(batch, s.withProbs) }); err != nil {
+					// The batch died mid-InvokeBatch: no per-job result is
+					// trustworthy, so every job in it reports the panic.
+					for i := range batch {
+						*batch[i].res = Result{Label: -1, Err: err}
+					}
 				}
 				for i := range batch {
 					finish(batch[i])
@@ -279,15 +365,53 @@ func (s *Server) start() {
 	}
 }
 
+// takeInjectedPanic consumes one pending injected panic, if any.
+func (s *Server) takeInjectedPanic() bool {
+	for {
+		n := s.panicQueue.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.panicQueue.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// InjectPanic arms the chaos hook: the next job any worker dequeues panics
+// mid-inference. The panic is recovered by the worker's guard — the job
+// completes with ErrWorkerPanic and the pool stays at full strength — which
+// is exactly what the fault-matrix tests assert. Calling n times arms n
+// panics. Safe for concurrent use; a no-op burden on the serving path (one
+// atomic load per job).
+func (s *Server) InjectPanic() { s.panicQueue.Add(1) }
+
+// Panics returns how many worker panics have been recovered over the
+// server's lifetime (inference panics and panicking completion callbacks,
+// including injected ones) — an observability counter for health checks and
+// chaos tests.
+func (s *Server) Panics() uint64 { return s.panics.Load() }
+
+// Shed returns how many submissions were shed at dequeue because their
+// queue deadline had passed.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
 // Workers returns the pool size.
 func (s *Server) Workers() int { return len(s.workers) }
 
 // QueueDepth returns the submission-queue capacity.
 func (s *Server) QueueDepth() int { return cap(s.jobs) }
 
-// liveWorkers returns the number of worker goroutines currently running
-// (0 after Close returns); tests assert no leaks through it.
-func (s *Server) liveWorkers() int { return int(s.live.Load()) }
+// LiveWorkers returns the number of worker goroutines currently running: 0
+// after Close returns, Workers() while the server is healthy. Because
+// workers recover panics and re-arm, a healthy server's LiveWorkers never
+// drops below Workers — health checks and the fault-matrix tests assert
+// exactly that.
+func (s *Server) LiveWorkers() int { return int(s.live.Load()) }
+
+// liveWorkers is the historical unexported spelling kept for the package's
+// own leak assertions.
+func (s *Server) liveWorkers() int { return s.LiveWorkers() }
 
 // send enqueues a job unless the server is closed. With block=false a full
 // queue returns ErrQueueFull instead of waiting.
@@ -354,10 +478,20 @@ func (p *Pending) Release() {
 }
 
 // Submit enqueues one utterance, blocking while the queue is full, and
-// returns its ticket.
+// returns its ticket. After Close it returns ErrServerClosed (never
+// panics); see ErrServerClosed for the full after-Close contract.
 func (s *Server) Submit(samples []int16) (*Pending, error) {
+	return s.SubmitDeadline(samples, time.Time{})
+}
+
+// SubmitDeadline is Submit with a queue deadline: if no worker has dequeued
+// the submission by deadline, it is shed at dequeue and its ticket resolves
+// with ErrDeadlineExceeded instead of occupying a worker. A zero deadline
+// means no deadline. The deadline bounds queue wait only — inference that
+// has already started is never abandoned.
+func (s *Server) SubmitDeadline(samples []int16, deadline time.Time) (*Pending, error) {
 	p := newPending()
-	if err := s.send(job{samples: samples, res: &p.res, done: p.done}, true); err != nil {
+	if err := s.send(job{samples: samples, res: &p.res, done: p.done, deadline: deadline}, true); err != nil {
 		pendingPool.Put(p)
 		return nil, err
 	}
@@ -396,8 +530,17 @@ func (s *Server) SubmitFunc(samples []int16, fn func(Result)) error {
 // blocking when the queue is at capacity — the callback-path face of
 // backpressure (network front ends map it to an explicit BUSY reply).
 func (s *Server) TrySubmitFunc(samples []int16, fn func(Result)) error {
+	return s.TrySubmitFuncDeadline(samples, time.Time{}, fn)
+}
+
+// TrySubmitFuncDeadline is TrySubmitFunc with a queue deadline (see
+// SubmitDeadline): a submission still queued past deadline is shed at
+// dequeue and fn fires with a Result whose Err is ErrDeadlineExceeded. This
+// is the network front end's load-shedding path — stale requests stop
+// costing workers the moment the queue backs up past their patience.
+func (s *Server) TrySubmitFuncDeadline(samples []int16, deadline time.Time, fn func(Result)) error {
 	t := newCbTicket(fn)
-	if err := s.send(job{samples: samples, res: &t.res, cb: t}, false); err != nil {
+	if err := s.send(job{samples: samples, res: &t.res, cb: t, deadline: deadline}, false); err != nil {
 		cbPool.Put(t)
 		return err
 	}

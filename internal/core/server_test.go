@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dsp"
 )
@@ -439,4 +440,155 @@ func TestPendingRelease(t *testing.T) {
 			p.Release()
 		}
 	}
+}
+
+// TestWorkerPanicIsolation: a panicking inference must complete its ticket
+// with an ErrWorkerPanic-wrapped error, leave the pool at full strength,
+// and not disturb later submissions — the resilience guarantee the netfront
+// edge builds on.
+func TestWorkerPanicIsolation(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 4)
+	want := serialResults(t, model, utts)
+	srv, err := NewServer(model, ServerConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.InjectPanic()
+	p, err := srv.Submit(utts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Wait()
+	if !errors.Is(r.Err, ErrWorkerPanic) {
+		t.Fatalf("panicked submission: err = %v, want ErrWorkerPanic", r.Err)
+	}
+	if r.Label >= 0 {
+		t.Fatalf("panicked submission produced label %d", r.Label)
+	}
+	if got := srv.Panics(); got != 1 {
+		t.Fatalf("Panics() = %d, want 1", got)
+	}
+	if live, want := srv.LiveWorkers(), srv.Workers(); live != want {
+		t.Fatalf("pool shrank after panic: %d live of %d", live, want)
+	}
+	// The pool still serves correctly after the recovered panic.
+	for i, u := range utts {
+		p, err := srv.Submit(u)
+		if err != nil {
+			t.Fatalf("submit %d after panic: %v", i, err)
+		}
+		if r := p.Wait(); r.Err != nil || r.Label != want[i] {
+			t.Fatalf("utterance %d after panic: %+v, want label %d", i, r, want[i])
+		}
+	}
+}
+
+// TestWorkerPanicInBatch: a panic while running a drained batch must fail
+// every job of the batch (partial results are untrustworthy) without
+// killing the worker.
+func TestWorkerPanicInBatch(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 6)
+	srv, err := newServer(model, ServerConfig{Workers: 1, Queue: len(utts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tickets := make([]*Pending, len(utts))
+	for i, u := range utts {
+		if tickets[i], err = srv.TrySubmit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.InjectPanic() // consumed by the first batch the worker drains
+	srv.start()
+	var panicked int
+	for _, p := range tickets {
+		if r := p.Wait(); errors.Is(r.Err, ErrWorkerPanic) {
+			panicked++
+		}
+	}
+	if panicked == 0 {
+		t.Fatal("no ticket observed the injected batch panic")
+	}
+	if live, want := srv.LiveWorkers(), srv.Workers(); live != want {
+		t.Fatalf("pool shrank after batch panic: %d live of %d", live, want)
+	}
+}
+
+// TestQueueDeadlineShedding: jobs whose queue deadline passed before a
+// worker picked them up must be shed at dequeue with ErrDeadlineExceeded —
+// cheap load-shedding instead of wasted inference — while undeadlined jobs
+// are untouched.
+func TestQueueDeadlineShedding(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 6)
+	want := serialResults(t, model, utts)
+	srv, err := newServer(model, ServerConfig{Workers: 1, Queue: len(utts) + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	expired := time.Now().Add(-time.Millisecond)
+	stale := make([]*Pending, len(utts))
+	for i, u := range utts {
+		if stale[i], err = srv.SubmitDeadline(u, expired); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, err := srv.SubmitDeadline(utts[0], time.Time{}) // no deadline
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.start()
+	for i, p := range stale {
+		if r := p.Wait(); !errors.Is(r.Err, ErrDeadlineExceeded) {
+			t.Fatalf("stale job %d: err = %v, want ErrDeadlineExceeded", i, r.Err)
+		}
+	}
+	if r := fresh.Wait(); r.Err != nil || r.Label != want[0] {
+		t.Fatalf("undeadlined job swept up in shedding: %+v, want label %d", r, want[0])
+	}
+	if got := srv.Shed(); got != uint64(len(utts)) {
+		t.Fatalf("Shed() = %d, want %d", got, len(utts))
+	}
+}
+
+// TestSubmitAfterClose: every submission path must return ErrServerClosed
+// deterministically after Close — never panic, never hang — including the
+// callback and deadline variants (the netfront edge calls these on live
+// connections that race Close).
+func TestSubmitAfterClose(t *testing.T) {
+	model, utts, _ := pipelineFixture(t, 2)
+	srv, err := NewServer(model, ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := srv.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Submit(utts[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := srv.SubmitDeadline(utts[0], time.Now().Add(time.Second)); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("SubmitDeadline: %v", err)
+	}
+	if _, err := srv.TrySubmit(utts[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("TrySubmit: %v", err)
+	}
+	if err := srv.SubmitFunc(utts[0], func(Result) {}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("SubmitFunc: %v", err)
+	}
+	if err := srv.TrySubmitFunc(utts[0], func(Result) {}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("TrySubmitFunc: %v", err)
+	}
+	if err := srv.TrySubmitFuncDeadline(utts[0], time.Time{}, func(Result) {}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("TrySubmitFuncDeadline: %v", err)
+	}
+	// A long chunk guarantees at least one hop submission attempt.
+	if _, err := srv.SubmitStream(stream, utts[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("SubmitStream: %v", err)
+	}
+	srv.Close() // still idempotent with a stream open
 }

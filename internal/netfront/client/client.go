@@ -4,35 +4,95 @@
 // callbacks, and whole batches — over a single multiplexed connection. All
 // methods are safe for concurrent use; any number of requests and streams
 // may be outstanding at once.
+//
+// # Failure semantics
+//
+// The client is built for a flaky edge. Dials are bounded
+// (Options.DialTimeout), one-shot requests accept deadlines
+// (ClassifyDeadline) and opt into retry with exponential backoff plus
+// jitter on BUSY and transient transport failures (Options.Retry), and a
+// dropped connection is redialed with backoff on the next request when
+// Options.Redial is set. Server-side failures arrive as *RemoteError
+// carrying the structured wire code and the server's retry-after hint.
+// Streams are deliberately not resumed across a redial: a stream bound to a
+// dead connection fails its callback once with ErrStreamBroken and its
+// Close returns the same — the client never re-sends audio the server may
+// already have classified, so a hop is never silently duplicated.
 package client
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/netfront"
 )
 
 // ErrBusy reports that the server's submission queue was full when the
 // request arrived — the wire form of core.ErrQueueFull backpressure. The
-// request was not enqueued; retry later.
+// request was not enqueued; retry later. The concrete error is a *BusyError
+// carrying the server's retry-after hint; errors.Is(err, ErrBusy) matches
+// it.
 var ErrBusy = errors.New("client: server busy")
 
 // ErrClosed is returned by requests after Close, or when the connection to
-// the server was lost.
+// the server was lost. The connection-loss form is ErrConnLost, which wraps
+// ErrClosed and is retryable.
 var ErrClosed = errors.New("client: connection closed")
+
+// ErrConnLost reports that the transport died under an in-flight request
+// (peer reset, write failure, mid-frame EOF). It wraps ErrClosed; unlike a
+// user-initiated Close it is transient, so the retry policy treats it as
+// retryable and Options.Redial replaces the connection.
+var ErrConnLost = fmt.Errorf("%w: connection lost", ErrClosed)
+
+// ErrStreamBroken reports a stream whose connection died before the stream
+// was cleanly closed. The stream's callback receives it exactly once (with
+// NoHop) and Stream.Close returns it. The stream is never transparently
+// resumed on a redialed connection — hops already submitted must not be
+// replayed — so the caller decides whether to open a fresh stream.
+var ErrStreamBroken = errors.New("client: stream broken")
+
+// ErrDeadlineExceeded reports a request that missed its client-side
+// deadline: no reply arrived in time. The request may still complete on the
+// server; its late reply is discarded.
+var ErrDeadlineExceeded = errors.New("client: deadline exceeded")
+
+// BusyError is the concrete BUSY failure: errors.Is(err, ErrBusy) matches
+// it, and RetryAfter carries the server's backoff hint from the wire.
+type BusyError struct {
+	// RetryAfter is the server's suggested wait before retrying.
+	RetryAfter time.Duration
+}
+
+// Error returns the BUSY message.
+func (e *BusyError) Error() string { return ErrBusy.Error() }
+
+// Is matches ErrBusy, so callers keep writing errors.Is(err, ErrBusy).
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
 
 // RemoteError is a per-request failure reported by the server.
 type RemoteError struct {
-	// Msg is the server's error text, verbatim from the FrameError body.
+	// Code is the structured wire error code (netfront.Code* constants).
+	Code uint16
+	// RetryAfter is the server's transient-failure hint: nonzero means the
+	// request is worth retrying after this long, zero means it is not.
+	RetryAfter time.Duration
+	// Msg is the server's error text, verbatim from the wire.
 	Msg string
 }
 
-// Error returns the server's message.
-func (e *RemoteError) Error() string { return "client: server error: " + e.Msg }
+// Error returns the server's message with its code.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("client: server error (code %d): %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether the server marked the failure transient.
+func (e *RemoteError) Retryable() bool { return e.RetryAfter > 0 }
 
 // Frame types and encoding primitives are shared with package netfront —
 // the protocol has exactly one definition.
@@ -52,9 +112,75 @@ const (
 )
 
 // NoHop is the hop value passed to a stream callback for a stream-level
-// failure (a control-frame error that is not tied to any single hop); a
-// per-hop failure arrives with its real hop number instead.
+// failure (a control-frame error or broken connection that is not tied to
+// any single hop); a per-hop failure arrives with its real hop number
+// instead.
 const NoHop = ^uint64(0)
+
+// DefaultDialTimeout bounds Dial when Options.DialTimeout is unset: a
+// serving edge must fail fast on an unreachable peer, not park the caller
+// in an unbounded connect.
+const DefaultDialTimeout = 10 * time.Second
+
+// RetryPolicy is the opt-in one-shot retry behavior: Attempts extra tries
+// after the first, exponential backoff with deterministic jitter, honoring
+// any larger server retry-after hint.
+type RetryPolicy struct {
+	// Attempts is how many retries follow a failed first try; 0 disables
+	// retry entirely.
+	Attempts int
+	// Base is the first backoff step; doubles per attempt. <= 0 means 2ms.
+	Base time.Duration
+	// Max caps the backoff step. <= 0 means 250ms.
+	Max time.Duration
+}
+
+// withDefaults fills unset policy knobs.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the attempt'th wait (0-based): exponential from Base,
+// capped at Max, jittered uniformly into [d/2, d] so synchronized clients
+// desynchronize.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.Base << uint(attempt)
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// Options parameterizes DialOptions. The zero value matches Dial: bounded
+// dial, no retry, no redial.
+type Options struct {
+	// DialTimeout bounds each dial (initial and redial); 0 means
+	// DefaultDialTimeout, negative means unbounded.
+	DialTimeout time.Duration
+	// Retry is the one-shot retry policy (Classify/ClassifyDeadline).
+	// Zero-value = no retries.
+	Retry RetryPolicy
+	// Redial makes the client replace a dropped connection with a fresh
+	// dial (with backoff) on the next request, instead of failing every
+	// later request with ErrConnLost. Streams on the dead connection still
+	// break (ErrStreamBroken) — only one-shot/batch traffic migrates.
+	Redial bool
+	// RedialMax caps dial attempts per reconnection; <= 0 means 5.
+	RedialMax int
+	// Seed drives the deterministic jitter source; 0 means 1. Fixed seeds
+	// keep chaos tests reproducible.
+	Seed int64
+	// DialFunc replaces the transport dial — the chaos-injection and test
+	// hook (wrap the returned net.Conn in a faultconn.Conn to serve the
+	// client a hostile network). nil means net.DialTimeout.
+	DialFunc func(network, addr string) (net.Conn, error)
+}
 
 // pendingReply is one in-flight request's reply slot.
 type pendingReply struct {
@@ -68,9 +194,28 @@ type reply struct {
 	err    error
 }
 
-// Client is one connection to a netfront server.
+// Client is one logical connection to a netfront server. Under
+// Options.Redial it survives transport loss by replacing the underlying
+// connection; without it the first transport loss fails all later requests.
 type Client struct {
-	nc net.Conn
+	network, addr string
+	opts          Options
+
+	rmu sync.Mutex // guards rng (jitter draws come from many goroutines)
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	cc     *clientConn // current transport generation; nil only before dial
+	closed bool
+}
+
+// clientConn is one transport generation: the socket, its read loop, and
+// the request/stream registries bound to it. A new generation after redial
+// starts empty — pending work of the dead generation fails, it does not
+// migrate.
+type clientConn struct {
+	owner *Client
+	nc    net.Conn
 
 	wmu  sync.Mutex
 	wbuf []byte
@@ -79,227 +224,503 @@ type Client struct {
 	nextID  uint32
 	pending map[uint32]*pendingReply
 	streams map[uint32]*Stream
-	err     error // terminal connection error, set once by the read loop
+	err     error // terminal connection error, set once
 	done    chan struct{}
 }
 
-// Dial connects to a netfront server; network/addr are as in net.Dial
-// ("tcp", "127.0.0.1:7071" or "unix", "/tmp/omg.sock").
+// Dial connects to a netfront server with default Options; network/addr
+// are as in net.Dial ("tcp", "127.0.0.1:7071" or "unix", "/tmp/omg.sock").
+// The dial is bounded by DefaultDialTimeout.
 func Dial(network, addr string) (*Client, error) {
-	nc, err := net.Dial(network, addr)
+	return DialOptions(network, addr, Options{})
+}
+
+// DialOptions connects with explicit resilience options. The initial dial
+// is a single bounded attempt (an unreachable server fails fast, no silent
+// retry loop); Redial governs later reconnection only.
+func DialOptions(network, addr string, opts Options) (*Client, error) {
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = DefaultDialTimeout
+	}
+	if opts.RedialMax <= 0 {
+		opts.RedialMax = 5
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Client{network: network, addr: addr, opts: opts, rng: rand.New(rand.NewSource(seed))}
+	nc, err := c.dialRaw()
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
+	c.cc = newClientConn(c, nc)
+	return c, nil
+}
+
+// dialRaw performs one bounded transport dial via DialFunc or net.
+func (c *Client) dialRaw() (net.Conn, error) {
+	if c.opts.DialFunc != nil {
+		return c.opts.DialFunc(c.network, c.addr)
+	}
+	if c.opts.DialTimeout < 0 {
+		return net.Dial(c.network, c.addr)
+	}
+	return net.DialTimeout(c.network, c.addr, c.opts.DialTimeout)
+}
+
+// newClientConn wraps an established socket and starts its read loop.
+func newClientConn(c *Client, nc net.Conn) *clientConn {
+	cc := &clientConn{
+		owner:   c,
 		nc:      nc,
 		pending: make(map[uint32]*pendingReply),
 		streams: make(map[uint32]*Stream),
 		done:    make(chan struct{}),
 	}
-	go c.readLoop()
-	return c, nil
+	go cc.readLoop()
+	return cc
 }
 
-// Close tears down the connection. Outstanding requests fail with
-// ErrClosed; open streams stop receiving callbacks. Idempotent.
+// jitter draws from the client's deterministic jitter source.
+func (c *Client) jitter() *rand.Rand { return c.rng }
+
+// backoffSleep applies the attempt'th backoff of pol, bounded by deadline;
+// it reports false when the deadline would pass before the wait ends.
+func (c *Client) backoffSleep(pol RetryPolicy, attempt int, deadline time.Time, floor time.Duration) bool {
+	c.rmu.Lock()
+	d := pol.backoff(attempt, c.rng)
+	c.rmu.Unlock()
+	if floor > d {
+		d = floor
+	}
+	if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+		return false
+	}
+	time.Sleep(d)
+	return true
+}
+
+// Close tears down the client. Outstanding requests fail with ErrClosed;
+// open streams stop receiving callbacks; no redial follows. Idempotent.
 func (c *Client) Close() error {
-	err := c.nc.Close()
-	<-c.done // read loop has failed every pending request
+	c.mu.Lock()
+	if c.closed {
+		cc := c.cc
+		c.mu.Unlock()
+		if cc != nil {
+			<-cc.done
+		}
+		return nil
+	}
+	c.closed = true
+	cc := c.cc
+	c.mu.Unlock()
+	if cc == nil {
+		return nil
+	}
+	err := cc.nc.Close()
+	<-cc.done // read loop has failed every pending request
 	return err
 }
 
-// fail terminates every pending request and stream with err.
-func (c *Client) fail(err error) {
+// conn returns a live transport generation, redialing with backoff when
+// the current one is dead and Options.Redial allows. deadline bounds the
+// whole acquisition.
+func (c *Client) conn(deadline time.Time) (*clientConn, error) {
+	pol := c.opts.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		cc := c.cc
+		if cc != nil && cc.alive() {
+			c.mu.Unlock()
+			return cc, nil
+		}
+		if !c.opts.Redial {
+			c.mu.Unlock()
+			return nil, ErrConnLost
+		}
+		c.mu.Unlock()
+		if attempt >= c.opts.RedialMax {
+			if lastErr == nil {
+				lastErr = ErrConnLost
+			}
+			return nil, lastErr
+		}
+		if attempt > 0 && !c.backoffSleep(pol, attempt-1, deadline, 0) {
+			return nil, ErrDeadlineExceeded
+		}
+		nc, err := c.dialRaw()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		switch {
+		case c.closed:
+			c.mu.Unlock()
+			nc.Close()
+			return nil, ErrClosed
+		case c.cc != nil && c.cc.alive():
+			// A concurrent caller won the redial race; ride its conn.
+			c.mu.Unlock()
+			nc.Close()
+		default:
+			c.cc = newClientConn(c, nc)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// isClosed reports a user-initiated Close.
+func (c *Client) isClosed() bool {
 	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// alive reports whether the generation's transport is still usable.
+func (cc *clientConn) alive() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err == nil
+}
+
+// kill closes the socket so the read loop observes the failure and fails
+// the generation exactly once.
+func (cc *clientConn) kill() { cc.nc.Close() }
+
+// fail terminates the generation: every pending request gets err, every
+// stream breaks (one ErrStreamBroken callback, then its closed channel).
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
 	}
-	for id, p := range c.pending {
-		delete(c.pending, id)
-		p.ch <- reply{err: c.err}
+	pending := make([]*pendingReply, 0, len(cc.pending))
+	for id, p := range cc.pending {
+		delete(cc.pending, id)
+		pending = append(pending, p)
 	}
-	for id, s := range c.streams {
-		delete(c.streams, id)
+	streams := make([]*Stream, 0, len(cc.streams))
+	for id, s := range cc.streams {
+		delete(cc.streams, id)
+		streams = append(streams, s)
+	}
+	err = cc.err
+	cc.mu.Unlock()
+	for _, p := range pending {
+		p.ch <- reply{err: err}
+	}
+	for _, s := range streams {
+		s.err = ErrStreamBroken
+		if s.fn != nil {
+			s.fn(NoHop, -1, ErrStreamBroken)
+		}
 		close(s.closed)
 	}
-	c.mu.Unlock()
-	close(c.done)
+	close(cc.done)
 }
 
 // readLoop dispatches response frames to their requests/streams until the
-// connection dies.
-func (c *Client) readLoop() {
+// transport dies, then fails the generation (ErrClosed on user Close,
+// ErrConnLost otherwise — the retryable flavor).
+func (cc *clientConn) readLoop() {
 	var hdr [netfront.HeaderLen]byte
 	var body []byte
-	rd := c.nc
 	for {
-		typ, b, err := netfront.ReadFrame(rd, &hdr, body, netfront.DefaultMaxBody)
+		typ, b, err := netfront.ReadFrame(cc.nc, &hdr, body, netfront.DefaultMaxBody)
 		body = b[:cap(b)]
 		if err != nil {
-			c.fail(ErrClosed)
+			if cc.owner.isClosed() {
+				cc.fail(ErrClosed)
+			} else {
+				cc.fail(ErrConnLost)
+			}
 			return
 		}
 		switch typ {
 		case frameResult:
 			if len(b) != 8 {
-				c.fail(fmt.Errorf("client: malformed result frame (%d bytes)", len(b)))
+				cc.failProto("malformed result frame", len(b))
 				return
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
 			label := int32(binary.LittleEndian.Uint32(b[4:8]))
-			c.deliver(id, reply{labels: []int32{label}})
+			cc.deliver(id, reply{labels: []int32{label}})
 		case frameBusy:
-			if len(b) != 4 {
-				c.fail(fmt.Errorf("client: malformed busy frame (%d bytes)", len(b)))
-				return
-			}
-			c.deliver(binary.LittleEndian.Uint32(b[0:4]), reply{err: ErrBusy})
-		case frameError:
-			if len(b) < 4 {
-				c.fail(fmt.Errorf("client: malformed error frame (%d bytes)", len(b)))
+			if len(b) != 8 {
+				cc.failProto("malformed busy frame", len(b))
 				return
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
-			rerr := &RemoteError{Msg: string(b[4:])}
+			retry := time.Duration(binary.LittleEndian.Uint32(b[4:8])) * time.Millisecond
+			cc.deliver(id, reply{err: &BusyError{RetryAfter: retry}})
+		case frameError:
+			if len(b) < 4 {
+				cc.failProto("malformed error frame", len(b))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			we, err := netfront.DecodeWireError(b[4:])
+			if err != nil {
+				cc.failProto("malformed wire error", len(b))
+				return
+			}
+			rerr := &RemoteError{Code: we.Code, RetryAfter: we.RetryAfter, Msg: we.Msg}
 			// A FrameError may belong to a stream (a control failure,
 			// delivered via its callback as NoHop) or to a pending
 			// one-shot/batch request.
-			c.mu.Lock()
-			s := c.streams[id]
-			c.mu.Unlock()
+			cc.mu.Lock()
+			s := cc.streams[id]
+			cc.mu.Unlock()
 			if s != nil {
 				s.fn(NoHop, -1, rerr)
 			} else {
-				c.deliver(id, reply{err: rerr})
+				cc.deliver(id, reply{err: rerr})
 			}
 		case frameStreamError:
 			if len(b) < 12 {
-				c.fail(fmt.Errorf("client: malformed stream error (%d bytes)", len(b)))
+				cc.failProto("malformed stream error", len(b))
 				return
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
 			hop := binary.LittleEndian.Uint64(b[4:12])
-			rerr := &RemoteError{Msg: string(b[12:])}
-			c.mu.Lock()
-			s := c.streams[id]
-			c.mu.Unlock()
+			we, err := netfront.DecodeWireError(b[12:])
+			if err != nil {
+				cc.failProto("malformed stream wire error", len(b))
+				return
+			}
+			cc.mu.Lock()
+			s := cc.streams[id]
+			cc.mu.Unlock()
 			if s != nil {
-				s.fn(hop, -1, rerr)
+				s.fn(hop, -1, &RemoteError{Code: we.Code, RetryAfter: we.RetryAfter, Msg: we.Msg})
 			}
 		case frameBatchResult:
 			if len(b) < 8 {
-				c.fail(fmt.Errorf("client: malformed batch result (%d bytes)", len(b)))
+				cc.failProto("malformed batch result", len(b))
 				return
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
 			n := int(binary.LittleEndian.Uint32(b[4:8]))
-			if len(b) != 8+4*n {
-				c.fail(fmt.Errorf("client: batch result count %d does not match body", n))
+			if n < 0 || len(b) != 8+4*n {
+				cc.failProto("batch result count does not match body", len(b))
 				return
 			}
 			labels := make([]int32, n)
 			for i := range labels {
 				labels[i] = int32(binary.LittleEndian.Uint32(b[8+4*i:]))
 			}
-			c.deliver(id, reply{labels: labels})
+			cc.deliver(id, reply{labels: labels})
 		case frameStreamResult:
 			if len(b) != 16 {
-				c.fail(fmt.Errorf("client: malformed stream result (%d bytes)", len(b)))
+				cc.failProto("malformed stream result", len(b))
 				return
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
 			hop := binary.LittleEndian.Uint64(b[4:12])
 			label := int32(binary.LittleEndian.Uint32(b[12:16]))
-			c.mu.Lock()
-			s := c.streams[id]
-			c.mu.Unlock()
+			cc.mu.Lock()
+			s := cc.streams[id]
+			cc.mu.Unlock()
 			if s != nil {
 				s.fn(hop, int(label), nil)
 			}
 		case frameStreamClosed:
 			if len(b) != 12 {
-				c.fail(fmt.Errorf("client: malformed stream-closed frame (%d bytes)", len(b)))
+				cc.failProto("malformed stream-closed frame", len(b))
 				return
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
 			hops := binary.LittleEndian.Uint64(b[4:12])
-			c.mu.Lock()
-			s := c.streams[id]
-			delete(c.streams, id)
-			c.mu.Unlock()
+			cc.mu.Lock()
+			s := cc.streams[id]
+			delete(cc.streams, id)
+			cc.mu.Unlock()
 			if s != nil {
 				s.hops = hops
 				close(s.closed)
 			}
 		default:
-			c.fail(fmt.Errorf("client: unknown response frame 0x%02x", typ))
+			cc.failProto(fmt.Sprintf("unknown response frame 0x%02x", typ), len(b))
 			return
 		}
 	}
 }
 
-// deliver hands a reply to its pending request, if still registered.
-func (c *Client) deliver(id uint32, r reply) {
-	c.mu.Lock()
-	p := c.pending[id]
-	delete(c.pending, id)
-	c.mu.Unlock()
+// failProto fails the generation on a protocol violation by the server —
+// the connection cannot resync, so it is dead.
+func (cc *clientConn) failProto(what string, n int) {
+	cc.nc.Close()
+	cc.fail(fmt.Errorf("%w: %s (%d bytes)", ErrConnLost, what, n))
+}
+
+// deliver hands a reply to its pending request, if still registered (a
+// request that timed out client-side deregisters itself; its late reply is
+// dropped here).
+func (cc *clientConn) deliver(id uint32, r reply) {
+	cc.mu.Lock()
+	p := cc.pending[id]
+	delete(cc.pending, id)
+	cc.mu.Unlock()
 	if p != nil {
 		p.ch <- r
 	}
 }
 
 // register allocates a request id and its reply slot.
-func (c *Client) register() (uint32, *pendingReply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return 0, nil, c.err
+func (cc *clientConn) register() (uint32, *pendingReply, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return 0, nil, cc.err
 	}
-	id := c.nextID
-	c.nextID++
+	id := cc.nextID
+	cc.nextID++
 	p := &pendingReply{ch: make(chan reply, 1)}
-	c.pending[id] = p
+	cc.pending[id] = p
 	return id, p, nil
 }
 
-// writeFrame builds and sends one frame; payload is appended by fill.
-func (c *Client) writeFrame(typ byte, bodyLen int, fill func([]byte) []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	c.wbuf = netfront.AppendFrameHeader(c.wbuf[:0], typ, bodyLen)
-	c.wbuf = fill(c.wbuf)
-	_, err := c.nc.Write(c.wbuf)
-	return err
+// deregister abandons a pending request (client-side timeout): a reply
+// arriving later is dropped by deliver.
+func (cc *clientConn) deregister(id uint32) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
 }
 
-// Classify submits one utterance and blocks for its label. ErrBusy reports
-// server backpressure (nothing was enqueued); a *RemoteError is a
-// per-request server-side failure.
-func (c *Client) Classify(samples []int16) (int, error) {
-	id, p, err := c.register()
+// writeFrame builds and sends one frame; payload is appended by fill. A
+// write failure kills the generation (the socket is closed so the read
+// loop fails every pending request) and reports ErrConnLost.
+func (cc *clientConn) writeFrame(typ byte, bodyLen int, fill func([]byte) []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.wbuf = netfront.AppendFrameHeader(cc.wbuf[:0], typ, bodyLen)
+	cc.wbuf = fill(cc.wbuf)
+	if _, err := cc.nc.Write(cc.wbuf); err != nil {
+		cc.kill()
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	return nil
+}
+
+// await blocks for the request's reply, bounded by deadline.
+func (cc *clientConn) await(id uint32, p *pendingReply, deadline time.Time) (reply, error) {
+	if deadline.IsZero() {
+		r := <-p.ch
+		return r, r.err
+	}
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		cc.deregister(id)
+		return reply{}, ErrDeadlineExceeded
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case r := <-p.ch:
+		return r, r.err
+	case <-t.C:
+		cc.deregister(id)
+		return reply{}, ErrDeadlineExceeded
+	}
+}
+
+// classify runs one request attempt on this generation.
+func (cc *clientConn) classify(samples []int16, deadline time.Time) (int, error) {
+	id, p, err := cc.register()
 	if err != nil {
 		return -1, err
 	}
-	err = c.writeFrame(frameUtterance, 4+2*len(samples), func(b []byte) []byte {
+	err = cc.writeFrame(frameUtterance, 4+2*len(samples), func(b []byte) []byte {
 		b = binary.LittleEndian.AppendUint32(b, id)
 		return netfront.AppendSamples(b, samples)
 	})
 	if err != nil {
+		cc.deregister(id)
 		return -1, err
 	}
-	r := <-p.ch
-	if r.err != nil {
-		return -1, r.err
+	r, err := cc.await(id, p, deadline)
+	if err != nil {
+		return -1, err
 	}
 	return int(r.labels[0]), nil
 }
 
+// retryable reports whether err is worth retrying: backpressure, transport
+// loss, or a server failure flagged transient.
+func retryable(err error) bool {
+	if errors.Is(err, ErrBusy) || errors.Is(err, ErrConnLost) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && re.Retryable()
+}
+
+// retryAfterHint extracts the server's backoff hint, if any.
+func retryAfterHint(err error) time.Duration {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return be.RetryAfter
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.RetryAfter
+	}
+	return 0
+}
+
+// Classify submits one utterance and blocks for its label, retrying per
+// Options.Retry. ErrBusy reports server backpressure (nothing was
+// enqueued); a *RemoteError is a per-request server-side failure.
+func (c *Client) Classify(samples []int16) (int, error) {
+	return c.ClassifyDeadline(samples, time.Time{})
+}
+
+// ClassifyDeadline is Classify bounded by a client-side deadline covering
+// everything — queueing, inference, retries, and any redial. A zero
+// deadline means unbounded. On timeout it returns ErrDeadlineExceeded and
+// discards the late reply. Retries follow Options.Retry: exponential
+// backoff with deterministic jitter, floored by the server's retry-after
+// hint, on BUSY, transport loss and server failures flagged transient.
+func (c *Client) ClassifyDeadline(samples []int16, deadline time.Time) (int, error) {
+	pol := c.opts.Retry.withDefaults()
+	for attempt := 0; ; attempt++ {
+		cc, err := c.conn(deadline)
+		if err != nil {
+			return -1, err
+		}
+		label, err := cc.classify(samples, deadline)
+		if err == nil {
+			return label, nil
+		}
+		if attempt >= pol.Attempts || !retryable(err) || c.isClosed() {
+			return -1, err
+		}
+		if !c.backoffSleep(pol, attempt, deadline, retryAfterHint(err)) {
+			return -1, err
+		}
+	}
+}
+
 // ClassifyBatch submits a whole batch and blocks for its labels, one per
 // utterance in order; an utterance the server failed to classify reports
-// label -1.
+// label -1. Batches do not retry (size their own policy around the call);
+// under Options.Redial the submission itself still migrates to a fresh
+// connection when the old one died before the attempt.
 func (c *Client) ClassifyBatch(utts [][]int16) ([]int, error) {
-	id, p, err := c.register()
+	cc, err := c.conn(time.Time{})
+	if err != nil {
+		return nil, err
+	}
+	id, p, err := cc.register()
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +728,7 @@ func (c *Client) ClassifyBatch(utts [][]int16) ([]int, error) {
 	for _, u := range utts {
 		bodyLen += 4 + 2*len(u)
 	}
-	err = c.writeFrame(frameBatch, bodyLen, func(b []byte) []byte {
+	err = cc.writeFrame(frameBatch, bodyLen, func(b []byte) []byte {
 		b = binary.LittleEndian.AppendUint32(b, id)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(utts)))
 		for _, u := range utts {
@@ -317,6 +738,7 @@ func (c *Client) ClassifyBatch(utts [][]int16) ([]int, error) {
 		return b
 	})
 	if err != nil {
+		cc.deregister(id)
 		return nil, err
 	}
 	r := <-p.ch
@@ -330,54 +752,68 @@ func (c *Client) ClassifyBatch(utts [][]int16) ([]int, error) {
 	return labels, nil
 }
 
-// Stream is one open audio stream. Send audio with Send; results arrive
-// through the callback passed to OpenStream, in hop order. Close flushes.
+// Stream is one open audio stream, bound to the transport generation that
+// opened it. Send audio with Send; results arrive through the callback
+// passed to OpenStream, in hop order. Close flushes. If the connection
+// dies first, the callback fires once with ErrStreamBroken and Close
+// returns it — the stream never migrates to a redialed connection.
 type Stream struct {
-	c      *Client
+	cc     *clientConn
 	id     uint32
 	fn     func(hop uint64, label int, err error)
 	closed chan struct{}
 	hops   uint64
+	err    error // ErrStreamBroken when the conn died; set before closed closes
 }
 
 // OpenStream opens a stream on the connection. fn is invoked on the
 // client's read goroutine once per completed hop, strictly in hop order —
 // it must not block (it stalls every response on the connection) and must
 // not call back into the client. A non-nil err in the callback reports a
-// server-side failure: a per-hop failure carries its real hop number (that
-// hop produced no label), a stream-level control failure carries NoHop.
+// failure: a per-hop *RemoteError carries its real hop number (that hop
+// produced no label), a stream-level failure carries NoHop — including the
+// final ErrStreamBroken of a dead connection.
 func (c *Client) OpenStream(fn func(hop uint64, label int, err error)) (*Stream, error) {
-	c.mu.Lock()
-	if c.err != nil {
-		c.mu.Unlock()
-		return nil, c.err
+	cc, err := c.conn(time.Time{})
+	if err != nil {
+		return nil, err
 	}
-	id := c.nextID
-	c.nextID++
-	s := &Stream{c: c, id: id, fn: fn, closed: make(chan struct{})}
-	c.streams[id] = s
-	c.mu.Unlock()
-	err := c.writeFrame(frameStreamOpen, 4, func(b []byte) []byte {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return nil, cc.err
+	}
+	id := cc.nextID
+	cc.nextID++
+	s := &Stream{cc: cc, id: id, fn: fn, closed: make(chan struct{})}
+	cc.streams[id] = s
+	cc.mu.Unlock()
+	err = cc.writeFrame(frameStreamOpen, 4, func(b []byte) []byte {
 		return binary.LittleEndian.AppendUint32(b, id)
 	})
 	if err != nil {
-		c.mu.Lock()
-		delete(c.streams, id)
-		c.mu.Unlock()
+		cc.mu.Lock()
+		delete(cc.streams, id)
+		cc.mu.Unlock()
 		return nil, err
 	}
 	return s, nil
 }
 
 // Send appends a chunk of audio to the stream. Results for hops the chunk
-// completes arrive asynchronously through the stream callback.
+// completes arrive asynchronously through the stream callback. After the
+// stream's connection died Send reports ErrStreamBroken; after a clean
+// Close it reports ErrClosed.
 func (s *Stream) Send(chunk []int16) error {
 	select {
 	case <-s.closed:
+		if s.err != nil {
+			return s.err
+		}
 		return ErrClosed
 	default:
 	}
-	return s.c.writeFrame(frameStreamChunk, 4+2*len(chunk), func(b []byte) []byte {
+	return s.cc.writeFrame(frameStreamChunk, 4+2*len(chunk), func(b []byte) []byte {
 		b = binary.LittleEndian.AppendUint32(b, s.id)
 		return netfront.AppendSamples(b, chunk)
 	})
@@ -385,20 +821,24 @@ func (s *Stream) Send(chunk []int16) error {
 
 // Close flushes the stream — it blocks until the server has delivered every
 // outstanding hop's result (all callbacks have run) — and returns the total
-// number of hops the stream classified.
+// number of hops the stream classified. A stream whose connection died
+// returns ErrStreamBroken with the hop count unknown (zero).
 func (s *Stream) Close() (uint64, error) {
-	err := s.c.writeFrame(frameStreamClose, 4, func(b []byte) []byte {
+	err := s.cc.writeFrame(frameStreamClose, 4, func(b []byte) []byte {
 		return binary.LittleEndian.AppendUint32(b, s.id)
 	})
 	if err != nil {
+		// The write failed, so the conn is dead or dying: the read loop's
+		// fail() will break the stream; wait so Close's result is settled.
+		<-s.closed
+		if s.err != nil {
+			return 0, s.err
+		}
 		return 0, err
 	}
 	<-s.closed
-	s.c.mu.Lock()
-	err = s.c.err
-	s.c.mu.Unlock()
-	if err != nil {
-		return s.hops, err
+	if s.err != nil {
+		return 0, s.err
 	}
 	return s.hops, nil
 }

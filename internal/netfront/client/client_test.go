@@ -1,0 +1,298 @@
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netfront"
+)
+
+// fakeServer is a scripted protocol peer: each accepted connection is
+// handed to handle, which speaks raw frames — the client's failure paths
+// get exercised without a model or a core.Server.
+func fakeServer(t *testing.T, handle func(conn net.Conn)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go handle(nc)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// readReq reads one request frame, failing the conn silently on error.
+func readReq(nc net.Conn) (byte, []byte, bool) {
+	var hdr [netfront.HeaderLen]byte
+	typ, body, err := netfront.ReadFrame(nc, &hdr, nil, netfront.DefaultMaxBody)
+	return typ, body, err == nil
+}
+
+// writeFrame sends one response frame.
+func writeFrame(nc net.Conn, typ byte, body []byte) {
+	out := netfront.AppendFrameHeader(nil, typ, len(body))
+	nc.Write(append(out, body...))
+}
+
+// resultFrame builds a FrameResult body.
+func resultFrame(id uint32, label int32) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, id)
+	return binary.LittleEndian.AppendUint32(b, uint32(label))
+}
+
+// TestDialTimeoutNonListening pins the satellite fix: Dial against a
+// non-listening address must fail, and fail within the configured timeout
+// rather than hanging in an unbounded connect.
+func TestDialTimeoutNonListening(t *testing.T) {
+	// Reserve a port that is then closed: a local address with no listener
+	// refuses or times out, never accepts.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	start := time.Now()
+	c, err := DialOptions("tcp", addr, Options{DialTimeout: 250 * time.Millisecond})
+	if err == nil {
+		c.Close()
+		t.Fatal("dial of a non-listening address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial failure took %v, not bounded by the 250ms timeout", elapsed)
+	}
+}
+
+// TestRetryOnBusy pins the opt-in retry policy: BUSY with a retry-after
+// hint is retried with backoff until the server accepts, while a client
+// without retries surfaces ErrBusy (as a *BusyError carrying the hint).
+func TestRetryOnBusy(t *testing.T) {
+	var attempts atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			_, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			id := binary.LittleEndian.Uint32(body[0:4])
+			if attempts.Add(1) <= 2 {
+				busy := binary.LittleEndian.AppendUint32(nil, id)
+				busy = binary.LittleEndian.AppendUint32(busy, 1) // retry after 1ms
+				writeFrame(nc, netfront.FrameBusy, busy)
+				continue
+			}
+			writeFrame(nc, netfront.FrameResult, resultFrame(id, 7))
+		}
+	})
+
+	// Without retries: the BusyError surfaces, errors.Is matches ErrBusy,
+	// and the hint is preserved.
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Classify([]int16{1, 2, 3})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("no-retry busy: err = %v, want ErrBusy", err)
+	}
+	var be *BusyError
+	if !errors.As(err, &be) || be.RetryAfter != time.Millisecond {
+		t.Fatalf("busy error %#v lacks the 1ms retry-after hint", err)
+	}
+	c.Close()
+
+	// With retries: two BUSYs then success.
+	attempts.Store(0)
+	c, err = DialOptions("tcp", addr, Options{
+		Retry: RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	label, err := c.Classify([]int16{1, 2, 3})
+	if err != nil || label != 7 {
+		t.Fatalf("retried classify: label=%d err=%v, want 7", label, err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+// TestClientDeadline pins ClassifyDeadline: a server that never answers
+// must not hang the caller past its deadline.
+func TestClientDeadline(t *testing.T) {
+	addr := fakeServer(t, func(nc net.Conn) {
+		// Read requests, answer nothing.
+		for {
+			if _, _, ok := readReq(nc); !ok {
+				nc.Close()
+				return
+			}
+		}
+	})
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.ClassifyDeadline([]int16{1}, time.Now().Add(50*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	// The timed-out request deregistered itself: a later request gets a
+	// fresh id and the connection is still usable for registration.
+	if c.cc == nil || !c.cc.alive() {
+		t.Fatal("connection died after a client-side timeout")
+	}
+}
+
+// TestRedialAfterConnLoss pins automatic redial: a connection the server
+// drops mid-request fails that attempt with ErrConnLost (retryable), and
+// the retry loop transparently redials and succeeds.
+func TestRedialAfterConnLoss(t *testing.T) {
+	var conns atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		if conns.Add(1) == 1 {
+			// First connection: read the request, then hang up mid-exchange.
+			readReq(nc)
+			return
+		}
+		for {
+			_, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			id := binary.LittleEndian.Uint32(body[0:4])
+			writeFrame(nc, netfront.FrameResult, resultFrame(id, 3))
+		}
+	})
+	c, err := DialOptions("tcp", addr, Options{
+		Redial: true,
+		Retry:  RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	label, err := c.Classify([]int16{5})
+	if err != nil || label != 3 {
+		t.Fatalf("classify across conn loss: label=%d err=%v, want 3", label, err)
+	}
+	if n := conns.Load(); n < 2 {
+		t.Fatalf("server saw %d connections, want a redial", n)
+	}
+
+	// Without Redial, a lost conn is terminal: every later request fails
+	// with ErrConnLost, which still wraps ErrClosed.
+	c2, err := DialOptions("tcp", addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.cc.kill()
+	<-c2.cc.done
+	_, err = c2.Classify([]int16{5})
+	if !errors.Is(err, ErrConnLost) || !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrConnLost wrapping ErrClosed", err)
+	}
+}
+
+// TestStreamBroken pins stream semantics across connection loss: the
+// callback observes exactly one ErrStreamBroken (with NoHop), Close
+// returns it, later Sends report it, and the stream is never resumed on a
+// redialed connection.
+func TestStreamBroken(t *testing.T) {
+	addr := fakeServer(t, func(nc net.Conn) {
+		// Accept the stream open, then drop the connection.
+		readReq(nc)
+		nc.Close()
+	})
+	broken := make(chan error, 4)
+	c, err := DialOptions("tcp", addr, Options{Redial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.OpenStream(func(hop uint64, label int, err error) {
+		if hop == NoHop {
+			broken <- err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-broken:
+		if !errors.Is(err, ErrStreamBroken) {
+			t.Fatalf("callback err = %v, want ErrStreamBroken", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream callback never observed the broken connection")
+	}
+	if _, err := s.Close(); !errors.Is(err, ErrStreamBroken) {
+		t.Fatalf("Close: %v, want ErrStreamBroken", err)
+	}
+	if err := s.Send([]int16{1}); !errors.Is(err, ErrStreamBroken) {
+		t.Fatalf("Send after break: %v, want ErrStreamBroken", err)
+	}
+	select {
+	case err := <-broken:
+		t.Fatalf("second stream-broken callback: %v", err)
+	default:
+	}
+}
+
+// TestRemoteErrorNotRetried pins that a non-retryable structured error
+// (zero retry-after) fails immediately even under an aggressive retry
+// policy, carrying its wire code.
+func TestRemoteErrorNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			_, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			attempts.Add(1)
+			id := binary.LittleEndian.Uint32(body[0:4])
+			out := binary.LittleEndian.AppendUint32(nil, id)
+			out = netfront.AppendWireError(out, netfront.WireError{Code: netfront.CodeBadRequest, Msg: "nope"})
+			writeFrame(nc, netfront.FrameError, out)
+		}
+	})
+	c, err := DialOptions("tcp", addr, Options{
+		Retry: RetryPolicy{Attempts: 5, Base: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Classify([]int16{1})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != netfront.CodeBadRequest || re.Retryable() {
+		t.Fatalf("err = %v, want non-retryable CodeBadRequest RemoteError", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("non-retryable error was attempted %d times", n)
+	}
+}

@@ -1,0 +1,183 @@
+// Package faultconn is the chaos-injection harness for the netfront edge:
+// a deterministic, seed-driven net.Conn wrapper that injects the failure
+// modes of a hostile or flaky network — latency spikes, partial writes,
+// mid-frame connection resets, stalls, and bit-corrupted frames — into an
+// otherwise healthy connection.
+//
+// Faults are injected on the write path (the data this endpoint sends),
+// which exercises both directions of a protocol: wrap the client side of a
+// connection and the server receives corrupted, truncated, or late frames;
+// the client in turn experiences resets and stalls on its own sends. Every
+// decision is drawn from a private rand.Rand seeded by Profile.Seed, so a
+// given (profile, traffic) pair replays the same fault schedule — chaos
+// tests stay reproducible and debuggable.
+//
+// The wrapper is used by TestServerSurvivesFaultMatrix (package netfront)
+// via client Options.DialFunc, and is exported so integration harnesses can
+// aim the same faults at real deployments.
+package faultconn
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes one fault mix. Probabilities are per-Write, in [0, 1];
+// zero-value fields inject nothing, so the zero Profile is a transparent
+// wrapper. Faults compose: a single Write may be delayed, truncated, and
+// corrupted when several draws fire.
+type Profile struct {
+	// Name labels the profile in test output.
+	Name string
+	// Seed drives the deterministic fault schedule; 0 means 1.
+	Seed int64
+
+	// LatencyProb is the chance a Write is delayed by a uniform draw from
+	// (0, LatencyMax].
+	LatencyProb float64
+	// LatencyMax bounds an injected delay; <= 0 with LatencyProb > 0 means
+	// 5ms.
+	LatencyMax time.Duration
+
+	// PartialWriteProb is the chance a Write sends only a prefix (at least
+	// one byte) to the peer and reports io.ErrShortWrite with the short
+	// count — the peer sees a truncated, never-completed frame.
+	PartialWriteProb float64
+
+	// StallProb is the chance a Write first stalls for Stall — long enough
+	// to trip read-idle deadlines when configured aggressively.
+	StallProb float64
+	// Stall is the injected stall length; <= 0 with StallProb > 0 means
+	// 20ms.
+	Stall time.Duration
+
+	// ResetProb is the chance a Write closes the connection mid-frame
+	// instead of sending, surfacing as a peer reset / unexpected EOF.
+	ResetProb float64
+
+	// CorruptProb is the chance a Write flips one random bit of the
+	// payload before sending — frames that parse wrong or not at all.
+	CorruptProb float64
+}
+
+// Stats counts the faults a Conn actually injected, one counter per fault
+// class. Read them after the traffic to assert a profile really exercised
+// its fault (a probability can otherwise silently round to never).
+type Stats struct {
+	// Latencies counts injected delays.
+	Latencies atomic.Uint64
+	// Partials counts truncated writes.
+	Partials atomic.Uint64
+	// Stalls counts injected stalls.
+	Stalls atomic.Uint64
+	// Resets counts injected mid-frame closes.
+	Resets atomic.Uint64
+	// Corruptions counts bit flips.
+	Corruptions atomic.Uint64
+}
+
+// Profiles returns the canonical fault matrix — one profile per fault
+// class plus a mixed profile — with fixed seeds. TestServerSurvivesFaultMatrix
+// runs every entry; integration harnesses can reuse the same matrix.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "latency", Seed: 11, LatencyProb: 0.5, LatencyMax: 2 * time.Millisecond},
+		{Name: "partial-write", Seed: 12, PartialWriteProb: 0.25},
+		{Name: "reset", Seed: 13, ResetProb: 0.08},
+		{Name: "stall", Seed: 14, StallProb: 0.15, Stall: 10 * time.Millisecond},
+		{Name: "corrupt", Seed: 15, CorruptProb: 0.25},
+		{
+			Name: "mixed", Seed: 16,
+			LatencyProb: 0.2, LatencyMax: time.Millisecond,
+			PartialWriteProb: 0.05, ResetProb: 0.03, CorruptProb: 0.05,
+		},
+	}
+}
+
+// Conn wraps a net.Conn with fault injection per its Profile. Reads pass
+// through untouched; Writes may be delayed, truncated, corrupted, or turn
+// into a connection reset. Safe for the usual net.Conn concurrency (one
+// reader, one writer, Close from anywhere).
+type Conn struct {
+	net.Conn
+	profile Profile
+	stats   *Stats
+
+	mu  sync.Mutex // rand.Rand is not goroutine-safe
+	rng *rand.Rand
+}
+
+// New wraps nc with fault injection driven by p. The returned Stats is
+// shared with the Conn and updated as faults fire.
+func New(nc net.Conn, p Profile) (*Conn, *Stats) {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if p.LatencyProb > 0 && p.LatencyMax <= 0 {
+		p.LatencyMax = 5 * time.Millisecond
+	}
+	if p.StallProb > 0 && p.Stall <= 0 {
+		p.Stall = 20 * time.Millisecond
+	}
+	s := &Stats{}
+	return &Conn{Conn: nc, profile: p, stats: s, rng: rand.New(rand.NewSource(seed))}, s
+}
+
+// draw runs one probability check and, when it fires, returns a uniform
+// int64 in [0, n) for the fault's parameter (n <= 0 returns 0).
+func (c *Conn) draw(prob float64, n int64) (bool, int64) {
+	if prob <= 0 {
+		return false, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= prob {
+		return false, 0
+	}
+	if n <= 0 {
+		return true, 0
+	}
+	return true, c.rng.Int63n(n)
+}
+
+// Write injects the profile's faults, then forwards to the wrapped conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	p := c.profile
+	if ok, d := c.draw(p.LatencyProb, int64(p.LatencyMax)); ok {
+		c.stats.Latencies.Add(1)
+		time.Sleep(time.Duration(d) + 1)
+	}
+	if ok, _ := c.draw(p.StallProb, 0); ok {
+		c.stats.Stalls.Add(1)
+		time.Sleep(p.Stall)
+	}
+	if ok, _ := c.draw(p.ResetProb, 0); ok {
+		c.stats.Resets.Add(1)
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	if len(b) > 0 {
+		if ok, bit := c.draw(p.CorruptProb, int64(len(b))*8); ok {
+			c.stats.Corruptions.Add(1)
+			// Corrupt a copy: the caller owns b and may retry it.
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			cp[bit/8] ^= 1 << (bit % 8)
+			b = cp
+		}
+		if ok, keep := c.draw(p.PartialWriteProb, int64(len(b))); ok && int(keep)+1 < len(b) {
+			c.stats.Partials.Add(1)
+			n, err := c.Conn.Write(b[:keep+1])
+			if err != nil {
+				return n, err
+			}
+			return n, io.ErrShortWrite
+		}
+	}
+	return c.Conn.Write(b)
+}

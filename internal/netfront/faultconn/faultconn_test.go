@@ -1,0 +1,118 @@
+package faultconn
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// memConn is a net.Conn double that records writes and counts closes.
+type memConn struct {
+	buf    bytes.Buffer
+	closed int
+}
+
+func (m *memConn) Read(b []byte) (int, error)       { return 0, nil }
+func (m *memConn) Write(b []byte) (int, error)      { return m.buf.Write(b) }
+func (m *memConn) Close() error                     { m.closed++; return nil }
+func (m *memConn) LocalAddr() net.Addr              { return nil }
+func (m *memConn) RemoteAddr() net.Addr             { return nil }
+func (m *memConn) SetDeadline(time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// run pushes a fixed traffic pattern through a freshly seeded Conn and
+// returns the bytes that reached the "peer" plus the fault counts.
+func run(t *testing.T, p Profile) ([]byte, [5]uint64) {
+	t.Helper()
+	m := &memConn{}
+	fc, st := New(m, p)
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < 200; i++ {
+		fc.Write(payload)
+	}
+	return m.buf.Bytes(), [5]uint64{
+		st.Latencies.Load(), st.Partials.Load(), st.Stalls.Load(),
+		st.Resets.Load(), st.Corruptions.Load(),
+	}
+}
+
+// TestDeterministicSchedule pins the harness's core promise: the same seed
+// and traffic replay the same fault schedule, byte for byte — failed chaos
+// runs are reproducible.
+func TestDeterministicSchedule(t *testing.T) {
+	p := Profile{
+		Name: "det", Seed: 42,
+		LatencyProb: 0.3, LatencyMax: time.Microsecond,
+		PartialWriteProb: 0.2, CorruptProb: 0.3,
+	}
+	b1, s1 := run(t, p)
+	b2, s2 := run(t, p)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different wire bytes (%d vs %d)", len(b1), len(b2))
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different fault counts: %v vs %v", s1, s2)
+	}
+	if s1[1] == 0 || s1[4] == 0 {
+		t.Fatalf("profile injected no partials/corruptions: %v", s1)
+	}
+	_, s3 := run(t, Profile{Name: "det2", Seed: 43, PartialWriteProb: 0.2, CorruptProb: 0.3})
+	if s3 == s2 {
+		t.Fatal("different seeds produced identical fault counts (suspicious)")
+	}
+}
+
+// TestZeroProfileIsTransparent pins that the zero Profile forwards
+// everything untouched — the wrapper itself must not perturb traffic.
+func TestZeroProfileIsTransparent(t *testing.T) {
+	b, st := run(t, Profile{Name: "zero"})
+	if len(b) != 200*64 {
+		t.Fatalf("%d bytes reached the peer, want %d", len(b), 200*64)
+	}
+	for i, v := range b {
+		if v != byte(i%64) {
+			t.Fatalf("byte %d corrupted: %d", i, v)
+		}
+	}
+	if st != ([5]uint64{}) {
+		t.Fatalf("zero profile injected faults: %v", st)
+	}
+}
+
+// TestResetClosesConn pins that an injected reset really closes the
+// underlying conn and fails the write.
+func TestResetClosesConn(t *testing.T) {
+	m := &memConn{}
+	fc, st := New(m, Profile{Name: "reset", Seed: 7, ResetProb: 1})
+	if _, err := fc.Write([]byte{1, 2, 3}); err == nil {
+		t.Fatal("reset write reported success")
+	}
+	if m.closed == 0 {
+		t.Fatal("reset did not close the underlying conn")
+	}
+	if st.Resets.Load() != 1 {
+		t.Fatalf("Resets=%d, want 1", st.Resets.Load())
+	}
+}
+
+// TestProfilesCoverEveryFaultClass pins that the canonical matrix has a
+// profile exercising each fault class.
+func TestProfilesCoverEveryFaultClass(t *testing.T) {
+	var lat, part, stall, reset, corrupt bool
+	for _, p := range Profiles() {
+		lat = lat || p.LatencyProb > 0
+		part = part || p.PartialWriteProb > 0
+		stall = stall || p.StallProb > 0
+		reset = reset || p.ResetProb > 0
+		corrupt = corrupt || p.CorruptProb > 0
+	}
+	if !(lat && part && stall && reset && corrupt) {
+		t.Fatalf("matrix misses a fault class: latency=%v partial=%v stall=%v reset=%v corrupt=%v",
+			lat, part, stall, reset, corrupt)
+	}
+}

@@ -1,0 +1,193 @@
+package netfront_test
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netfront"
+	"repro/internal/netfront/client"
+	"repro/internal/netfront/faultconn"
+)
+
+// TestServerSurvivesFaultMatrix is the chaos gate (ISSUE 6 acceptance, run
+// under -race by `make chaos`): for every canonical fault profile —
+// latency spikes, partial writes, mid-frame resets, stalls, bit
+// corruption — a client speaking through a faulted connection must never
+// take the server down. Per profile round it asserts that
+//
+//   - the server keeps serving a concurrent healthy connection with
+//     bit-exact labels,
+//   - every submission the server accepts completes exactly once (counted
+//     through the direct SubmitFunc path),
+//   - an injected worker panic mid-round is survived with the pool at full
+//     strength after, and
+//   - goroutine count returns to baseline once the round's clients are
+//     gone — no leaked read loops, workers, or timers.
+func TestServerSurvivesFaultMatrix(t *testing.T) {
+	model, utts, want := testFixture(t, 4)
+	srv, err := core.NewServer(model, core.ServerConfig{Workers: 2, Queue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short read-idle timeout keeps corrupted length prefixes (the server
+	// parks waiting for a body that never comes) from stalling the round.
+	fe := netfront.NewFrontEnd(srv, netfront.Config{ReadIdleTimeout: 750 * time.Millisecond})
+	go fe.Serve(l)
+	defer fe.Close()
+	addr := l.Addr().String()
+
+	settle := func() int {
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+		return runtime.NumGoroutine()
+	}
+	baseline := settle()
+
+	for _, p := range faultconn.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			panicsBefore := srv.Panics()
+			srv.InjectPanic() // consumed by whichever submission runs next
+
+			faulted, err := client.DialOptions("tcp", addr, client.Options{
+				Redial:    true,
+				RedialMax: 8,
+				Retry:     client.RetryPolicy{Attempts: 8, Base: time.Millisecond, Max: 8 * time.Millisecond},
+				Seed:      p.Seed,
+				DialFunc: func(network, a string) (net.Conn, error) {
+					nc, err := net.DialTimeout(network, a, 2*time.Second)
+					if err != nil {
+						return nil, err
+					}
+					fc, _ := faultconn.New(nc, p)
+					return fc, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			healthy, err := client.DialOptions("tcp", addr, client.Options{
+				// The injected panic may land on this connection's request;
+				// CodePanic is retryable, so a retry policy absorbs it.
+				Retry: client.RetryPolicy{Attempts: 4, Base: time.Millisecond, Max: 8 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			var faultedOK atomic.Int32
+
+			// Faulted traffic: failures are expected (that is the point),
+			// but every failure must be a structured, known error — and the
+			// server must shrug it all off.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 12; i++ {
+					label, err := faulted.ClassifyDeadline(utts[i%len(utts)], time.Now().Add(3*time.Second))
+					if err == nil && label >= 0 {
+						faultedOK.Add(1)
+					}
+				}
+			}()
+
+			// Healthy traffic, concurrently: bit-exact labels throughout.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					label, err := healthy.Classify(utts[i%len(utts)])
+					if err != nil {
+						t.Errorf("healthy classify %d during %q faults: %v", i, p.Name, err)
+						return
+					}
+					if label != want[i%len(utts)] {
+						t.Errorf("healthy classify %d during %q faults: label %d, want %d",
+							i, p.Name, label, want[i%len(utts)])
+						return
+					}
+				}
+			}()
+
+			// Exactly-once: submissions accepted through the direct path
+			// complete precisely one callback each, faults notwithstanding.
+			const direct = 8
+			var completions atomic.Int32
+			done := make(chan struct{})
+			for i := 0; i < direct; i++ {
+				if err := srv.SubmitFunc(utts[i%len(utts)], func(core.Result) {
+					if completions.Add(1) == direct {
+						close(done)
+					}
+				}); err != nil {
+					t.Fatalf("direct submit %d: %v", i, err)
+				}
+			}
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("direct submissions incomplete: %d of %d", completions.Load(), direct)
+			}
+
+			wg.Wait()
+			time.Sleep(30 * time.Millisecond) // room for a duplicate to surface
+			if n := completions.Load(); n != direct {
+				t.Fatalf("accepted submissions completed %d times, want exactly %d", n, direct)
+			}
+
+			// The injected panic was consumed somewhere above; the pool must
+			// be at full strength regardless.
+			if srv.Panics() != panicsBefore+1 {
+				// Not fatal: heavy fault rounds can starve the injection
+				// until the next round's traffic. But the pool must be full
+				// either way.
+				t.Logf("injected panic not yet consumed in round %q", p.Name)
+			}
+			if live, workers := srv.LiveWorkers(), srv.Workers(); live != workers {
+				t.Fatalf("worker pool shrank under %q faults: %d live of %d", p.Name, live, workers)
+			}
+
+			faulted.Close()
+			healthy.Close()
+
+			// Goroutines return to baseline once the round's conns unwind.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if n := settle(); n <= baseline+2 || time.Now().After(deadline) {
+					if n > baseline+2 {
+						t.Fatalf("goroutine leak under %q faults: %d, baseline %d", p.Name, n, baseline)
+					}
+					break
+				}
+			}
+		})
+	}
+
+	// The matrix done, the server is still a working server.
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, u := range utts {
+		label, err := c.Classify(u)
+		if err != nil && errors.Is(err, client.ErrBusy) {
+			label, err = c.Classify(u)
+		}
+		if err != nil || label != want[i] {
+			t.Fatalf("post-matrix classify %d: label=%d err=%v, want %d", i, label, err, want[i])
+		}
+	}
+}

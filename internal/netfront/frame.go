@@ -6,7 +6,7 @@
 // and its license checks stay on the device, and this package is how
 // external load reaches them.
 //
-// # Wire protocol (version 1)
+// # Wire protocol (version 2)
 //
 // Every frame is a 5-byte header — uint32 little-endian body length, then
 // one type byte — followed by the body. Multi-byte integers are little
@@ -23,11 +23,21 @@
 //
 //	FrameResult       id | int32 label                 one-shot result
 //	FrameStreamResult id | uint64 hop | int32 label    one hop's result, in hop order
-//	FrameBusy         id                               queue full — retry later
-//	FrameError        id | utf-8 message               per-request/stream-control failure
+//	FrameBusy         id | uint32 retry-after-ms       queue full — retry after the hint
+//	FrameError        id | wire-error                  per-request/stream-control failure
 //	FrameBatchResult  id | n | n × int32 label         batch results, in order
 //	FrameStreamClosed id | uint64 hops                 stream flushed; total hops
-//	FrameStreamError  id | uint64 hop | utf-8 message  one hop's failure, keeping its place
+//	FrameStreamError  id | uint64 hop | wire-error     one hop's failure, keeping its place
+//
+// where wire-error (version 2, replacing the bare version-1 error string) is
+//
+//	uint16 code | uint32 retry-after-ms | utf-8 message
+//
+// code is one of the Code* constants; a nonzero retry-after-ms is the
+// server's hint that the failure is transient and worth retrying after that
+// many milliseconds (BUSY, queue-deadline shedding, a recovered worker
+// panic), while zero means retrying the same request is pointless (bad
+// request, draining, internal failure).
 //
 // Backpressure: a full core.Server queue surfaces as FrameBusy for one-shot
 // requests (the connection's read loop never blocks on them); stream chunks
@@ -35,6 +45,13 @@
 // batches block the submitting connection until fully enqueued. A stream's
 // results always arrive in hop order (core.Stream.OnResult sequencing);
 // results of different requests are unordered relative to each other.
+//
+// Resource caps (failure semantics, ARCHITECTURE.md): a frame body beyond
+// the receiver's MaxBody, a frame that does not parse, or an unknown frame
+// type closes the connection (a length-prefixed stream cannot resync);
+// exceeding the per-connection open-stream cap is a per-request
+// CodeLimitExceeded error, not a connection error; a connection idle beyond
+// the server's read-idle timeout is closed.
 package netfront
 
 import (
@@ -42,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Frame types. Requests have the high bit clear, responses set.
@@ -62,6 +80,69 @@ const (
 
 // HeaderLen is the fixed frame-header size: uint32 body length + type byte.
 const HeaderLen = 5
+
+// Wire error codes (the uint16 code field of FrameError/FrameStreamError).
+// Codes classify the failure so clients can build retry policy on structure
+// instead of parsing error strings.
+const (
+	// CodeInternal is an unclassified server-side failure; not retryable.
+	CodeInternal uint16 = 1
+	// CodeBusy reports queue backpressure (also carried implicitly by
+	// FrameBusy); retryable after the hint.
+	CodeBusy uint16 = 2
+	// CodeDeadlineExceeded reports that the request was shed because its
+	// queue deadline passed before a worker picked it up; retryable.
+	CodeDeadlineExceeded uint16 = 3
+	// CodeUnavailable reports a server that is closed or draining; retry
+	// against this connection is pointless (redial later).
+	CodeUnavailable uint16 = 4
+	// CodeBadRequest reports protocol misuse scoped to one request (chunk
+	// for an unopened stream, duplicate stream id); not retryable.
+	CodeBadRequest uint16 = 5
+	// CodeLimitExceeded reports a per-connection resource cap (open-stream
+	// budget); not retryable until the caller releases resources.
+	CodeLimitExceeded uint16 = 6
+	// CodePanic reports an inference that panicked and was recovered; the
+	// worker pool survived, so the request is retryable.
+	CodePanic uint16 = 7
+)
+
+// wireErrLen is the fixed prefix of a wire-error payload: uint16 code +
+// uint32 retry-after-ms, before the message bytes.
+const wireErrLen = 6
+
+// WireError is the decoded structured error payload of FrameError and
+// FrameStreamError (wire protocol v2).
+type WireError struct {
+	// Code classifies the failure (Code* constants).
+	Code uint16
+	// RetryAfter is the server's transient-failure hint: nonzero means the
+	// request may succeed if retried after this long, zero means retrying
+	// is pointless. Millisecond granularity on the wire.
+	RetryAfter time.Duration
+	// Msg is the human-readable detail, optional.
+	Msg string
+}
+
+// AppendWireError appends e's wire encoding: code, retry-after-ms, message.
+func AppendWireError(dst []byte, e WireError) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, e.Code)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.RetryAfter/time.Millisecond))
+	return append(dst, e.Msg...)
+}
+
+// DecodeWireError parses a wire-error payload (everything after the id —
+// and, for FrameStreamError, the hop — of the frame body).
+func DecodeWireError(b []byte) (WireError, error) {
+	if len(b) < wireErrLen {
+		return WireError{}, fmt.Errorf("%w: %d-byte wire error, want >= %d", ErrMalformedFrame, len(b), wireErrLen)
+	}
+	return WireError{
+		Code:       binary.LittleEndian.Uint16(b[0:2]),
+		RetryAfter: time.Duration(binary.LittleEndian.Uint32(b[2:6])) * time.Millisecond,
+		Msg:        string(b[6:]),
+	}, nil
+}
 
 // DefaultMaxBody caps a frame body when Config.MaxBody is unset: 4 MiB
 // holds a 64-utterance batch of one-second 16 kHz PCM16 audio with room to

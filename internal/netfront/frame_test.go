@@ -155,9 +155,10 @@ type capConn struct {
 
 func (c *capConn) Write(b []byte) (int, error) { return c.buf.Write(b) }
 
-// TestStreamErrorWireFormat pins FrameStreamError's encoding: a per-hop
-// failure must carry its stream id, its hop number, and the error text, so
-// the peer can tell exactly which slot of the hop sequence has no label.
+// TestStreamErrorWireFormat pins FrameStreamError's v2 encoding: a per-hop
+// failure must carry its stream id, its hop number, and a structured
+// wire-error (code, retry hint, message), so the peer can tell exactly
+// which slot of the hop sequence has no label and whether retrying helps.
 func TestStreamErrorWireFormat(t *testing.T) {
 	cc := &capConn{}
 	c := newConn(NewFrontEnd(nil, Config{}), cc)
@@ -167,7 +168,7 @@ func TestStreamErrorWireFormat(t *testing.T) {
 	if err != nil || typ != FrameStreamError {
 		t.Fatalf("typ=%#x err=%v", typ, err)
 	}
-	if len(body) < 12 {
+	if len(body) < 12+wireErrLen {
 		t.Fatalf("%d-byte body", len(body))
 	}
 	id, rest, err := DecodeID(body)
@@ -179,7 +180,33 @@ func TestStreamErrorWireFormat(t *testing.T) {
 	if hop != 42 {
 		t.Fatalf("hop=%d, want 42", hop)
 	}
-	if string(rest[8:]) != "hop went sideways" {
-		t.Fatalf("message %q", rest[8:])
+	we, err := DecodeWireError(rest[8:])
+	if err != nil {
+		t.Fatalf("DecodeWireError: %v", err)
+	}
+	if we.Code != CodeInternal {
+		t.Fatalf("code=%d, want CodeInternal", we.Code)
+	}
+	if we.Msg != "hop went sideways" {
+		t.Fatalf("message %q", we.Msg)
+	}
+}
+
+// TestWireErrorRoundTrip pins the wire-error payload encoding itself.
+func TestWireErrorRoundTrip(t *testing.T) {
+	in := WireError{Code: CodeDeadlineExceeded, RetryAfter: 7 * time.Millisecond, Msg: "shed"}
+	b := AppendWireError(nil, in)
+	if len(b) != wireErrLen+len(in.Msg) {
+		t.Fatalf("%d bytes, want %d", len(b), wireErrLen+len(in.Msg))
+	}
+	out, err := DecodeWireError(b)
+	if err != nil {
+		t.Fatalf("DecodeWireError: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v, want %+v", out, in)
+	}
+	if _, err := DecodeWireError(b[:wireErrLen-1]); err == nil {
+		t.Fatal("truncated wire error decoded without error")
 	}
 }

@@ -1,12 +1,14 @@
 package netfront_test
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
@@ -442,5 +444,297 @@ func TestNetStreamErrors(t *testing.T) {
 	label, err := c.Classify(utts[0])
 	if err != nil || label != want[0] {
 		t.Fatalf("one-shot after stream close: label %d err %v, want %d", label, err, want[0])
+	}
+}
+
+// rawConn is a test helper speaking raw frames at a front end — the
+// hostile-input tests need byte-level control the client never exposes.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+}
+
+func rawDial(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawConn{t: t, nc: nc}
+}
+
+func (r *rawConn) write(typ byte, body []byte) {
+	r.t.Helper()
+	out := netfront.AppendFrameHeader(nil, typ, len(body))
+	if _, err := r.nc.Write(append(out, body...)); err != nil {
+		r.t.Fatalf("raw write: %v", err)
+	}
+}
+
+// read returns the next frame, or an error once the server closed the conn.
+func (r *rawConn) read() (byte, []byte, error) {
+	r.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var hdr [netfront.HeaderLen]byte
+	return netfront.ReadFrame(r.nc, &hdr, nil, netfront.DefaultMaxBody)
+}
+
+func le32(vs ...uint32) []byte {
+	var b []byte
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// TestHostileFrames drives byte-level hostile inputs beyond the fuzz
+// corpus at a live front end, table-driven: inputs that break framing must
+// close the connection (no resync in a length-prefixed stream), while
+// protocol misuse scoped to one request must answer a structured
+// CodeBadRequest error and leave the connection serving.
+func TestHostileFrames(t *testing.T) {
+	model, utts, want := testFixture(t, 1)
+	addr := startFrontEnd(t, model, core.ServerConfig{Workers: 1}, "tcp")
+	cases := []struct {
+		name string
+		typ  byte
+		body []byte
+		// wantClose: the conn must die without a reply. Otherwise the reply
+		// must be FrameError carrying wantCode.
+		wantClose bool
+		wantCode  uint16
+	}{
+		{"oversize declared batch count", netfront.FrameBatch,
+			le32(1, 1<<30), true, 0},
+		{"batch count beyond body", netfront.FrameBatch,
+			le32(1, 3, 0), true, 0},
+		{"utterance with odd sample payload", netfront.FrameUtterance,
+			append(le32(1), 0xAB), true, 0},
+		{"unknown frame type", 0x7F, le32(1), true, 0},
+		{"truncated id", netfront.FrameUtterance, []byte{1, 2}, true, 0},
+		{"chunk for unopened stream", netfront.FrameStreamChunk,
+			append(le32(99), netfront.AppendSamples(nil, utts[0][:4])...), false, netfront.CodeBadRequest},
+		{"close of unopened stream", netfront.FrameStreamClose,
+			le32(98), false, netfront.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rawDial(t, addr)
+			r.write(tc.typ, tc.body)
+			typ, body, err := r.read()
+			if tc.wantClose {
+				if err == nil {
+					t.Fatalf("server replied %#x to a framing-level attack, want closed conn", typ)
+				}
+				return
+			}
+			if err != nil || typ != netfront.FrameError {
+				t.Fatalf("typ=%#x err=%v, want FrameError", typ, err)
+			}
+			we, err := netfront.DecodeWireError(body[4:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if we.Code != tc.wantCode {
+				t.Fatalf("code %d, want %d", we.Code, tc.wantCode)
+			}
+			// Request-scoped failure: the same conn still classifies.
+			r.write(netfront.FrameUtterance, append(le32(5), netfront.AppendSamples(nil, utts[0])...))
+			typ, body, err = r.read()
+			if err != nil || typ != netfront.FrameResult {
+				t.Fatalf("conn dead after request-scoped error: typ=%#x err=%v", typ, err)
+			}
+			if id := binary.LittleEndian.Uint32(body[0:4]); id != 5 {
+				t.Fatalf("reply id %d, want 5", id)
+			}
+			if label := int32(binary.LittleEndian.Uint32(body[4:8])); int(label) != want[0] {
+				t.Fatalf("label %d, want %d", label, want[0])
+			}
+		})
+	}
+}
+
+// TestStreamChunkAfterClosed pins the stream lifecycle edge: once the
+// server has acknowledged FrameStreamClose with FrameStreamClosed, the id
+// is dead — a further chunk on it is protocol misuse answered with
+// CodeBadRequest, not a crash and not a silent re-open.
+func TestStreamChunkAfterClosed(t *testing.T) {
+	model, utts, _ := testFixture(t, 1)
+	addr := startFrontEnd(t, model, core.ServerConfig{Workers: 1}, "tcp")
+	r := rawDial(t, addr)
+	r.write(netfront.FrameStreamOpen, le32(4))
+	r.write(netfront.FrameStreamClose, le32(4))
+	typ, _, err := r.read()
+	if err != nil || typ != netfront.FrameStreamClosed {
+		t.Fatalf("typ=%#x err=%v, want FrameStreamClosed", typ, err)
+	}
+	r.write(netfront.FrameStreamChunk, append(le32(4), netfront.AppendSamples(nil, utts[0][:8])...))
+	typ, body, err := r.read()
+	if err != nil || typ != netfront.FrameError {
+		t.Fatalf("typ=%#x err=%v, want FrameError", typ, err)
+	}
+	we, err := netfront.DecodeWireError(body[4:])
+	if err != nil || we.Code != netfront.CodeBadRequest {
+		t.Fatalf("code=%d err=%v, want CodeBadRequest", we.Code, err)
+	}
+}
+
+// TestInterleavedIDsOneConn pins response routing: requests with ids
+// written out of order on one connection must each get their own reply,
+// matched by id, regardless of arrival order.
+func TestInterleavedIDsOneConn(t *testing.T) {
+	model, utts, want := testFixture(t, 3)
+	addr := startFrontEnd(t, model, core.ServerConfig{Workers: 2, Queue: 8}, "tcp")
+	r := rawDial(t, addr)
+	ids := []uint32{7, 2, 9}
+	for i, id := range ids {
+		r.write(netfront.FrameUtterance, append(le32(id), netfront.AppendSamples(nil, utts[i])...))
+	}
+	got := map[uint32]int32{}
+	for range ids {
+		typ, body, err := r.read()
+		if err != nil || typ != netfront.FrameResult {
+			t.Fatalf("typ=%#x err=%v", typ, err)
+		}
+		got[binary.LittleEndian.Uint32(body[0:4])] = int32(binary.LittleEndian.Uint32(body[4:8]))
+	}
+	for i, id := range ids {
+		label, ok := got[id]
+		if !ok {
+			t.Fatalf("no reply for id %d", id)
+		}
+		if int(label) != want[i] {
+			t.Fatalf("id %d: label %d, want %d", id, label, want[i])
+		}
+	}
+}
+
+// TestNetMaxStreams pins the per-connection stream cap: opens beyond
+// Config.MaxStreams answer CodeLimitExceeded, and closing a stream frees
+// its slot.
+func TestNetMaxStreams(t *testing.T) {
+	model, _, _ := testFixture(t, 1)
+	srv, err := core.NewServer(model, core.ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{MaxStreams: 2})
+	go fe.Serve(l)
+	defer fe.Close()
+	r := rawDial(t, l.Addr().String())
+	r.write(netfront.FrameStreamOpen, le32(1))
+	r.write(netfront.FrameStreamOpen, le32(2))
+	r.write(netfront.FrameStreamOpen, le32(3))
+	typ, body, err := r.read()
+	if err != nil || typ != netfront.FrameError {
+		t.Fatalf("typ=%#x err=%v, want FrameError for the over-cap open", typ, err)
+	}
+	if id := binary.LittleEndian.Uint32(body[0:4]); id != 3 {
+		t.Fatalf("error for id %d, want 3", id)
+	}
+	we, err := netfront.DecodeWireError(body[4:])
+	if err != nil || we.Code != netfront.CodeLimitExceeded {
+		t.Fatalf("code=%d err=%v, want CodeLimitExceeded", we.Code, err)
+	}
+	// Closing one stream frees its slot.
+	r.write(netfront.FrameStreamClose, le32(1))
+	typ, _, err = r.read()
+	if err != nil || typ != netfront.FrameStreamClosed {
+		t.Fatalf("typ=%#x err=%v, want FrameStreamClosed", typ, err)
+	}
+	r.write(netfront.FrameStreamOpen, le32(4))
+	r.write(netfront.FrameStreamClose, le32(4))
+	typ, body, err = r.read()
+	if err != nil || typ != netfront.FrameStreamClosed || binary.LittleEndian.Uint32(body[0:4]) != 4 {
+		t.Fatalf("typ=%#x err=%v, want stream 4 accepted after a slot freed", typ, err)
+	}
+}
+
+// TestShutdownDrains pins the graceful-drain contract: Shutdown stops the
+// accept loop, waits for quiet connections, and returns within the grace
+// period; a busy-forever connection is force-closed with ErrDrainTimeout.
+func TestShutdownDrains(t *testing.T) {
+	model, utts, want := testFixture(t, 1)
+	srv, err := core.NewServer(model, core.ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- fe.Serve(l) }()
+	c, err := client.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if label, err := c.Classify(utts[0]); err != nil || label != want[0] {
+		t.Fatalf("pre-drain classify: label=%d err=%v", label, err)
+	}
+	if err := fe.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown of an idle front end: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, netfront.ErrFrontEndClosed) {
+			t.Fatalf("Serve returned %v, want ErrFrontEndClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	// New dials are refused once draining.
+	if nc, err := net.Dial("tcp", l.Addr().String()); err == nil {
+		// The TCP connect may succeed before the closed listener is
+		// observed; the conn must then be unserved (EOF on read).
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		var b [1]byte
+		if _, err := nc.Read(b[:]); err == nil {
+			t.Fatal("post-drain connection was served")
+		}
+		nc.Close()
+	}
+}
+
+// TestShutdownForceClosesStuckConn pins the other half of the contract: a
+// connection that never goes quiet is force-closed when the grace expires
+// and Shutdown reports ErrDrainTimeout.
+func TestShutdownForceClosesStuckConn(t *testing.T) {
+	model, _, _ := testFixture(t, 1)
+	srv, err := core.NewServer(model, core.ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+	go fe.Serve(l)
+	r := rawDial(t, l.Addr().String())
+	// An open stream keeps the conn non-quiet for the whole grace period.
+	r.write(netfront.FrameStreamOpen, le32(1))
+	// Give the server a moment to register the stream.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	err = fe.Shutdown(200 * time.Millisecond)
+	if !errors.Is(err, netfront.ErrDrainTimeout) {
+		t.Fatalf("Shutdown = %v, want ErrDrainTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v past its 200ms grace", elapsed)
+	}
+	// The stuck conn was force-closed.
+	if _, _, err := r.read(); err == nil {
+		t.Fatal("stuck connection still served after forced drain")
 	}
 }

@@ -22,11 +22,47 @@ type Config struct {
 	// in socket writes until the whole pool wedges — on timeout the
 	// connection is closed instead and the slow peer pays, not the pool.
 	WriteTimeout time.Duration
+	// ReadIdleTimeout bounds how long a connection may go without
+	// completing a frame before it is closed: the read-side twin of
+	// WriteTimeout, covering both silent peers (idle-connection reaping)
+	// and peers that trickle a frame byte-by-byte (a slowloris cannot pin
+	// the handler goroutine forever). 0 means DefaultReadIdleTimeout;
+	// negative disables the deadline.
+	ReadIdleTimeout time.Duration
+	// MaxStreams caps concurrently open streams per connection, so one
+	// peer cannot exhaust the box with per-stream state (each open stream
+	// pins a dsp.Streamer plus a fingerprint-buffer pool). Opening beyond
+	// the cap is a per-request CodeLimitExceeded error, not a connection
+	// error. <= 0 means DefaultMaxStreams.
+	MaxStreams int
+	// QueueDeadline, when positive, is applied to every one-shot request
+	// as a core queue deadline: a request still queued after this long is
+	// shed with CodeDeadlineExceeded instead of occupying a worker — the
+	// load-shedding face of backpressure for latency-sensitive callers.
+	QueueDeadline time.Duration
+	// BusyRetryAfter is the retry hint carried by BUSY and other transient
+	// failures; <= 0 means DefaultBusyRetryAfter.
+	BusyRetryAfter time.Duration
 }
 
 // DefaultWriteTimeout is the response-write bound when Config.WriteTimeout
 // is unset: generous for any live peer, finite for a stalled one.
 const DefaultWriteTimeout = 30 * time.Second
+
+// DefaultReadIdleTimeout is the between-frame read bound when
+// Config.ReadIdleTimeout is unset: generous for any live client (streams
+// send continuously, one-shot callers several orders of magnitude faster),
+// finite for an abandoned socket.
+const DefaultReadIdleTimeout = 5 * time.Minute
+
+// DefaultMaxStreams is the per-connection open-stream cap when
+// Config.MaxStreams is unset.
+const DefaultMaxStreams = 64
+
+// DefaultBusyRetryAfter is the BUSY retry hint when Config.BusyRetryAfter
+// is unset: long enough for a queue slot to open at typical service rates,
+// short enough not to idle a loaded client.
+const DefaultBusyRetryAfter = 5 * time.Millisecond
 
 // FrontEnd serves the netfront wire protocol over any net.Listener,
 // multiplexing every connection onto one shared core.Server. Construct with
@@ -36,6 +72,8 @@ const DefaultWriteTimeout = 30 * time.Second
 type FrontEnd struct {
 	srv *core.Server
 	cfg Config
+
+	draining atomic.Bool // Shutdown in progress: stop accepting new streams
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -51,6 +89,15 @@ func NewFrontEnd(srv *core.Server, cfg Config) *FrontEnd {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.ReadIdleTimeout == 0 {
+		cfg.ReadIdleTimeout = DefaultReadIdleTimeout
+	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = DefaultMaxStreams
+	}
+	if cfg.BusyRetryAfter <= 0 {
+		cfg.BusyRetryAfter = DefaultBusyRetryAfter
 	}
 	return &FrontEnd{
 		srv:   srv,
@@ -90,7 +137,7 @@ func (f *FrontEnd) Serve(l net.Listener) error {
 			f.mu.Lock()
 			closed := f.closed
 			f.mu.Unlock()
-			if closed {
+			if closed || f.draining.Load() {
 				return ErrFrontEndClosed
 			}
 			// Transient accept failures (EMFILE under connection load,
@@ -152,6 +199,64 @@ func (f *FrontEnd) Close() error {
 	return nil
 }
 
+// ErrDrainTimeout is returned by Shutdown when the grace period expired
+// with connections still busy; those connections were force-closed.
+var ErrDrainTimeout = errors.New("netfront: drain deadline exceeded")
+
+// Shutdown is the graceful form of Close: it stops accepting new
+// connections and new stream opens immediately, then lets existing
+// connections finish what they are doing — in-flight one-shots and batches
+// complete, open streams keep classifying until their peers close them —
+// closing each connection as it goes quiet. Connections still busy when the
+// grace period expires are force-closed and Shutdown returns
+// ErrDrainTimeout; a clean drain returns nil. Either way, when Shutdown
+// returns every connection handler has exited and later Serve calls return
+// ErrFrontEndClosed. The core.Server is left to its owner (close it after
+// Shutdown so drained submissions complete first). Concurrent with and
+// idempotent against Close.
+func (f *FrontEnd) Shutdown(grace time.Duration) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.draining.Store(true)
+	for l := range f.lns {
+		l.Close()
+	}
+	f.mu.Unlock()
+
+	deadline := time.Now().Add(grace)
+	drained := false
+	for {
+		f.mu.Lock()
+		for c := range f.conns {
+			if c.quiet() {
+				// Closing the socket makes the conn's read loop exit and
+				// deregister itself. A request racing this close sees a
+				// dropped connection and must retry elsewhere — the
+				// documented drain contract.
+				c.nc.Close()
+			}
+		}
+		n := len(f.conns)
+		f.mu.Unlock()
+		if n == 0 {
+			drained = true
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	f.Close()
+	if !drained {
+		return ErrDrainTimeout
+	}
+	return nil
+}
+
 // reqCtx is the pooled per-request state of the one-shot path: the sample
 // buffer handed to the core server and the pre-bound completion callback
 // that writes the response. Pooling both (and binding fn exactly once, at
@@ -165,13 +270,16 @@ type reqCtx struct {
 }
 
 // complete is the reqCtx's core.Server callback: write the response, then
-// recycle the context.
+// recycle the context. The in-flight decrement balances handleUtterance's
+// increment — it must run exactly once per accepted submission, which the
+// core server's exactly-once completion contract guarantees.
 func (rc *reqCtx) complete(r core.Result) {
 	if r.Err != nil {
 		rc.c.writeError(rc.reqID, r.Err)
 	} else {
 		rc.c.writeResult(FrameResult, rc.reqID, int32(r.Label))
 	}
+	rc.c.inflight.Add(-1)
 	rc.c.putReq(rc)
 }
 
@@ -198,8 +306,22 @@ type conn struct {
 	streams map[uint32]*connStream
 	reqFree chan *reqCtx
 
+	// Drain accounting (Shutdown): inflight counts accepted one-shot
+	// submissions and in-progress batches whose responses have not been
+	// written; nstreams mirrors len(streams) for goroutine-safe reads.
+	inflight atomic.Int64
+	nstreams atomic.Int32
+
 	wmu  sync.Mutex
 	wbuf []byte
+}
+
+// quiet reports whether the connection has no in-flight work and no open
+// streams — the drain condition. Approximate by construction: a frame
+// arriving between the check and the close loses the race and sees a
+// dropped connection, which drain semantics allow.
+func (c *conn) quiet() bool {
+	return c.inflight.Load() == 0 && c.nstreams.Load() == 0
 }
 
 // reqPoolDepth bounds how many idle one-shot request contexts a connection
@@ -245,6 +367,12 @@ func (c *conn) putReq(rc *reqCtx) {
 func (c *conn) serve() {
 	defer c.nc.Close()
 	for {
+		// The idle deadline covers the whole frame read: a silent peer is
+		// reaped, and a peer trickling one frame byte-by-byte cannot hold
+		// the handler past the deadline either.
+		if d := c.fe.cfg.ReadIdleTimeout; d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(d))
+		}
 		typ, body, err := ReadFrame(c.nc, &c.hdr, c.body, c.fe.cfg.MaxBody)
 		c.body = body[:cap(body)]
 		if err != nil {
@@ -281,8 +409,11 @@ func (c *conn) serve() {
 }
 
 // handleUtterance submits a one-shot classification. A full queue is
-// reported as FrameBusy instead of blocking the read loop — the wire face
-// of core.ErrQueueFull backpressure.
+// reported as FrameBusy (with the retry-after hint) instead of blocking the
+// read loop — the wire face of core.ErrQueueFull backpressure. When
+// Config.QueueDeadline is set the submission carries it as a core queue
+// deadline, so requests a loaded server cannot start in time are shed with
+// CodeDeadlineExceeded instead of occupying a worker late.
 func (c *conn) handleUtterance(body []byte) bool {
 	reqID, rest, err := DecodeID(body)
 	if err != nil {
@@ -294,29 +425,45 @@ func (c *conn) handleUtterance(body []byte) bool {
 		c.putReq(rc)
 		return false
 	}
-	switch err := c.fe.srv.TrySubmitFunc(rc.buf, rc.fn); {
+	var deadline time.Time
+	if d := c.fe.cfg.QueueDeadline; d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	c.inflight.Add(1)
+	switch err := c.fe.srv.TrySubmitFuncDeadline(rc.buf, deadline, rc.fn); {
 	case err == nil:
 		return true
 	case errors.Is(err, core.ErrQueueFull):
-		c.writeID(FrameBusy, reqID)
+		c.inflight.Add(-1)
+		c.writeBusy(reqID)
 		c.putReq(rc)
 		return true
 	default:
+		c.inflight.Add(-1)
 		c.writeError(reqID, err)
 		c.putReq(rc)
 		return true
 	}
 }
 
-// handleStreamOpen opens a stream under the peer's id. Reusing a live id is
-// a per-request error, not a connection error.
+// handleStreamOpen opens a stream under the peer's id. Reusing a live id,
+// exceeding the per-connection stream cap, and opening during drain are
+// per-request errors, not connection errors.
 func (c *conn) handleStreamOpen(body []byte) bool {
 	id, rest, err := DecodeID(body)
 	if err != nil || len(rest) != 0 {
 		return false
 	}
 	if _, live := c.streams[id]; live {
-		c.writeError(id, errors.New("netfront: stream id already open"))
+		c.writeErrorCode(id, CodeBadRequest, 0, "netfront: stream id already open")
+		return true
+	}
+	if len(c.streams) >= c.fe.cfg.MaxStreams {
+		c.writeErrorCode(id, CodeLimitExceeded, 0, "netfront: per-connection stream limit reached")
+		return true
+	}
+	if c.fe.draining.Load() {
+		c.writeErrorCode(id, CodeUnavailable, 0, "netfront: server draining")
 		return true
 	}
 	st, err := c.fe.srv.OpenStream()
@@ -338,6 +485,7 @@ func (c *conn) handleStreamOpen(body []byte) bool {
 		}
 	})
 	c.streams[id] = cs
+	c.nstreams.Store(int32(len(c.streams)))
 	return true
 }
 
@@ -352,7 +500,7 @@ func (c *conn) handleStreamChunk(body []byte) bool {
 	}
 	cs, ok := c.streams[id]
 	if !ok {
-		c.writeError(id, errors.New("netfront: chunk for unopened stream"))
+		c.writeErrorCode(id, CodeBadRequest, 0, "netfront: chunk for unopened stream")
 		return true
 	}
 	if cs.buf, err = DecodeSamples(cs.buf, rest); err != nil {
@@ -377,13 +525,14 @@ func (c *conn) handleStreamClose(body []byte) bool {
 	}
 	cs, ok := c.streams[id]
 	if !ok {
-		c.writeError(id, errors.New("netfront: close for unopened stream"))
+		c.writeErrorCode(id, CodeBadRequest, 0, "netfront: close for unopened stream")
 		return true
 	}
 	for cs.delivered.Load() < cs.submitted {
 		<-cs.flush
 	}
 	delete(c.streams, id)
+	c.nstreams.Store(int32(len(c.streams)))
 	c.writeResult64(FrameStreamClosed, id, cs.submitted)
 	return true
 }
@@ -396,8 +545,10 @@ func (c *conn) handleBatch(body []byte) bool {
 	if err != nil {
 		return false
 	}
+	c.inflight.Add(1)
 	results := c.fe.srv.RunBatch(utts)
 	c.writeBatchResult(reqID, results)
+	c.inflight.Add(-1)
 	return true
 }
 
@@ -421,11 +572,12 @@ func (c *conn) writeFrame(typ byte, payload []byte) {
 	c.wmu.Unlock()
 }
 
-// writeID sends an id-only frame (FrameBusy).
-func (c *conn) writeID(typ byte, id uint32) {
-	var p [4]byte
+// writeBusy sends a FrameBusy carrying the configured retry-after hint.
+func (c *conn) writeBusy(id uint32) {
+	var p [8]byte
 	binary.LittleEndian.PutUint32(p[0:4], id)
-	c.writeFrame(typ, p[:])
+	binary.LittleEndian.PutUint32(p[4:8], uint32(c.fe.cfg.BusyRetryAfter/time.Millisecond))
+	c.writeFrame(FrameBusy, p[:])
 }
 
 // writeResult sends an id + int32 frame (FrameResult).
@@ -453,27 +605,52 @@ func (c *conn) writeStreamResult(id uint32, hop uint64, label int32) {
 	c.writeFrame(FrameStreamResult, p[:])
 }
 
-// writeError sends a FrameError carrying err's message.
+// codeFor maps a core-layer error onto its wire code and retry hint:
+// transient failures (backpressure, shedding, a recovered panic) carry the
+// configured retry-after so clients back off instead of hammering; terminal
+// ones carry zero.
+func (c *conn) codeFor(err error) (code uint16, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, core.ErrQueueFull):
+		return CodeBusy, c.fe.cfg.BusyRetryAfter
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		return CodeDeadlineExceeded, c.fe.cfg.BusyRetryAfter
+	case errors.Is(err, core.ErrWorkerPanic):
+		return CodePanic, c.fe.cfg.BusyRetryAfter
+	case errors.Is(err, core.ErrServerClosed):
+		return CodeUnavailable, 0
+	default:
+		return CodeInternal, 0
+	}
+}
+
+// writeError sends a FrameError for err, classified via codeFor.
 func (c *conn) writeError(id uint32, err error) {
-	msg := err.Error()
+	code, retry := c.codeFor(err)
+	c.writeErrorCode(id, code, retry, err.Error())
+}
+
+// writeErrorCode sends a FrameError with an explicit structured payload.
+func (c *conn) writeErrorCode(id uint32, code uint16, retryAfter time.Duration, msg string) {
 	c.wmu.Lock()
-	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameError, 4+len(msg))
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameError, 4+wireErrLen+len(msg))
 	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, id)
-	c.wbuf = append(c.wbuf, msg...)
+	c.wbuf = AppendWireError(c.wbuf, WireError{Code: code, RetryAfter: retryAfter, Msg: msg})
 	c.send()
 	c.wmu.Unlock()
 }
 
 // writeStreamError sends a FrameStreamError: a per-hop failure that keeps
 // its hop number, so the peer can tell exactly which result is missing
-// from the hop sequence.
+// from the hop sequence. The payload is structured like FrameError.
 func (c *conn) writeStreamError(id uint32, hop uint64, err error) {
+	code, retry := c.codeFor(err)
 	msg := err.Error()
 	c.wmu.Lock()
-	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameStreamError, 12+len(msg))
+	c.wbuf = AppendFrameHeader(c.wbuf[:0], FrameStreamError, 12+wireErrLen+len(msg))
 	c.wbuf = binary.LittleEndian.AppendUint32(c.wbuf, id)
 	c.wbuf = binary.LittleEndian.AppendUint64(c.wbuf, hop)
-	c.wbuf = append(c.wbuf, msg...)
+	c.wbuf = AppendWireError(c.wbuf, WireError{Code: code, RetryAfter: retry, Msg: msg})
 	c.send()
 	c.wmu.Unlock()
 }
