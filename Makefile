@@ -4,7 +4,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD)
 
-.PHONY: all help build test vet fmt-check docs-check examples-check bench bench-save bench-cmp bench-gate bench-gate-smoke chaos ci
+.PHONY: all help build test vet fmt-check docs-check examples-check bce-check bench bench-save bench-cmp bench-gate bench-gate-smoke chaos ci
 
 all: build
 
@@ -15,6 +15,7 @@ help:
 	@echo "make fmt-check   fail if gofmt would change anything"
 	@echo "make docs-check  fail on undocumented exported identifiers (cmd/docscheck)"
 	@echo "make examples-check  build + vet the examples so they cannot rot silently"
+	@echo "make bce-check   fail if bounds checks reappear in the kernel hot loops (bce_clean.txt)"
 	@echo "make bench       run hot-path + evaluation benchmarks (-benchmem)"
 	@echo "make bench-save  run benchmarks and save BENCH_<rev>.json (perf trajectory)"
 	@echo "make bench-cmp   diff two saved runs: make bench-cmp BASE=BENCH_a.json HEAD=BENCH_b.json"
@@ -50,6 +51,13 @@ examples-check:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 
+# Bounds-check-elimination contract: the kernel inner loops listed in
+# bce_clean.txt must compile with zero surviving bounds checks
+# (cmd/bcecheck compiles internal/tflm + internal/dsp with
+# -gcflags=-d=ssa/check_bce and maps the compiler's findings to functions).
+bce-check:
+	$(GO) run ./cmd/bcecheck
+
 # Hot-path and evaluation benchmarks with allocation reporting.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -71,10 +79,12 @@ bench-cmp:
 # with GATE_TOL=10.
 GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput
 GATE_TOL ?= 25
-# The inner inference hot loop gets a tighter leash: the PR-5-era 15%
+# The inference and frontend hot loops get a tighter leash: the PR-5-era 15%
 # InterpreterInvoke regression class must fail the gate, not slide under the
-# generous noise tolerance above.
-GATE_TIGHT_BENCHES ?= BenchmarkInterpreterInvoke
+# generous noise tolerance above. InvokeBatch and StreamingExtract joined
+# after the kernel-tier-2 pass (cache-blocked batching, fused frontend) so
+# those wins cannot silently erode either.
+GATE_TIGHT_BENCHES ?= BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract
 GATE_TIGHT_TOL ?= 12
 GATE_BENCHTIME ?=
 bench-gate:
@@ -103,5 +113,5 @@ chaos:
 	$(GO) test -race -count=2 -run 'TestServerSurvivesFaultMatrix' ./internal/netfront/
 	$(GO) test -race -count=2 ./internal/netfront/faultconn/
 
-ci: build vet fmt-check docs-check examples-check test chaos bench-gate-smoke
+ci: build vet fmt-check docs-check examples-check bce-check test chaos bench-gate-smoke
 	@echo "ci: OK"

@@ -477,11 +477,14 @@ func BenchmarkInvokeBatch(b *testing.B) {
 }
 
 // BenchmarkGEMMMicroKernel isolates the SWAR int8 GEMM inner kernel on the
-// two hot shapes of the paper model — the conv patch GEMM (550 rows × 8
-// filters × depth 80) and the FC sweep (1 × 12 × 4400) — reporting MAC
-// throughput. This is the micro-benchmark to rerun before retuning the
-// kernel (ROADMAP rule); the shapes also stress both the two-row main loop
-// and the single-row tail.
+// hot shapes of the paper model — the conv patch GEMM (550 rows × 8 filters
+// × depth 80), the serial FC sweep (1 × 12 × 4400), and the batched FC
+// sweep (16 × 12 × 4400, the shape cache-blocked InvokeBatch feeds the
+// kernel) — reporting MAC throughput. This is the micro-benchmark to rerun
+// before retuning the kernel (ROADMAP rule), and the gated baseline any
+// lane-packing experiment (e.g. the rejected 4-depth/16-bit layout, see
+// swar.go) must beat. The shapes also stress the deep-K single-row sweep
+// and the panel-quad requantization tail.
 func BenchmarkGEMMMicroKernel(b *testing.B) {
 	for _, shape := range []struct {
 		name    string
@@ -489,6 +492,7 @@ func BenchmarkGEMMMicroKernel(b *testing.B) {
 	}{
 		{"conv_550x8x80", 550, 8, 80},
 		{"fc_1x12x4400", 1, 12, 4400},
+		{"fc_16x12x4400", 16, 12, 4400},
 	} {
 		b.Run(shape.name, func(b *testing.B) {
 			gb, err := tflm.NewGEMMBench(shape.m, shape.n, shape.k, 42)

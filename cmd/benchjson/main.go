@@ -9,12 +9,18 @@
 //
 // The diff lists every benchmark present in both files with the ns/op
 // delta; changes beyond the tolerance (-tol, default ±10%) are flagged.
+// Custom ReportMetric units ride along as indented sub-rows: units ending
+// in "/op" (sim-ms/op, ...) regress upward, units containing "/s" (utt/s,
+// Gmac/s, MB/s, ...) regress downward, and unitless counts (shards, ...)
+// are informational only. The allocator metrics B/op and allocs/op are
+// deliberately omitted — they are tier-1 test material, not trajectory.
 // Benchmarks appearing on only one side are reported as added/removed.
 // Plain -cmp exits 0 regardless of deltas — it informs, the reader judges.
 // With -gate REGEXP (the `make bench-gate` mode) the comparison instead
-// exits 1 when any benchmark matching the pattern is slower than the
-// baseline by more than the tolerance, turning the committed BENCH_*.json
-// snapshot into a regression gate for the hot paths.
+// exits 1 when any benchmark (or custom metric of a benchmark) matching the
+// pattern is slower than the baseline by more than the tolerance, turning
+// the committed BENCH_*.json snapshot into a regression gate for the hot
+// paths.
 package main
 
 import (
@@ -146,6 +152,26 @@ func Compare(w io.Writer, oldF, newF *File, tol float64, gate *regexp.Regexp) []
 			}
 		}
 		fmt.Fprintf(w, "%-55s %14.0f %14.0f %+8.1f%%%s\n", name, ob.NsPerOp, nb.NsPerOp, delta, flag)
+		// Custom metric sub-rows (sim-ms/op, utt/s, Gmac/s, ...): same
+		// tolerance, direction inferred from the unit.
+		for _, unit := range metricUnits(ob, nb) {
+			ov, nv := ob.Metrics[unit], nb.Metrics[unit]
+			mdelta := 0.0
+			if ov != 0 {
+				mdelta = (nv - ov) / ov * 100
+			}
+			worse, better := metricDirection(unit, mdelta, tol)
+			mflag := ""
+			if better {
+				mflag = "  (faster)"
+			} else if worse {
+				mflag = "  (SLOWER)"
+				if gate != nil && gate.MatchString(name) {
+					regressed = append(regressed, name+" ["+unit+"]")
+				}
+			}
+			fmt.Fprintf(w, "%-55s %14.4g %14.4g %+8.1f%%%s\n", "  > "+unit, ov, nv, mdelta, mflag)
+		}
 	}
 	for _, b := range oldF.Benchmarks {
 		if _, ok := newBy[b.Name]; !ok {
@@ -159,6 +185,37 @@ func Compare(w io.Writer, oldF, newF *File, tol float64, gate *regexp.Regexp) []
 		}
 	}
 	return regressed
+}
+
+// metricUnits returns the custom metric units shared by both sides of a
+// comparison, sorted, minus the allocator metrics (B/op, allocs/op — memory
+// behavior is pinned by tests, not by the perf trajectory).
+func metricUnits(ob, nb Benchmark) []string {
+	var units []string
+	for unit := range nb.Metrics {
+		if unit == "B/op" || unit == "allocs/op" {
+			continue
+		}
+		if _, ok := ob.Metrics[unit]; ok {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
+}
+
+// metricDirection classifies a metric delta: "/op" units are costs (up is
+// worse), "/s" units are rates (down is worse), anything else — unitless
+// counts like shards — is informational and never flagged.
+func metricDirection(unit string, delta, tol float64) (worse, better bool) {
+	switch {
+	case strings.HasSuffix(unit, "/op"):
+		return delta >= tol, delta <= -tol
+	case strings.Contains(unit, "/s"):
+		return delta <= -tol, delta >= tol
+	default:
+		return false, false
+	}
 }
 
 func main() {

@@ -112,6 +112,65 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// TestCompareMetrics: custom metrics ride the comparison with the direction
+// inferred from their unit — "/op" units are costs, "/s" units are rates,
+// unitless counts are informational, and the allocator metrics are omitted.
+func TestCompareMetrics(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{{
+		Name: "BenchmarkHot-4", NsPerOp: 1000,
+		Metrics: map[string]float64{
+			"sim-ms/op": 4.0, "Gmac/s": 2.8, "shards": 4, "B/op": 64, "allocs/op": 2,
+		},
+	}}}
+	newF := &File{Benchmarks: []Benchmark{{
+		Name: "BenchmarkHot-4", NsPerOp: 1000,
+		Metrics: map[string]float64{
+			"sim-ms/op": 5.0, "Gmac/s": 2.0, "shards": 2, "B/op": 4096, "allocs/op": 9,
+		},
+	}}}
+	var sb strings.Builder
+	regressed := Compare(&sb, oldF, newF, 10, regexp.MustCompile(`BenchmarkHot`))
+	out := sb.String()
+	// sim-ms/op +25% (cost up) and Gmac/s −29% (rate down) both gate; the
+	// shards count halved but is unitless, so it prints without flagging.
+	want := []string{"BenchmarkHot-4 [Gmac/s]", "BenchmarkHot-4 [sim-ms/op]"}
+	if len(regressed) != 2 || regressed[0] != want[0] && regressed[1] != want[0] {
+		t.Fatalf("gate regressions = %v, want %v", regressed, want)
+	}
+	for _, sub := range []string{"sim-ms/op", "Gmac/s", "shards"} {
+		if !strings.Contains(out, "> "+sub) {
+			t.Fatalf("metric row %q missing:\n%s", sub, out)
+		}
+	}
+	if strings.Contains(out, "B/op") || strings.Contains(out, "allocs/op") {
+		t.Fatalf("allocator metrics should be omitted:\n%s", out)
+	}
+	if strings.Count(out, "SLOWER") != 2 {
+		t.Fatalf("want exactly 2 SLOWER flags (sim-ms/op, Gmac/s):\n%s", out)
+	}
+}
+
+// TestCompareMetricsImprovement: rate increases and cost decreases flag as
+// faster and never gate.
+func TestCompareMetricsImprovement(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{{
+		Name: "BenchmarkHot-4", NsPerOp: 1000,
+		Metrics: map[string]float64{"utt/s": 6000, "sim-ms/op": 5.0},
+	}}}
+	newF := &File{Benchmarks: []Benchmark{{
+		Name: "BenchmarkHot-4", NsPerOp: 1000,
+		Metrics: map[string]float64{"utt/s": 7100, "sim-ms/op": 4.0},
+	}}}
+	var sb strings.Builder
+	regressed := Compare(&sb, oldF, newF, 10, regexp.MustCompile(`.`))
+	if len(regressed) != 0 {
+		t.Fatalf("improvements gated: %v", regressed)
+	}
+	if strings.Count(sb.String(), "(faster)") != 2 {
+		t.Fatalf("want 2 faster flags:\n%s", sb.String())
+	}
+}
+
 // TestCompareGateRemoved: a gated benchmark missing from the new run fails
 // the gate instead of silently passing.
 func TestCompareGateRemoved(t *testing.T) {

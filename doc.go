@@ -30,14 +30,19 @@
 // accumulate for eight groups before a single shift+mask folds the lane
 // out, and the bias corrections (−128·Σw at prep time, −128·Σu per packed
 // row) restore the exact signed sum. Weights repack once at plan time into
-// 4-filter interleaved panels of packed words (packPanels64); the
+// 4-filter interleaved panels of packed words (packPanels); the
 // requantization constants are likewise hoisted. Every intermediate is an
 // exact integer, so results equal the scalar reference's wrapped int32
 // accumulation modulo 2^32 — bit-exact, including the −128·−128 corner,
 // which the checked-in fuzz corpus (FuzzSWARDot) pins. The depthwise
 // interior rides the same primitive when its reduction axis is contiguous
 // (single input channel). Interpreters prep every node at construction, so
-// Invoke is allocation-free.
+// Invoke is allocation-free. The inner loops are additionally restructured
+// so the compiler proves every slice access in range — the functions listed
+// in bce_clean.txt compile with zero bounds checks, a contract `make
+// bce-check` enforces; ARCHITECTURE.md "Kernel tiers" documents the idioms,
+// the cache-blocking tile sizes and the experiments that were measured and
+// rejected.
 //
 // Interpreter.PlanBatch/InvokeBatch is the stacked-utterance face of the
 // same engine: up to the planned capacity of utterances are staged into
@@ -51,7 +56,12 @@
 // parked on a channel between calls) runs the whole node list over a
 // contiguous utterance span with its own im2col/SWAR/softmax scratch —
 // the zero-allocation invariant survives, and shard count 1 degenerates to
-// the serial loop. Output rows (BatchOutput) stay valid until the next
+// the serial loop. Spans execute cache-blocked: the node list sweeps a few
+// utterances at a time (sized at plan time so a tile's activation rows fit
+// well inside L1d) so producer output is consumed while still resident —
+// an iteration-order change only, bit-identical results, but it makes
+// batching a throughput win even on one core.
+// Output rows (BatchOutput) stay valid until the next
 // InvokeBatch. Results are bit-exact with serial Invoke, and cycle
 // metering still charges every utterance's full simulated cost regardless
 // of host parallelism. core.ServerConfig.BatchParallel and
@@ -74,12 +84,18 @@
 // half-spectra are unzipped in a split post-pass — about half the
 // butterflies and twiddle loads per frame of the full complex transform,
 // with the same 1/FFTSize output scaling. The per-frontend tables pin both
-// twiddle sets and the precomputed bit-reversal permutations. Feature
-// bytes match the old full-size-FFT path within one least-significant
-// step: the split post-pass rounds where the discarded butterfly stage
-// truncated. FFTFixed and FFTFloat remain as reference transforms with
-// error-bound tests, and Frontend.Cycles models the halved butterfly count
-// plus the post-pass (hw.CyclesPerRFFTPostBin).
+// twiddle sets and the precomputed bit-reversal permutations. The hot path
+// fuses the post-pass: rfftPowerFixed squares each spectrum bin while it is
+// still in registers (bit-identical to squaring rfftFixed's output), and
+// log compression runs on an integer threshold table built from the float
+// reference itself, so logCompressFixed equals logCompress on every input —
+// the fused pipeline is byte-exact with the unfused one
+// (TestFrontendFusedEquivalence). Feature bytes match the old full-size-FFT
+// path within one least-significant step: the split post-pass rounds where
+// the discarded butterfly stage truncated. FFTFixed and FFTFloat remain as
+// reference transforms with error-bound tests, and Frontend.Cycles models
+// the halved butterfly count plus the post-pass
+// (hw.CyclesPerRFFTPostBin).
 //
 // # Streaming serving
 //

@@ -68,7 +68,12 @@ func bitReverse[T int32 | float64](re, im []T) {
 }
 
 // bitReversePerm is bitReverse driven by a precomputed permutation table, so
-// the hot loop performs no bits.Reverse64 work.
+// the hot loop performs no bits.Reverse64 work. The swap targets are
+// data-dependent (the permutation itself), so its bounds checks are
+// irreducible; the function is kept out of line so they stay attributed here
+// and the fftFixed stage sweep remains clean under make bce-check.
+//
+//go:noinline
 func bitReversePerm(re, im []int32, perm []int32) {
 	for i, j := range perm {
 		if int(j) > i {
@@ -91,6 +96,13 @@ type twiddles struct {
 	// perm[i] is the bit-reversed index of i, precomputed so the per-call
 	// reorder is a table walk instead of bits.Reverse64 arithmetic.
 	perm []int32
+	// stageCos/stageSin[s] are the contiguous per-stage twiddle tables of
+	// butterfly stage size 8<<s (the generic stages of fftFixed): entry k is
+	// cos/sin[k·(n/size)]. Walking them at stride 1 replaces the mul-indexed
+	// strided reads of the shared table — sequential loads the prove pass
+	// can bound, and better locality for the small early stages.
+	stageCos [][]int32
+	stageSin [][]int32
 }
 
 func computeTwiddles(n int) *twiddles {
@@ -103,6 +115,15 @@ func computeTwiddles(n int) *twiddles {
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := range tw.perm {
 		tw.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for size := 8; size <= n; size <<= 1 {
+		half, stride := size/2, n/size
+		cos, sin := make([]int32, half), make([]int32, half)
+		for k := 0; k < half; k++ {
+			cos[k], sin[k] = tw.cos[k*stride], tw.sin[k*stride]
+		}
+		tw.stageCos = append(tw.stageCos, cos)
+		tw.stageSin = append(tw.stageSin, sin)
 	}
 	return tw
 }
@@ -137,51 +158,70 @@ func FFTFixed(re, im []int32) error {
 // shared cache.
 func fftFixed(re, im []int32, tw *twiddles) {
 	n := len(re)
+	if len(im) < n {
+		panic("dsp: fftFixed im shorter than re")
+	}
 	bitReversePerm(re, im, tw.perm)
 	// The first two stages use only the twiddles 1 and -i, which are exact
 	// in any fixed-point format — specializing them skips the Q15 rounding
 	// multiplies (and their 1-LSB error) on a quarter of all butterflies.
-	if n >= 2 {
-		for start := 0; start+1 < n; start += 2 {
-			ar, ai := re[start]>>1, im[start]>>1
-			br, bi := re[start+1]>>1, im[start+1]>>1
-			re[start], im[start] = ar+br, ai+bi
-			re[start+1], im[start+1] = ar-br, ai-bi
-		}
+	// Both walk the arrays by reslicing fixed-size blocks so every access is
+	// provably in range (make bce-check).
+	for rr, ii := re, im; len(rr) >= 2 && len(ii) >= 2; rr, ii = rr[2:], ii[2:] {
+		ar, ai := rr[0]>>1, ii[0]>>1
+		br, bi := rr[1]>>1, ii[1]>>1
+		rr[0], ii[0] = ar+br, ai+bi
+		rr[1], ii[1] = ar-br, ai-bi
 	}
-	if n >= 4 {
-		for start := 0; start+3 < n; start += 4 {
-			ar, ai := re[start]>>1, im[start]>>1
-			br, bi := re[start+2]>>1, im[start+2]>>1
-			re[start], im[start] = ar+br, ai+bi
-			re[start+2], im[start+2] = ar-br, ai-bi
-			// k = 1: W = -i rotates (br, bi) to (bi, -br).
-			ar, ai = re[start+1]>>1, im[start+1]>>1
-			br, bi = re[start+3]>>1, im[start+3]>>1
-			re[start+1], im[start+1] = ar+bi, ai-br
-			re[start+3], im[start+3] = ar-bi, ai+br
-		}
+	for rr, ii := re, im; len(rr) >= 4 && len(ii) >= 4; rr, ii = rr[4:], ii[4:] {
+		ar, ai := rr[0]>>1, ii[0]>>1
+		br, bi := rr[2]>>1, ii[2]>>1
+		rr[0], ii[0] = ar+br, ai+bi
+		rr[2], ii[2] = ar-br, ai-bi
+		// k = 1: W = -i rotates (br, bi) to (bi, -br).
+		ar, ai = rr[1]>>1, ii[1]>>1
+		br, bi = rr[3]>>1, ii[3]>>1
+		rr[1], ii[1] = ar+bi, ai-br
+		rr[3], ii[3] = ar-bi, ai+br
 	}
-	for size := 8; size <= n; size <<= 1 {
-		half := size / 2
-		stride := n / size
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				wr := tw.cos[k*stride]
-				wi := tw.sin[k*stride]
-				i, j := start+k, start+k+half
+	// Generic stages, driven by the per-stage contiguous twiddle tables:
+	// stage s has butterfly size 2·len(stageCos[s]), so every block bound
+	// derives from slice lengths (half = len(cw), size = half+half) — terms
+	// the prove pass can order without overflow caveats. Each block is split
+	// into lower/upper half-slices walked by one index k, and the blocks
+	// themselves advance by reslicing; the whole sweep carries no bounds
+	// checks (make bce-check).
+	sc, ss := tw.stageCos, tw.stageSin
+	for s := 0; s < len(sc) && s < len(ss); s++ {
+		cw, sw := sc[s], ss[s]
+		half := len(cw)
+		if half == 0 || half > n>>1 || len(sw) != half {
+			break
+		}
+		rr, ii := re, im
+		for len(rr) >= half && len(ii) >= half {
+			al, bl := rr[:half], ii[:half]
+			rr, ii = rr[half:], ii[half:]
+			if len(rr) < half || len(ii) < half {
+				break
+			}
+			ah, bh := rr[:half], ii[:half]
+			rr, ii = rr[half:], ii[half:]
+			for k := 0; k < len(al) && k < len(ah) && k < len(bl) && k < len(bh) && k < len(cw) && k < len(sw); k++ {
+				wr := cw[k]
+				wi := sw[k]
 				// Complex multiply in Q15 with rounding.
-				tr := int32((int64(wr)*int64(re[j]) - int64(wi)*int64(im[j]) + 16384) >> 15)
-				ti := int32((int64(wr)*int64(im[j]) + int64(wi)*int64(re[j]) + 16384) >> 15)
+				tr := int32((int64(wr)*int64(ah[k]) - int64(wi)*int64(bh[k]) + 16384) >> 15)
+				ti := int32((int64(wr)*int64(bh[k]) + int64(wi)*int64(ah[k]) + 16384) >> 15)
 				// Stage scaling by 1/2 keeps magnitudes bounded.
-				ai := re[i] >> 1
-				bi := im[i] >> 1
+				ai := al[k] >> 1
+				bi := bl[k] >> 1
 				tr >>= 1
 				ti >>= 1
-				re[j] = ai - tr
-				im[j] = bi - ti
-				re[i] = ai + tr
-				im[i] = bi + ti
+				ah[k] = ai - tr
+				bh[k] = bi - ti
+				al[k] = ai + tr
+				bl[k] = bi + ti
 			}
 		}
 	}
@@ -225,6 +265,11 @@ func RFFTFixed(x []int32, re, im []int32) error {
 // tolerance documented in the frontend.
 func rfftFixed(re, im []int32, half, full *twiddles) {
 	m := len(re)
+	if m == 0 || len(im) != m || len(full.cos) < m || len(full.sin) < m {
+		panic("dsp: rfftFixed operand lengths")
+	}
+	im = im[:m]
+	cos, sin := full.cos[:m], full.sin[:m]
 	fftFixed(re, im, half)
 	// Unzip pairs (k, m-k): both X[k] and X[m-k] are formed from Z[k] and
 	// Z[m-k], so each pair is loaded once and written back in place.
@@ -233,17 +278,18 @@ func rfftFixed(re, im []int32, half, full *twiddles) {
 	//   X[k] = E[k] + W_n^k·O[k],  W_n = e^{-2πi/n}
 	// The /2 of E and O and the rotation are fused into one rounded >>17
 	// (15 bits of Q15 plus the factor 4 from using doubled E2/O2 terms,
-	// halved once more for the 1/n output scale).
+	// halved once more for the 1/n output scale). The dual k/j induction
+	// with the explicit j < m condition (1 ≤ k < j < m) is what lets the
+	// prove pass cover every access (make bce-check).
 	const rnd = 1 << 16
-	for k := 1; k < m-k; k++ {
-		j := m - k
+	for k, j := 1, m-1; k < j && j < m; k, j = k+1, j-1 {
 		zrk, zik := int64(re[k]), int64(im[k])
 		zrj, zij := int64(re[j]), int64(im[j])
-		er2 := zrk + zrj                                 // 2·Re E[k]
-		ei2 := zik - zij                                 // 2·Im E[k]
-		or2 := zik + zij                                 // 2·Re O[k]
-		oi2 := zrj - zrk                                 // 2·Im O[k]
-		cw, sw := int64(full.cos[k]), int64(full.sin[k]) // W_n^k in Q15
+		er2 := zrk + zrj                       // 2·Re E[k]
+		ei2 := zik - zij                       // 2·Im E[k]
+		or2 := zik + zij                       // 2·Re O[k]
+		oi2 := zrj - zrk                       // 2·Im O[k]
+		cw, sw := int64(cos[k]), int64(sin[k]) // W_n^k in Q15
 		p1 := cw*or2 - sw*oi2
 		p2 := cw*oi2 + sw*or2
 		re[k] = int32((er2<<15 + p1 + rnd) >> 17)
@@ -257,9 +303,54 @@ func rfftFixed(re, im []int32, half, full *twiddles) {
 	zr0, zi0 := int64(re[0]), int64(im[0])
 	re[0] = int32((zr0 + zi0 + 1) >> 1)
 	im[0] = 0
-	if h := m / 2; h > 0 {
+	if h := m / 2; h > 0 && h < m {
 		re[h] = int32((int64(re[h]) + 1) >> 1)
 		im[h] = int32((-int64(im[h]) + 1) >> 1)
+	}
+}
+
+// rfftPowerFixed is rfftFixed fused with the spectral power computation:
+// instead of writing spectrum bins back into re/im, it writes pow[k] =
+// Re(X[k])² + Im(X[k])² for every bin, squaring each unzipped value while it
+// is still in registers. The arithmetic producing each Re/Im is kept in
+// lockstep with rfftFixed term for term (TestRFFTPowerMatchesRFFT pins
+// this), so the powers are bit-identical to squaring rfftFixed's output —
+// the fusion only skips the spectrum store and re-load. re/im are left
+// holding the packed half-size FFT (scratch, not a spectrum).
+func rfftPowerFixed(re, im []int32, half, full *twiddles, pow []uint64) {
+	m := len(re)
+	if m == 0 || len(im) != m || len(pow) < m || len(full.cos) < m || len(full.sin) < m {
+		panic("dsp: rfftPowerFixed operand lengths")
+	}
+	im = im[:m]
+	pow = pow[:m]
+	cos, sin := full.cos[:m], full.sin[:m]
+	fftFixed(re, im, half)
+	const rnd = 1 << 16
+	for k, j := 1, m-1; k < j && j < m; k, j = k+1, j-1 {
+		zrk, zik := int64(re[k]), int64(im[k])
+		zrj, zij := int64(re[j]), int64(im[j])
+		er2 := zrk + zrj
+		ei2 := zik - zij
+		or2 := zik + zij
+		oi2 := zrj - zrk
+		cw, sw := int64(cos[k]), int64(sin[k])
+		p1 := cw*or2 - sw*oi2
+		p2 := cw*oi2 + sw*or2
+		xr := int64(int32((er2<<15 + p1 + rnd) >> 17))
+		xi := int64(int32((ei2<<15 + p2 + rnd) >> 17))
+		yr := int64(int32((er2<<15 - p1 + rnd) >> 17))
+		yi := int64(int32((-ei2<<15 + p2 + rnd) >> 17))
+		pow[k] = uint64(xr*xr + xi*xi)
+		pow[j] = uint64(yr*yr + yi*yi)
+	}
+	zr0, zi0 := int64(re[0]), int64(im[0])
+	x0 := int64(int32((zr0 + zi0 + 1) >> 1))
+	pow[0] = uint64(x0 * x0)
+	if h := m / 2; h > 0 && h < m {
+		xr := int64(int32((int64(re[h]) + 1) >> 1))
+		xi := int64(int32((-int64(im[h]) + 1) >> 1))
+		pow[h] = uint64(xr*xr + xi*xi)
 	}
 }
 

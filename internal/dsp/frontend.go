@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/hw"
 )
@@ -83,8 +84,9 @@ func (c FrontendConfig) validate() error {
 // bytes may differ by a least-significant step, never more).
 type Frontend struct {
 	cfg    FrontendConfig
-	window []int32 // Q15 Hann window
-	re, im []int32 // packed even/odd scratch → spectrum bins, FFTSize/2 each
+	window []int32  // Q15 Hann window
+	re, im []int32  // packed even/odd scratch, FFTSize/2 each
+	pow    []uint64 // fused per-bin spectral powers, FFTSize/2
 	twHalf *twiddles
 	twFull *twiddles
 	// binLo/binHi are the precomputed [lo, hi) spectrum sub-range of each
@@ -104,6 +106,7 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		window: make([]int32, cfg.WindowSamples),
 		re:     make([]int32, cfg.FFTSize/2),
 		im:     make([]int32, cfg.FFTSize/2),
+		pow:    make([]uint64, cfg.FFTSize/2),
 		twHalf: twiddlesFor(cfg.FFTSize / 2),
 		twFull: twiddlesFor(cfg.FFTSize),
 		binLo:  make([]int, features),
@@ -187,30 +190,87 @@ func (f *Frontend) frameInto(dst []uint8, samples []int16, start int) {
 	for i := range f.im[half:] {
 		f.im[half+i] = 0
 	}
-	rfftFixed(f.re, f.im, f.twHalf, f.twFull)
+	// Fused post-pass: the real-FFT unzip squares each spectrum bin while
+	// it is in registers (rfftPowerFixed), so the bin-averaging loop below
+	// reads one power array instead of re-loading two spectrum arrays, and
+	// log compression runs on the integer threshold LUT — no float math on
+	// the hot path. Both halves are bit-exact with the unfused pipeline
+	// (TestFrontendFusedEquivalence): the powers are the same squares, and
+	// logCompressFixed equals logCompress on every uint64 by construction.
+	rfftPowerFixed(f.re, f.im, f.twHalf, f.twFull, f.pow)
+	pw := f.pow
 	for feat := range f.binLo {
 		lo, hi := f.binLo[feat], f.binHi[feat]
 		var acc uint64
-		for bin := lo; bin < hi; bin++ {
-			r := int64(f.re[bin])
-			i := int64(f.im[bin])
-			acc += uint64(r*r + i*i)
+		if lo > hi || hi > len(pw) {
+			continue
+		}
+		for _, p := range pw[lo:hi] {
+			acc += p
 		}
 		avg := acc / uint64(hi-lo)
-		dst[feat] = logCompress(avg)
+		dst[feat] = logCompressFixed(avg)
 	}
 }
 
 // logCompress maps an averaged power value to a uint8 feature:
 // min(255, round(8·log2(1+p))). The factor 8 spreads the fixed-point power
 // range (≈2^31 max) over the full byte, the same role as TFLM's log-scale
-// stage.
+// stage. This float form is the reference; the hot path uses
+// logCompressFixed, which is exactly equal on every input by construction.
 func logCompress(p uint64) uint8 {
 	v := 8 * math.Log2(1+float64(p))
 	if v > 255 {
 		return 255
 	}
 	return uint8(math.Round(v))
+}
+
+// logThresholds[v] is the smallest power p with logCompress(p) ≥ v+1 (and
+// MaxUint64 for v = 255, which is never exceeded). Built once by binary
+// search against the float reference itself, so logCompressFixed inherits
+// its exact rounding behavior — including any float64 quirks at the
+// boundaries — rather than re-deriving the cut points analytically.
+var logThresholds = func() *[256]uint64 {
+	var t [256]uint64
+	for v := 0; v < 255; v++ {
+		// Invariant: logCompress(lo) ≤ v < logCompress(hi).
+		lo, hi := uint64(0), uint64(1)<<40
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if logCompress(mid) <= uint8(v) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		t[v] = hi
+	}
+	t[255] = math.MaxUint64
+	return &t
+}()
+
+// logCompressFixed is logCompress as an integer threshold lookup: the bit
+// length of p brackets 8·log2(1+p) to within a few steps, and a short walk
+// over logThresholds lands on the exact byte. No floating point, ≤ 9
+// comparisons, bit-identical to the reference on every uint64.
+func logCompressFixed(p uint64) uint8 {
+	v := 8 * (bits.Len64(p) - 1)
+	if v < 0 {
+		v = 0
+	} else if v > 255 {
+		v = 255
+	}
+	// The uint8 index casts are provably lossless (v is bracket-clamped to
+	// [0,255]) and make every table access in-bounds by type alone, so the
+	// walk carries no bounds checks (make bce-check).
+	for v > 0 && p < logThresholds[uint8(v-1)] {
+		v--
+	}
+	for v < 255 && p >= logThresholds[uint8(v)] {
+		v++
+	}
+	return uint8(v)
 }
 
 // Cycles returns the cost of one full fingerprint extraction on a simulated

@@ -64,6 +64,13 @@ type batchPlan struct {
 	runs   []func(sc *batchShard, u0, u1 int) error
 	ops    []OpCode // node opcodes, for error messages off the fast path
 	shards []*batchShard
+	// tileB is the cache-blocking tile: runSpan sweeps the node list over
+	// tileB utterances at a time so a tile's activation slab rows stay
+	// L1-resident from producer to consumer instead of streaming the whole
+	// span between nodes (0 = untiled). Chosen at plan time from the
+	// per-utterance slab footprint; purely an iteration-order change, so
+	// results are bit-identical to the untiled sweep.
+	tileB int
 	// Persistent worker group (par > 1 only): workers park on work and
 	// answer on done; closing stop retires them.
 	work     chan batchSpan
@@ -142,7 +149,12 @@ func replayIm2col(prog []colCopy, col, src []int8, off int) {
 		c := &prog[i]
 		s := src[off+int(c.src) : off+int(c.src)+int(c.n)]
 		d := col[c.dst : int(c.dst)+int(c.n)]
-		if len(s) <= 16 {
+		if len(s) == 8 && len(d) == 8 {
+			// The dominant record shape is one full kernel row of the
+			// single-channel conv — exactly eight bytes, compiled to one
+			// word-sized load/store pair instead of a byte loop.
+			*(*[8]int8)(d) = *(*[8]int8)(s)
+		} else if len(s) <= 16 {
 			for j, v := range s {
 				d[j] = v
 			}
@@ -363,6 +375,7 @@ func (ip *Interpreter) PlanBatchParallel(maxB, parallel int) error {
 	}
 	if runs != nil {
 		bp.runs = runs
+		bp.tileB = batchTile(bp.slabs, maxB)
 		bp.ops = make([]OpCode, len(m.Nodes))
 		for ni, n := range m.Nodes {
 			bp.ops[ni] = n.Op
@@ -448,11 +461,59 @@ func (bp *batchPlan) stopWorkers() {
 	}
 }
 
-// runSpan executes every node over utterances [u0, u1) with sc's scratch.
+// batchTileBudget is the activation working set one cache-blocking tile may
+// occupy, in bytes. It deliberately undershoots a typical 32 KiB L1d: the
+// packed weight panels, the column slab rows and the SWAR scratch stream
+// through the same cache while a tile is in flight.
+const batchTileBudget = 16 << 10
+
+// batchTile sizes the cache-blocking tile from the plan's stacked slabs:
+// the largest utterance count whose slab rows fit batchTileBudget, floored
+// at 2 so the GEMM keeps its two-row pairing, and capped at the plan
+// capacity. Aliased slabs (Reshape) are counted once.
+func batchTile(slabs [][]int8, capB int) int {
+	perUtt := 0
+	seen := make(map[*int8]bool, len(slabs))
+	for _, s := range slabs {
+		if len(s) == 0 || seen[&s[0]] {
+			continue
+		}
+		seen[&s[0]] = true
+		perUtt += len(s) / capB
+	}
+	if perUtt == 0 {
+		return capB
+	}
+	t := batchTileBudget / perUtt
+	if t < 2 {
+		t = 2
+	}
+	if t > capB {
+		t = capB
+	}
+	return t
+}
+
+// runSpan executes every node over utterances [u0, u1) with sc's scratch,
+// cache-blocked: the node list sweeps tileB utterances at a time, so each
+// tile's activations are consumed while still resident instead of the whole
+// span streaming between producer and consumer nodes. Node order within a
+// tile is unchanged and tiles are disjoint, so the result is bit-identical
+// to the untiled sweep.
 func (bp *batchPlan) runSpan(sc *batchShard, u0, u1 int) error {
-	for ni, run := range bp.runs {
-		if err := run(sc, u0, u1); err != nil {
-			return fmt.Errorf("tflm: node %d (%v): %w", ni, bp.ops[ni], err)
+	step := bp.tileB
+	if step <= 0 {
+		step = u1 - u0
+	}
+	for t0 := u0; t0 < u1; t0 += step {
+		t1 := t0 + step
+		if t1 > u1 {
+			t1 = u1
+		}
+		for ni, run := range bp.runs {
+			if err := run(sc, t0, t1); err != nil {
+				return fmt.Errorf("tflm: node %d (%v): %w", ni, bp.ops[ni], err)
+			}
 		}
 	}
 	return nil

@@ -146,6 +146,160 @@ func TestInvokeBatchMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestInvokeBatchTilingMatchesSerial: the cache-blocking tile is a pure
+// iteration-order change, so every forced tile width — untiled, degenerate
+// 1, widths that do not divide the batch (odd tails), and widths beyond the
+// batch — must stay bit-exact with serial Invoke, over randomized models and
+// batch sizes including B=1 and B=MaxBatch.
+func TestInvokeBatchTilingMatchesSerial(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(4200 + trial)))
+			var model *Model
+			if trial == 0 {
+				var err error
+				if model, err = BuildRandomTinyConv(1, 7); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				model = buildRandomConvModel(t, r)
+			}
+			batched, err := NewInterpreter(model.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := NewInterpreter(model.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxB := 5 + r.Intn(8)
+			if err := batched.PlanBatch(maxB); err != nil {
+				t.Fatal(err)
+			}
+			if batched.batch.runs == nil {
+				t.Skip("degraded serial fallback: no tiling to exercise")
+			}
+			if tb := batched.batch.tileB; tb < 2 || tb > maxB {
+				t.Fatalf("planned tileB = %d outside [2, %d]", tb, maxB)
+			}
+			inElems := serial.Input(0).NumElements()
+			outElems := serial.Output(0).NumElements()
+			// Stage maxB utterances once and precompute the serial truth.
+			want := make([][]int8, maxB)
+			for j := 0; j < maxB; j++ {
+				row := batched.BatchInput(j)
+				for i := range row {
+					row[i] = int8(r.Intn(256) - 128)
+				}
+				copy(serial.Input(0).I8, row)
+				if err := serial.Invoke(); err != nil {
+					t.Fatal(err)
+				}
+				want[j] = append([]int8(nil), serial.Output(0).I8[:outElems]...)
+			}
+			_ = inElems
+			for _, tile := range []int{0, 1, 2, 3, maxB - 1, maxB, maxB + 3} {
+				batched.batch.tileB = tile
+				for _, b := range []int{1, maxB - 1, maxB} {
+					if err := batched.InvokeBatch(b); err != nil {
+						t.Fatalf("tile=%d b=%d: %v", tile, b, err)
+					}
+					for j := 0; j < b; j++ {
+						got := batched.BatchOutput(j)
+						for i := 0; i < outElems; i++ {
+							if got[i] != want[j][i] {
+								t.Fatalf("tile=%d b=%d utterance %d output %d: batched %d != serial %d",
+									tile, b, j, i, got[i], want[j][i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInvokeBatchTilingParallel: tiling composes with the sharded fan-out —
+// shard spans and tiles both leave odd tails, and the result must still be
+// bit-exact with the untiled single-shard sweep.
+func TestInvokeBatchTilingParallel(t *testing.T) {
+	model, err := BuildRandomTinyConv(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxB = 11
+	tiled, err := NewInterpreter(model.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiled.PlanBatchParallel(maxB, 3); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewInterpreter(model.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.PlanBatch(maxB); err != nil {
+		t.Fatal(err)
+	}
+	plain.batch.tileB = 0 // untiled reference sweep
+	tiled.batch.tileB = 3 // does not divide the 4/4/3 shard spans
+	r := rand.New(rand.NewSource(77))
+	outElems := tiled.Output(0).NumElements()
+	for j := 0; j < maxB; j++ {
+		row := tiled.BatchInput(j)
+		for i := range row {
+			row[i] = int8(r.Intn(256) - 128)
+		}
+		copy(plain.BatchInput(j), row)
+	}
+	for _, b := range []int{1, 2, maxB - 1, maxB} {
+		if err := tiled.InvokeBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.InvokeBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < b; j++ {
+			got, want := tiled.BatchOutput(j), plain.BatchOutput(j)
+			for i := 0; i < outElems; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("b=%d utterance %d output %d: tiled-parallel %d != untiled %d",
+						b, j, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchTile: the tile sizer respects its floor (2, the GEMM row
+// pairing), its cap (the plan capacity), counts aliased slabs once, and
+// degrades to the capacity when there are no slabs to measure.
+func TestBatchTile(t *testing.T) {
+	mk := func(n int) []int8 { return make([]int8, n) }
+	if got := batchTile(nil, 16); got != 16 {
+		t.Fatalf("no slabs: tile = %d, want capB 16", got)
+	}
+	// Huge per-utterance footprint → floor of 2.
+	if got := batchTile([][]int8{mk(16 * 64 << 10)}, 16); got != 2 {
+		t.Fatalf("huge slab: tile = %d, want 2", got)
+	}
+	// Tiny footprint → capped at capB.
+	if got := batchTile([][]int8{mk(16 * 4)}, 16); got != 16 {
+		t.Fatalf("tiny slab: tile = %d, want 16", got)
+	}
+	// Mid footprint: 16 utterances × 2 KiB rows → 8 rows per 16 KiB budget.
+	if got := batchTile([][]int8{mk(16 * 2048)}, 16); got != 8 {
+		t.Fatalf("mid slab: tile = %d, want 8", got)
+	}
+	// An aliased slab (Reshape) must not double-count its bytes.
+	shared := mk(16 * 2048)
+	if got := batchTile([][]int8{shared, shared}, 16); got != 8 {
+		t.Fatalf("aliased slabs: tile = %d, want 8", got)
+	}
+}
+
 // TestInvokeBatchValidation: unplanned and out-of-range calls must fail.
 func TestInvokeBatchValidation(t *testing.T) {
 	model, err := BuildRandomTinyConv(1, 3)

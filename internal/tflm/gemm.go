@@ -63,13 +63,15 @@ type linearPrep struct {
 	acc0       []int32
 	activation Activation
 	// n, k is the weight matrix geometry; kg = ceil(k/3) is the packed SWAR
-	// group count. pan64 holds ceil(n/4) panels of kg×4 interleaved
+	// group count. panels holds ceil(n/4) panels of kg four-lane groups of
 	// reversed-lane weight words (panel p, group g, lane j packs filter
-	// 4p+j's depths 3g..3g+2 per swar.go), and seeds is the SWAR-corrected
-	// accumulator seed acc0 − 128·Σw padded to the panel grid so the
-	// micro-kernel indexes it unguarded.
+	// 4p+j's depths 3g..3g+2 per swar.go) — the [gemmPanel]uint64 element
+	// type keeps one group's four words a single provably-in-range access
+	// for the micro-kernel. seeds is the SWAR-corrected accumulator seed
+	// acc0 − 128·Σw padded to the panel grid so the epilogue indexes whole
+	// quads unguarded.
 	n, k, kg int
-	pan64    []uint64
+	panels   [][gemmPanel]uint64
 	seeds    []int32
 	// Requantization constants hoisted out of QuantizedMultiplier.Apply:
 	// acc<<lsh, saturating-rounding-doubling-high-multiply by rqMult, then
@@ -120,16 +122,17 @@ func (pr *linearPrep) prepRequant() {
 // layout and the micro-kernel.
 const gemmPanel = 4
 
-// packPanels64 repacks an n×k row-major weight matrix into gemmPanel-blocked
+// packPanels repacks an n×k row-major weight matrix into gemmPanel-blocked
 // interleaved SWAR panels: within a panel the gemmPanel filters' packed
-// weight words of each depth group sit adjacently, so the micro-kernel's
-// inner loop walks one contiguous uint64 stream regardless of which filters
-// it is accumulating. Padding lanes (filters ≥ n, depths ≥ k) hold the
-// biased zero weight; their accumulators are never stored.
-func packPanels64(w []int8, n, k int) []uint64 {
+// weight words of each depth group sit adjacently (one [gemmPanel]uint64
+// element per depth group), so the micro-kernel's inner loop walks one
+// contiguous stream regardless of which filters it is accumulating. Padding
+// lanes (filters ≥ n, depths ≥ k) hold the biased zero weight; their
+// accumulators are never stored.
+func packPanels(w []int8, n, k int) [][gemmPanel]uint64 {
 	nPanels := (n + gemmPanel - 1) / gemmPanel
 	kg := swarGroups(k)
-	panels := make([]uint64, nPanels*kg*gemmPanel)
+	panels := make([][gemmPanel]uint64, nPanels*kg)
 	scratch := make([]uint64, kg)
 	for o := 0; o < nPanels*gemmPanel; o++ {
 		p, j := o/gemmPanel, o%gemmPanel
@@ -139,7 +142,7 @@ func packPanels64(w []int8, n, k int) []uint64 {
 			swarPackReversed(nil, scratch)
 		}
 		for g, q := range scratch {
-			panels[(p*kg+g)*gemmPanel+j] = q
+			panels[p*kg+g][j] = q
 		}
 	}
 	return panels
@@ -172,7 +175,7 @@ func prepLinearInt8(in, w, bias, out *Tensor, act Activation, n, k int) (*linear
 		n:          n,
 		k:          k,
 		kg:         swarGroups(k),
-		pan64:      packPanels64(w.I8, n, k),
+		panels:     packPanels(w.I8, n, k),
 		seeds:      make([]int32, nPanels*gemmPanel),
 	}
 	pr.prepRequant()
@@ -284,31 +287,50 @@ const swarBlock = 8
 // wrapped accumulation bit for bit.
 func gemmInt8Requant(mRows int, a []int8, dst []int8, pr *linearPrep, xb []uint64) {
 	n, k, kg := pr.n, pr.k, pr.kg
-	panels, seeds := pr.pan64, pr.seeds
+	panels, seeds := pr.panels, pr.seeds
 	x0 := xb[:kg]
 	x1 := xb[kg : 2*kg]
 	m := 0
 	for ; m+2 <= mRows; m += 2 {
 		adj0 := swarExpandRow(a[m*k:m*k+k], x0)
 		adj1 := swarExpandRow(a[(m+1)*k:(m+1)*k+k], x1)
-		for p, n0 := 0, 0; n0 < n; p, n0 = p+1, n0+gemmPanel {
-			pan := panels[p*kg*gemmPanel : (p+1)*kg*gemmPanel]
+		d0 := dst[m*n : m*n+n]
+		d1 := dst[(m+1)*n : (m+1)*n+n]
+		p, n0 := 0, 0
+		for ; n0+gemmPanel <= n; p, n0 = p+1, n0+gemmPanel {
+			pan := panels[p*kg : (p+1)*kg]
 			m00, m01, m02, m03 := gemmRowPanel(x0, pan)
 			m10, m11, m12, m13 := gemmRowPanel(x1, pan)
-			requantQuad(dst[m*n:], n, n0,
+			s := (*[gemmPanel]int32)(seeds[n0 : n0+gemmPanel])
+			requantQuad((*[gemmPanel]int8)(d0[n0:n0+gemmPanel]), s, adj0, m00, m01, m02, m03, pr)
+			requantQuad((*[gemmPanel]int8)(d1[n0:n0+gemmPanel]), s, adj1, m10, m11, m12, m13, pr)
+		}
+		if n0 < n {
+			pan := panels[p*kg : (p+1)*kg]
+			m00, m01, m02, m03 := gemmRowPanel(x0, pan)
+			m10, m11, m12, m13 := gemmRowPanel(x1, pan)
+			requantTail(d0, n0,
 				seeds[n0]+adj0+int32(m00), seeds[n0+1]+adj0+int32(m01),
 				seeds[n0+2]+adj0+int32(m02), seeds[n0+3]+adj0+int32(m03), pr)
-			requantQuad(dst[(m+1)*n:], n, n0,
+			requantTail(d1, n0,
 				seeds[n0]+adj1+int32(m10), seeds[n0+1]+adj1+int32(m11),
 				seeds[n0+2]+adj1+int32(m12), seeds[n0+3]+adj1+int32(m13), pr)
 		}
 	}
 	if m < mRows {
 		adj := swarExpandRow(a[m*k:m*k+k], x0)
-		for p, n0 := 0, 0; n0 < n; p, n0 = p+1, n0+gemmPanel {
-			pan := panels[p*kg*gemmPanel : (p+1)*kg*gemmPanel]
+		drow := dst[m*n : m*n+n]
+		p, n0 := 0, 0
+		for ; n0+gemmPanel <= n; p, n0 = p+1, n0+gemmPanel {
+			pan := panels[p*kg : (p+1)*kg]
 			m0, m1, m2, m3 := gemmRowPanel(x0, pan)
-			requantQuad(dst[m*n:], n, n0,
+			s := (*[gemmPanel]int32)(seeds[n0 : n0+gemmPanel])
+			requantQuad((*[gemmPanel]int8)(drow[n0:n0+gemmPanel]), s, adj, m0, m1, m2, m3, pr)
+		}
+		if n0 < n {
+			pan := panels[p*kg : (p+1)*kg]
+			m0, m1, m2, m3 := gemmRowPanel(x0, pan)
+			requantTail(drow, n0,
 				seeds[n0]+adj+int32(m0), seeds[n0+1]+adj+int32(m1),
 				seeds[n0+2]+adj+int32(m2), seeds[n0+3]+adj+int32(m3), pr)
 		}
@@ -320,19 +342,37 @@ func gemmInt8Requant(mRows int, a []int8, dst []int8, pr *linearPrep, xb []uint6
 // the live set to four raw accumulators plus the streaming operands, which
 // fits amd64's register file without spilling (the two-row tile spilled its
 // eight raw accumulators to the stack every group).
-func gemmRowPanel(x []uint64, pan []uint64) (m0, m1, m2, m3 uint64) {
-	kg := len(x)
-	for g0 := 0; g0 < kg; g0 += swarBlock {
-		gEnd := g0 + swarBlock
-		if gEnd > kg {
-			gEnd = kg
-		}
+//
+// BCE shape: both operands advance by reslicing, and the outer condition
+// `len(x) > 0 && len(pan) >= len(x)` is the invariant the prove pass needs
+// to drop every check in the hot loop — x[:nb], pan[:nb], the range load
+// and the &pb[i] group access all become check-free (callers always pass
+// len(pan) == len(x) == kg; the condition is the proof, not a semantic
+// branch). Enforced by make bce-check.
+func gemmRowPanel(x []uint64, pan [][gemmPanel]uint64) (m0, m1, m2, m3 uint64) {
+	for len(x) >= swarBlock && len(pan) >= swarBlock {
+		xv := (*[swarBlock]uint64)(x[:swarBlock])
+		pb := (*[swarBlock][gemmPanel]uint64)(pan[:swarBlock])
 		var s0, s1, s2, s3 uint64
-		for g := g0; g < gEnd; g++ {
-			// One full-width subslice per group eliminates all but one
-			// bounds check on the panel stream.
-			q := pan[g*gemmPanel : g*gemmPanel+gemmPanel : g*gemmPanel+gemmPanel]
-			xa := x[g]
+		for i := 0; i < swarBlock; i++ {
+			xa := xv[i]
+			q := &pb[i]
+			s0 += xa * q[0]
+			s1 += xa * q[1]
+			s2 += xa * q[2]
+			s3 += xa * q[3]
+		}
+		x, pan = x[swarBlock:], pan[swarBlock:]
+		m0 += (s0 >> (2 * swarShift)) & swarMidMask
+		m1 += (s1 >> (2 * swarShift)) & swarMidMask
+		m2 += (s2 >> (2 * swarShift)) & swarMidMask
+		m3 += (s3 >> (2 * swarShift)) & swarMidMask
+	}
+	if len(x) > 0 && len(pan) >= len(x) {
+		xv, pb := x, pan[:len(x)]
+		var s0, s1, s2, s3 uint64
+		for i, xa := range xv {
+			q := &pb[i]
 			s0 += xa * q[0]
 			s1 += xa * q[1]
 			s2 += xa * q[2]
@@ -346,12 +386,23 @@ func gemmRowPanel(x []uint64, pan []uint64) (m0, m1, m2, m3 uint64) {
 	return
 }
 
-// requantQuad rescales, offsets, clamps and stores up to four adjacent
-// accumulators of one output row, skipping the panel's zero-padding lanes
-// past the true output-channel count. The unrolled guarded stores keep the
-// function inlinable into the GEMM epilogue.
-func requantQuad(drow []int8, n, n0 int, c0, c1, c2, c3 int32, pr *linearPrep) {
-	lim := n - n0
+// requantQuad rescales, offsets, clamps and stores one full four-filter quad
+// of one output row. The array-pointer operands make every load and store
+// provably in range whether or not the call inlines; the caller peels partial
+// quads off to requantTail.
+func requantQuad(d *[gemmPanel]int8, s *[gemmPanel]int32, adj int32, m0, m1, m2, m3 uint64, pr *linearPrep) {
+	d[0] = int8(clampInt32(pr.requantOne(s[0]+adj+int32(m0))+pr.outZP, pr.lo, pr.hi))
+	d[1] = int8(clampInt32(pr.requantOne(s[1]+adj+int32(m1))+pr.outZP, pr.lo, pr.hi))
+	d[2] = int8(clampInt32(pr.requantOne(s[2]+adj+int32(m2))+pr.outZP, pr.lo, pr.hi))
+	d[3] = int8(clampInt32(pr.requantOne(s[3]+adj+int32(m3))+pr.outZP, pr.lo, pr.hi))
+}
+
+// requantTail stores the final partial quad of one output row, skipping the
+// panel's zero-padding lanes past the true output-channel count. Its guarded
+// stores are data-dependent by nature (n mod 4), so it stays off the
+// bce-check clean list; it runs at most once per row.
+func requantTail(drow []int8, n0 int, c0, c1, c2, c3 int32, pr *linearPrep) {
+	lim := len(drow) - n0
 	drow = drow[n0:]
 	drow[0] = int8(clampInt32(pr.requantOne(c0)+pr.outZP, pr.lo, pr.hi))
 	if lim > 1 {
@@ -550,9 +601,12 @@ func depthwiseInt8Opt(in, w, bias, out *Tensor, dp *depthwisePrep) {
 						}
 						for oc := 0; oc < g.outC; oc++ {
 							pan := dp.wPack64[oc*g.kH*dp.kgW : (oc+1)*g.kH*dp.kgW]
+							xw := dp.xwin
 							var s uint64
-							for i, x := range dp.xwin {
-								s += (x * pan[i] >> (2 * swarShift)) & swarMidMask
+							// The dual loop condition proves both streams
+							// in range (they are the same length).
+							for i := 0; i < len(pan) && i < len(xw); i++ {
+								s += (xw[i] * pan[i] >> (2 * swarShift)) & swarMidMask
 							}
 							acc := dp.swSeeds[oc] + adj + int32(s)
 							dst[dBase+oc] = int8(clampInt32(lp.mult.Apply(acc)+lp.outZP, lp.lo, lp.hi))

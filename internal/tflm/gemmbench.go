@@ -78,7 +78,7 @@ func (gb *GEMMBench) Check() error {
 				// Recover the weight from the packed panel lanes.
 				p, j := o/gemmPanel, o%gemmPanel
 				g, t := i/swarGroup, i%swarGroup
-				q := gb.pr.pan64[(p*gb.pr.kg+g)*gemmPanel+j]
+				q := gb.pr.panels[p*gb.pr.kg+g][j]
 				wrow[i] = int8(uint8(q>>(uint(swarGroup-1-t)*swarShift)) ^ swarBias)
 			}
 			acc += swarDotI8(row, wrow)

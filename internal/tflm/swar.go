@@ -30,6 +30,16 @@ package tflm
 // corner −128·−128 = 16384 is an ordinary in-range lane value here (u=v=0,
 // recovered entirely by the correction terms); the fuzz suite pins it.
 
+// Why not 4 depths × 16-bit lanes? The tempting denser layout — four byte
+// lanes at 16-bit spacing, X·Y carrying Σ4 u·v in one window — does not
+// survive the carry analysis: a single cross-lane window accumulates up to
+// 4·255² = 260100 ≥ 2^16 from one multiply alone, so the dot-product window
+// overflows into its neighbor before any deferred folding could help.
+// Dropping to signed 7-bit operands or 2-depth windows gives up more MACs
+// than it gains. The 3×21-bit layout is the densest carry-free packing for
+// full-range int8 (2^18 per window, 3 bits of headroom → swarBlock=8
+// deferred folds), so the FC sweep keeps it; measured upper bound on this
+// host ~2.8 Gmac/s conv / ~4.1 Gmac/s FC (BenchmarkGEMMMicroKernel).
 const (
 	// swarGroup is how many depth positions one 64-bit multiply covers.
 	swarGroup = 3
@@ -57,31 +67,58 @@ const swarFoldGroups = 8191
 // sums cannot carry for swarFoldGroups words at a time, so the running
 // total costs one 64-bit add per group and three folds per chunk. x must
 // hold swarGroups(len(a)) words.
+//
+// The loop walks both slices by reslicing (a three bytes, x one word per
+// group): the `len(a) >= swarGroup && len(x) > 0` condition is what lets the
+// compiler prove every element access in range, so the packing loop carries
+// no bounds checks (enforced by make bce-check).
 func swarExpandRow(a []int8, x []uint64) int32 {
+	if len(x) < swarGroups(len(a)) {
+		panic("tflm: swarExpandRow scratch too short")
+	}
 	var usum uint64
-	g, i := 0, 0
-	for i < len(a) {
+	for len(a) > 0 {
+		ca := a
+		if len(ca) > swarGroup*swarFoldGroups {
+			ca = ca[:swarGroup*swarFoldGroups]
+			a = a[swarGroup*swarFoldGroups:]
+		} else {
+			a = nil
+		}
 		var vec uint64
-		chunk := len(a) - i
-		if chunk > swarGroup*swarFoldGroups {
-			chunk = swarGroup * swarFoldGroups
-		}
-		end := i + chunk
-		for ; i+swarGroup <= end; i, g = i+swarGroup, g+1 {
-			w := uint64(uint8(a[i])^swarBias) |
-				uint64(uint8(a[i+1])^swarBias)<<swarShift |
-				uint64(uint8(a[i+2])^swarBias)<<(2*swarShift)
-			x[g] = w
+		// Main loop: read four bytes at once (the compiler fuses the byte
+		// ORs into one 32-bit load), bias the three live lanes with a single
+		// XOR, and spread them to 21-bit spacing — one load and nine ALU ops
+		// per group instead of three loads and ten. Requires one byte of
+		// lookahead, so the final group of the row falls through below.
+		for len(ca) > swarGroup && len(x) > 0 {
+			v := uint32(uint8(ca[0])) | uint32(uint8(ca[1]))<<8 |
+				uint32(uint8(ca[2]))<<16 | uint32(uint8(ca[3]))<<24
+			v ^= swarBias | swarBias<<8 | swarBias<<16
+			w := uint64(v&0xff) | uint64(v&0xff00)<<(swarShift-8) |
+				uint64(v&0xff0000)<<(2*swarShift-16)
+			x[0] = w
 			vec += w
+			ca = ca[swarGroup:]
+			x = x[1:]
 		}
-		if i < end {
+		if len(ca) == swarGroup && len(x) > 0 {
+			w := uint64(uint8(ca[0])^swarBias) |
+				uint64(uint8(ca[1])^swarBias)<<swarShift |
+				uint64(uint8(ca[2])^swarBias)<<(2*swarShift)
+			x[0] = w
+			vec += w
+			ca = ca[swarGroup:]
+			x = x[1:]
+		}
+		if len(ca) > 0 && len(x) > 0 {
 			var q uint64
-			for t := 0; i+t < end; t++ {
-				q |= uint64(uint8(a[i+t])^swarBias) << (uint(t) * swarShift)
+			for t := range ca {
+				q |= uint64(uint8(ca[t])^swarBias) << (uint(t) * swarShift)
 			}
-			x[g] = q
+			x[0] = q
 			vec += q
-			i = end
+			x = x[1:]
 		}
 		usum += (vec & swarMidMask) + (vec >> swarShift & swarMidMask) + (vec >> (2 * swarShift))
 	}
