@@ -77,7 +77,7 @@ bench-cmp:
 # a gated benchmark more than GATE_TOL% slower fails the target. The
 # tolerance is generous because shared CI hosts are noisy — tighten locally
 # with GATE_TOL=10.
-GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput
+GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput|BenchmarkRegistryThroughput|BenchmarkRegistrySwapUnderLoad
 GATE_TOL ?= 25
 # The inference and frontend hot loops get a tighter leash: the PR-5-era 15%
 # InterpreterInvoke regression class must fail the gate, not slide under the

@@ -1,21 +1,33 @@
-// Command omg-serve runs the netfront serving edge: a persistent
-// core.Server worker pool behind the length-prefixed wire protocol, on a
-// TCP address and/or a Unix socket. It is the network face of the engine —
-// the piece that lets external load (internal/netfront/client, the
-// streaming-client example, BenchmarkNetServerThroughput) drive the same
-// worker pool the in-process benchmarks measure.
+// Command omg-serve runs the netfront serving edge: a sharded multi-model
+// core.Registry behind the length-prefixed wire protocol, on a TCP address
+// and/or a Unix socket. It is the network face of the engine — the piece
+// that lets external load (internal/netfront/client, the streaming-client
+// example, BenchmarkNetServerThroughput) drive the same worker pools the
+// in-process benchmarks measure.
 //
-// The model served is the benchmark tiny_conv (random weights over the
+// The models served are benchmark tiny_convs (random weights over the
 // paper's geometry, tflm.BuildRandomTinyConv): omg-serve exercises the
-// serving stack, not keyword accuracy. Swap in a trained model by loading
-// its OMGM bytes where buildModel is called.
+// serving stack, not keyword accuracy. Swap in trained models by loading
+// their OMGM bytes where buildModels is called.
 //
 // Usage:
 //
-//	omg-serve                          serve on 127.0.0.1:7071
+//	omg-serve                                    serve "default" on 127.0.0.1:7071
+//	omg-serve -models "kws=1:7,far=2:13"         two models; clients bind via hello
+//	omg-serve -shards 2 -workers 4               2 shard servers × 4 workers per model
+//	omg-serve -tenants "acme=10:256,trial=1:16"  weighted fair queueing + per-tenant caps
 //	omg-serve -tcp :9000 -unix /tmp/omg.sock
-//	omg-serve -workers 8 -queue 64 -max-batch 16 -batch-parallel 2
-//	omg-serve -drain 10s               SIGTERM grace for in-flight streams
+//	omg-serve -drain 10s                         SIGTERM grace for in-flight streams
+//
+// Clients that skip the hello handshake are bound to -default-model (when
+// set, or the sole model); requests name an unknown tenant fall under the
+// default tenant policy.
+//
+// On SIGHUP every model is hot-swapped in place: the binary re-signs the
+// current weights at the next version through an in-process vendor identity
+// and drives core.Registry.Swap — zero accepted requests are dropped, and
+// hello-bound clients observe the version bump on reconnect. (With trained
+// models this is where new weights would be picked up from disk.)
 //
 // On SIGINT/SIGTERM the server drains gracefully: listeners close, quiet
 // connections are released, and busy connections get the -drain grace to
@@ -30,6 +42,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -39,36 +54,169 @@ import (
 	"repro/internal/tflm"
 )
 
+// serveConfig is the parsed flag set, separated from flag.Parse so the
+// validation rules are table-testable.
+type serveConfig struct {
+	TCPAddr       string
+	UnixPath      string
+	Workers       int
+	Queue         int
+	MaxBatch      int
+	BatchParallel int
+	Shards        int
+	Models        string // raw -models spec: "name=mul:seed,..."
+	Tenants       string // raw -tenants spec: "name=weight:cap,..."
+	DefaultModel  string
+	Drain         time.Duration
+}
+
+// modelSpec is one parsed -models entry: the tiny_conv geometry to build.
+type modelSpec struct {
+	mul  int
+	seed int64
+}
+
+// usageError marks a validation failure that should print flag usage and
+// exit 2 — operator error, not a runtime fault.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// validate checks the flag set and parses the -models and -tenants specs.
+// Every rejection is a usageError naming the offending flag and entry.
+func (c serveConfig) validate() (map[string]modelSpec, map[string]core.TenantConfig, error) {
+	if c.TCPAddr == "" && c.UnixPath == "" {
+		return nil, nil, usageError{"nothing to listen on (set -tcp and/or -unix)"}
+	}
+	if c.Workers < 0 || c.Queue < 0 || c.MaxBatch < 0 || c.BatchParallel < 0 {
+		return nil, nil, usageError{"-workers, -queue, -max-batch, -batch-parallel must be >= 0"}
+	}
+	if c.Shards < 0 {
+		return nil, nil, usageError{"-shards must be >= 0 (0 means 1)"}
+	}
+	if c.Drain < 0 {
+		return nil, nil, usageError{"-drain must be >= 0"}
+	}
+
+	models := map[string]modelSpec{}
+	for _, entry := range splitSpec(c.Models) {
+		name, rest, ok := strings.Cut(entry, "=")
+		mulStr, seedStr, ok2 := strings.Cut(rest, ":")
+		if !ok || !ok2 || name == "" {
+			return nil, nil, usageError{fmt.Sprintf("-models entry %q: want name=mul:seed", entry)}
+		}
+		mul, err := strconv.Atoi(mulStr)
+		if err != nil || mul < 1 {
+			return nil, nil, usageError{fmt.Sprintf("-models entry %q: multiplier must be a positive integer", entry)}
+		}
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, nil, usageError{fmt.Sprintf("-models entry %q: seed must be an integer", entry)}
+		}
+		if _, dup := models[name]; dup {
+			return nil, nil, usageError{fmt.Sprintf("-models: duplicate model %q", name)}
+		}
+		models[name] = modelSpec{mul: mul, seed: seed}
+	}
+	if len(models) == 0 {
+		return nil, nil, usageError{"-models is empty: nothing to serve"}
+	}
+	if c.DefaultModel != "" {
+		if _, ok := models[c.DefaultModel]; !ok {
+			return nil, nil, usageError{fmt.Sprintf("-default-model %q is not in -models", c.DefaultModel)}
+		}
+	}
+
+	tenants := map[string]core.TenantConfig{}
+	for _, entry := range splitSpec(c.Tenants) {
+		name, rest, ok := strings.Cut(entry, "=")
+		weightStr, capStr, ok2 := strings.Cut(rest, ":")
+		if !ok || !ok2 || name == "" {
+			return nil, nil, usageError{fmt.Sprintf("-tenants entry %q: want name=weight:cap", entry)}
+		}
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil || weight < 1 {
+			return nil, nil, usageError{fmt.Sprintf("-tenants entry %q: weight must be a positive integer", entry)}
+		}
+		qcap, err := strconv.Atoi(capStr)
+		if err != nil || qcap < 1 {
+			return nil, nil, usageError{fmt.Sprintf("-tenants entry %q: queue cap must be a positive integer", entry)}
+		}
+		if _, dup := tenants[name]; dup {
+			return nil, nil, usageError{fmt.Sprintf("-tenants: duplicate tenant %q", name)}
+		}
+		tenants[name] = core.TenantConfig{Weight: weight, MaxQueue: qcap}
+	}
+	return models, tenants, nil
+}
+
+// splitSpec splits a comma-separated spec, dropping empty segments so
+// trailing commas are harmless.
+func splitSpec(s string) []string {
+	var out []string
+	for _, seg := range strings.Split(s, ",") {
+		if seg = strings.TrimSpace(seg); seg != "" {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
 func main() {
-	tcpAddr := flag.String("tcp", "127.0.0.1:7071", "TCP listen address (empty disables)")
-	unixPath := flag.String("unix", "", "Unix socket path (empty disables)")
-	workers := flag.Int("workers", 0, "core.Server worker pool size (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "submission queue depth (0 = 2×workers)")
-	maxBatch := flag.Int("max-batch", 0, "max utterances per drained InvokeBatch (0 = default 8, 1 disables)")
-	batchParallel := flag.Int("batch-parallel", 0, "intra-batch shard parallelism per worker (0 = serial)")
-	modelMul := flag.Int("model-mul", 1, "tiny_conv width multiplier of the served model")
-	modelSeed := flag.Int64("model-seed", 7, "weight seed of the served model")
-	drain := flag.Duration("drain", 5*time.Second, "graceful-drain grace period on SIGTERM")
+	var cfg serveConfig
+	flag.StringVar(&cfg.TCPAddr, "tcp", "127.0.0.1:7071", "TCP listen address (empty disables)")
+	flag.StringVar(&cfg.UnixPath, "unix", "", "Unix socket path (empty disables)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "workers per shard server (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.Queue, "queue", 0, "submission queue depth per shard (0 = 2×workers)")
+	flag.IntVar(&cfg.MaxBatch, "max-batch", 0, "max utterances per drained InvokeBatch (0 = default 8, 1 disables)")
+	flag.IntVar(&cfg.BatchParallel, "batch-parallel", 0, "intra-batch shard parallelism per worker (0 = serial)")
+	flag.IntVar(&cfg.Shards, "shards", 1, "shard servers per model (0 = 1)")
+	flag.StringVar(&cfg.Models, "models", "default=1:7", "served models as name=mul:seed,... (tiny_conv width multiplier and weight seed)")
+	flag.StringVar(&cfg.Tenants, "tenants", "", "tenant policies as name=weight:cap,... (DRR weight and queue cap; unnamed tenants get defaults)")
+	flag.StringVar(&cfg.DefaultModel, "default-model", "", "model for hello-less connections (default: the sole model, else none)")
+	flag.DurationVar(&cfg.Drain, "drain", 5*time.Second, "graceful-drain grace period on SIGTERM")
 	flag.Parse()
 
-	if *tcpAddr == "" && *unixPath == "" {
-		log.Fatal("omg-serve: nothing to listen on (set -tcp and/or -unix)")
+	specs, tenants, err := cfg.validate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omg-serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 
-	model, err := tflm.BuildRandomTinyConv(*modelMul, *modelSeed)
+	signer, err := core.NewSwapSigner(nil)
 	if err != nil {
-		log.Fatalf("omg-serve: build model: %v", err)
+		log.Fatalf("omg-serve: vendor identity: %v", err)
 	}
-	srv, err := core.NewServer(model, core.ServerConfig{
-		Workers:       *workers,
-		Queue:         *queue,
-		MaxBatch:      *maxBatch,
-		BatchParallel: *batchParallel,
+	models := map[string]core.ModelConfig{}
+	built := map[string]*tflm.Model{}
+	for name, spec := range specs {
+		m, err := tflm.BuildRandomTinyConv(spec.mul, spec.seed)
+		if err != nil {
+			log.Fatalf("omg-serve: build model %q: %v", name, err)
+		}
+		built[name] = m
+		models[name] = core.ModelConfig{
+			Model:     m,
+			Version:   1,
+			VendorPub: signer.VendorPub(),
+			Key:       signer.Key(),
+		}
+	}
+	reg, err := core.NewRegistry(models, core.RegistryConfig{
+		Shards: cfg.Shards,
+		Server: core.ServerConfig{
+			Workers:       cfg.Workers,
+			Queue:         cfg.Queue,
+			MaxBatch:      cfg.MaxBatch,
+			BatchParallel: cfg.BatchParallel,
+		},
+		Tenants: tenants,
 	})
 	if err != nil {
-		log.Fatalf("omg-serve: server: %v", err)
+		log.Fatalf("omg-serve: registry: %v", err)
 	}
-	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+	fe := netfront.NewFrontEndRegistry(reg, netfront.Config{DefaultModel: cfg.DefaultModel})
 
 	var wg sync.WaitGroup
 	serve := func(network, addr string) {
@@ -76,8 +224,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("omg-serve: listen %s %s: %v", network, addr, err)
 		}
-		fmt.Printf("omg-serve: listening on %s %s (workers=%d queue=%d)\n",
-			network, l.Addr(), srv.Workers(), srv.QueueDepth())
+		names := reg.Models()
+		sort.Strings(names)
+		fmt.Printf("omg-serve: listening on %s %s (models=%s shards=%d)\n",
+			network, l.Addr(), strings.Join(names, ","), cfg.Shards)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -86,18 +236,51 @@ func main() {
 			}
 		}()
 	}
-	if *tcpAddr != "" {
-		serve("tcp", *tcpAddr)
+	if cfg.TCPAddr != "" {
+		serve("tcp", cfg.TCPAddr)
 	}
-	if *unixPath != "" {
-		os.Remove(*unixPath) // a stale socket file would fail the bind
-		serve("unix", *unixPath)
+	if cfg.UnixPath != "" {
+		os.Remove(cfg.UnixPath) // a stale socket file would fail the bind
+		serve("unix", cfg.UnixPath)
 	}
+
+	// SIGHUP hot-swaps every model in place at the next version. The swap
+	// runs on this goroutine, serialized — overlapping HUPs queue behind
+	// the channel buffer.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	stopHup := make(chan struct{})
+	var hupWG sync.WaitGroup
+	hupWG.Add(1)
+	go func() {
+		defer hupWG.Done()
+		for {
+			select {
+			case <-stopHup:
+				return
+			case <-hup:
+			}
+			for name, m := range built {
+				v, _ := reg.ModelVersion(name)
+				pkg, err := signer.Package(name, v+1, m)
+				if err != nil {
+					log.Printf("omg-serve: package %q v%d: %v", name, v+1, err)
+					continue
+				}
+				if err := reg.Swap(name, pkg); err != nil {
+					log.Printf("omg-serve: swap %q v%d: %v", name, v+1, err)
+					continue
+				}
+				fmt.Printf("omg-serve: hot-swapped %q to v%d (zero dropped)\n", name, v+1)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("omg-serve: draining (grace %v; signal again to force)\n", *drain)
+	fmt.Printf("omg-serve: draining (grace %v; signal again to force)\n", cfg.Drain)
+	close(stopHup)
 	// A second signal force-closes: Shutdown polls connection quiescence, so
 	// an impatient operator can cut the grace short.
 	done := make(chan struct{})
@@ -109,13 +292,14 @@ func main() {
 		case <-done:
 		}
 	}()
-	if err := fe.Shutdown(*drain); err != nil {
+	if err := fe.Shutdown(cfg.Drain); err != nil {
 		log.Printf("omg-serve: drain: %v", err)
 	}
 	close(done)
-	wg.Wait()   // listeners gone
-	srv.Close() // drain accepted work
-	if *unixPath != "" {
-		os.Remove(*unixPath)
+	wg.Wait() // listeners gone
+	hupWG.Wait()
+	reg.Close() // drain accepted work
+	if cfg.UnixPath != "" {
+		os.Remove(cfg.UnixPath)
 	}
 }

@@ -156,6 +156,23 @@
 // — latency, partial writes, resets, stalls, corruption — and `make chaos`
 // gates every profile under the race detector.
 //
+// Above the single server sits core.Registry, the multi-tenant tier —
+// ARCHITECTURE.md "Multi-model serving & swap contract" is the
+// authoritative statement. The registry maps model ids to shard sets of
+// servers behind the core.Engine interface, admits work through per-tenant
+// bounded queues under deficit-round-robin weighted fair queueing (a
+// flooding tenant sheds its own traffic, goodput follows configured
+// weights), and hot-swaps a model's weights in place with zero dropped
+// requests: Registry.Swap verifies a signed, encrypted, version-monotonic
+// model package, flushes already-admitted work to the old generation
+// (bit-exact on the weights it was accepted under), flips the live-set
+// pointer, and drains the retired servers. Wire protocol v3 adds an
+// optional hello handshake binding a connection to a tenant and model
+// (acked with the model version) and CodeModelSwapped for streams pinned
+// to a retired generation; cmd/omg-serve serves a registry from -models/
+// -shards/-tenants flags and hot-swaps every model on SIGHUP. The
+// swap-storm chaos profile gates swaps overlapping transport faults.
+//
 // On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
 // iterations inside a single enclave Run, pulling several utterances per
 // SMC round trip through the shared-SW window, classifying each

@@ -526,6 +526,21 @@ func (s *Server) SubmitFunc(samples []int16, fn func(Result)) error {
 	return nil
 }
 
+// SubmitFuncDeadline is SubmitFunc with a queue deadline (see
+// SubmitDeadline): it blocks while the queue is full, and a submission
+// still queued past deadline is shed at dequeue with ErrDeadlineExceeded.
+// This is the Registry dispatcher's submission path — fairness is decided
+// upstream by the admission layer, so backpressure here is blocking, not
+// BUSY.
+func (s *Server) SubmitFuncDeadline(samples []int16, deadline time.Time, fn func(Result)) error {
+	t := newCbTicket(fn)
+	if err := s.send(job{samples: samples, res: &t.res, cb: t, deadline: deadline}, true); err != nil {
+		cbPool.Put(t)
+		return err
+	}
+	return nil
+}
+
 // TrySubmitFunc is SubmitFunc that fails with ErrQueueFull instead of
 // blocking when the queue is at capacity — the callback-path face of
 // backpressure (network front ends map it to an explicit BUSY reply).
@@ -669,6 +684,14 @@ func (st *Stream) OnResult(fn func(hop uint64, r Result)) {
 		panic("core: Stream.OnResult(nil)")
 	}
 	st.sq = &seqDelivery{fn: fn, next: st.hops, pending: make(map[uint64]*cbTicket)}
+}
+
+// Submit advances the stream by chunk on the server that opened it — the
+// method form of Server.SubmitStream, so holders of a Stream obtained
+// through the Engine interface can submit without naming the concrete
+// server (Registry shards are parameterized over Engine).
+func (st *Stream) Submit(chunk []int16) ([]*Pending, error) {
+	return st.srv.SubmitStream(st, chunk)
 }
 
 // SubmitStream advances the stream by chunk and submits one inference per

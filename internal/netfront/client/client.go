@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netfront"
@@ -109,6 +110,8 @@ const (
 	frameBatchResult  = netfront.FrameBatchResult
 	frameStreamClosed = netfront.FrameStreamClosed
 	frameStreamError  = netfront.FrameStreamError
+	frameHello        = netfront.FrameHello
+	frameHelloAck     = netfront.FrameHelloAck
 )
 
 // NoHop is the hop value passed to a stream callback for a stream-level
@@ -180,6 +183,17 @@ type Options struct {
 	// hook (wrap the returned net.Conn in a faultconn.Conn to serve the
 	// client a hostile network). nil means net.DialTimeout.
 	DialFunc func(network, addr string) (net.Conn, error)
+	// Tenant is the admission-control identity sent in the connection's
+	// hello handshake (wire protocol v3): the server queues and
+	// fair-shares this client's requests under it. Empty joins the default
+	// tenant; with both Tenant and Model empty no hello is sent and the
+	// connection behaves as a v2 peer.
+	Tenant string
+	// Model is the model id this connection's requests route to on a
+	// multi-model server, bound by the hello handshake. Empty serves the
+	// server's default model. A server that does not serve Model fails
+	// the dial (and any redial) with *RemoteError CodeBadRequest.
+	Model string
 }
 
 // pendingReply is one in-flight request's reply slot.
@@ -207,6 +221,8 @@ type Client struct {
 	mu     sync.Mutex
 	cc     *clientConn // current transport generation; nil only before dial
 	closed bool
+
+	version atomic.Uint64 // model version from the latest hello ack
 }
 
 // clientConn is one transport generation: the socket, its read loop, and
@@ -255,8 +271,48 @@ func DialOptions(network, addr string, opts Options) (*Client, error) {
 		return nil, err
 	}
 	c.cc = newClientConn(c, nc)
+	if err := c.handshake(c.cc); err != nil {
+		c.Close()
+		return nil, err
+	}
 	return c, nil
 }
+
+// handshake binds the generation to Options.Tenant/Model via FrameHello,
+// bounded by the dial timeout. A no-op when neither option is set (v2
+// behavior — servers predating the hello frame stay compatible).
+func (c *Client) handshake(cc *clientConn) error {
+	if c.opts.Tenant == "" && c.opts.Model == "" {
+		return nil
+	}
+	id, p, err := cc.register()
+	if err != nil {
+		return err
+	}
+	bodyLen := 4 + 2 + len(c.opts.Tenant) + 2 + len(c.opts.Model)
+	err = cc.writeFrame(frameHello, bodyLen, func(b []byte) []byte {
+		return netfront.AppendHello(b, id, c.opts.Tenant, c.opts.Model)
+	})
+	if err != nil {
+		cc.deregister(id)
+		return err
+	}
+	var deadline time.Time
+	if c.opts.DialTimeout > 0 {
+		deadline = time.Now().Add(c.opts.DialTimeout)
+	}
+	r, err := cc.await(id, p, deadline)
+	if err != nil {
+		return err
+	}
+	c.version.Store(r.hops)
+	return nil
+}
+
+// ModelVersion returns the served model's version from the most recent
+// hello acknowledgement — zero before any handshake (no Tenant/Model set)
+// or against a single-server backend.
+func (c *Client) ModelVersion() uint64 { return c.version.Load() }
 
 // dialRaw performs one bounded transport dial via DialFunc or net.
 func (c *Client) dialRaw() (net.Conn, error) {
@@ -371,8 +427,19 @@ func (c *Client) conn(deadline time.Time) (*clientConn, error) {
 			c.mu.Unlock()
 			nc.Close()
 		default:
-			c.cc = newClientConn(c, nc)
+			cc := newClientConn(c, nc)
+			c.cc = cc
 			c.mu.Unlock()
+			// Re-bind tenant/model on the fresh generation. A server
+			// rejection (unknown model) is terminal — redialing cannot
+			// fix it; a transport failure just feeds the redial loop.
+			if err := c.handshake(cc); err != nil {
+				var re *RemoteError
+				if errors.As(err, &re) {
+					return nil, err
+				}
+				lastErr = err
+			}
 		}
 	}
 }
@@ -532,6 +599,14 @@ func (cc *clientConn) readLoop() {
 			if s != nil {
 				s.fn(hop, int(label), nil)
 			}
+		case frameHelloAck:
+			if len(b) != 12 {
+				cc.failProto("malformed hello ack", len(b))
+				return
+			}
+			id := binary.LittleEndian.Uint32(b[0:4])
+			version := binary.LittleEndian.Uint64(b[4:12])
+			cc.deliver(id, reply{hops: version})
 		case frameStreamClosed:
 			if len(b) != 12 {
 				cc.failProto("malformed stream-closed frame", len(b))
@@ -655,13 +730,29 @@ func (cc *clientConn) classify(samples []int16, deadline time.Time) (int, error)
 }
 
 // retryable reports whether err is worth retrying: backpressure, transport
-// loss, or a server failure flagged transient.
+// loss, or a server failure whose code (plus retry-after hint) marks it
+// transient. The policy is code-aware, not hint-only: backpressure codes
+// (BUSY, deadline shed, recovered panic) are structurally transient and
+// retry even without a hint, while CodeUnavailable and CodeModelSwapped
+// retry exactly when the server attached a retry-after hint — a draining
+// server hints zero (redialing now is pointless), a hot swap hints the
+// backoff to the new generation.
 func retryable(err error) bool {
 	if errors.Is(err, ErrBusy) || errors.Is(err, ErrConnLost) {
 		return true
 	}
 	var re *RemoteError
-	return errors.As(err, &re) && re.Retryable()
+	if !errors.As(err, &re) {
+		return false
+	}
+	switch re.Code {
+	case netfront.CodeBusy, netfront.CodeDeadlineExceeded, netfront.CodePanic:
+		return true
+	case netfront.CodeUnavailable, netfront.CodeModelSwapped:
+		return re.RetryAfter > 0
+	default:
+		return re.Retryable()
+	}
 }
 
 // retryAfterHint extracts the server's backoff hint, if any.

@@ -296,3 +296,155 @@ func TestRemoteErrorNotRetried(t *testing.T) {
 		t.Fatalf("non-retryable error was attempted %d times", n)
 	}
 }
+
+// errorFrame builds a FrameError body carrying a structured wire error.
+func errorFrame(id uint32, code uint16, retryAfter time.Duration, msg string) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, id)
+	return netfront.AppendWireError(out, netfront.WireError{Code: code, RetryAfter: retryAfter, Msg: msg})
+}
+
+// TestRetryOnSwappedAndUnavailable pins the code-aware retry policy
+// (ISSUE 8 satellite): CodeModelSwapped and CodeUnavailable carrying a
+// retry-after hint are retried like BUSY; the same codes without a hint
+// surface immediately.
+func TestRetryOnSwappedAndUnavailable(t *testing.T) {
+	for _, code := range []uint16{netfront.CodeModelSwapped, netfront.CodeUnavailable} {
+		// With a hint: two failures then success must be absorbed.
+		var attempts atomic.Int32
+		addr := fakeServer(t, func(nc net.Conn) {
+			defer nc.Close()
+			for {
+				_, body, ok := readReq(nc)
+				if !ok {
+					return
+				}
+				id := binary.LittleEndian.Uint32(body[0:4])
+				if attempts.Add(1) <= 2 {
+					writeFrame(nc, netfront.FrameError, errorFrame(id, code, time.Millisecond, "swapping"))
+					continue
+				}
+				writeFrame(nc, netfront.FrameResult, resultFrame(id, 9))
+			}
+		})
+		c, err := DialOptions("tcp", addr, Options{
+			Retry: RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		label, err := c.Classify([]int16{1, 2})
+		if err != nil || label != 9 {
+			t.Fatalf("code %d with hint: label=%d err=%v, want retried success 9", code, label, err)
+		}
+		if n := attempts.Load(); n != 3 {
+			t.Fatalf("code %d with hint: server saw %d attempts, want 3", code, n)
+		}
+		c.Close()
+
+		// Without a hint: the same code must NOT be retried (a draining
+		// server's unavailable is terminal for this connection).
+		var bare atomic.Int32
+		addr = fakeServer(t, func(nc net.Conn) {
+			defer nc.Close()
+			for {
+				_, body, ok := readReq(nc)
+				if !ok {
+					return
+				}
+				bare.Add(1)
+				id := binary.LittleEndian.Uint32(body[0:4])
+				writeFrame(nc, netfront.FrameError, errorFrame(id, code, 0, "gone"))
+			}
+		})
+		c, err = DialOptions("tcp", addr, Options{
+			Retry: RetryPolicy{Attempts: 5, Base: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Classify([]int16{1, 2})
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != code {
+			t.Fatalf("code %d without hint: err = %v, want RemoteError", code, err)
+		}
+		if n := bare.Load(); n != 1 {
+			t.Fatalf("code %d without hint was attempted %d times, want 1", code, n)
+		}
+		c.Close()
+	}
+}
+
+// TestHelloHandshake pins the v3 handshake: a client with Tenant/Model set
+// sends FrameHello before any request, records the acked model version,
+// re-binds on redial, and fails the dial outright when the server rejects
+// the model.
+func TestHelloHandshake(t *testing.T) {
+	var hellos atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			typ, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			switch typ {
+			case netfront.FrameHello:
+				id, tenant, model, err := netfront.DecodeHello(body)
+				if err != nil || tenant != "acme" || model != "kws" {
+					writeFrame(nc, netfront.FrameError, errorFrame(id, netfront.CodeBadRequest, 0, "bad hello"))
+					return
+				}
+				hellos.Add(1)
+				ack := binary.LittleEndian.AppendUint32(nil, id)
+				ack = binary.LittleEndian.AppendUint64(ack, 42)
+				writeFrame(nc, netfront.FrameHelloAck, ack)
+			case netfront.FrameUtterance:
+				id := binary.LittleEndian.Uint32(body[0:4])
+				writeFrame(nc, netfront.FrameResult, resultFrame(id, 3))
+			}
+		}
+	})
+
+	c, err := DialOptions("tcp", addr, Options{Tenant: "acme", Model: "kws", Redial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if v := c.ModelVersion(); v != 42 {
+		t.Fatalf("model version %d after handshake, want 42", v)
+	}
+	if label, err := c.Classify([]int16{1}); err != nil || label != 3 {
+		t.Fatalf("classify after handshake: label=%d err=%v", label, err)
+	}
+	if n := hellos.Load(); n != 1 {
+		t.Fatalf("server saw %d hellos, want 1", n)
+	}
+
+	// Kill the transport: the next request must redial AND re-handshake.
+	c.mu.Lock()
+	c.cc.nc.Close()
+	c.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if label, err := c.Classify([]int16{1}); err == nil && label == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("classify never recovered after transport loss")
+		}
+	}
+	if n := hellos.Load(); n != 2 {
+		t.Fatalf("server saw %d hellos after redial, want 2", n)
+	}
+
+	// A server that rejects the model fails the dial.
+	if c, err := DialOptions("tcp", addr, Options{Tenant: "acme", Model: "wrong"}); err == nil {
+		c.Close()
+		t.Fatal("dial with rejected model succeeded")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != netfront.CodeBadRequest {
+			t.Fatalf("rejected model: err = %v, want CodeBadRequest RemoteError", err)
+		}
+	}
+}

@@ -62,6 +62,13 @@ type Profile struct {
 	// CorruptProb is the chance a Write flips one random bit of the
 	// payload before sending — frames that parse wrong or not at all.
 	CorruptProb float64
+
+	// SwapStorm asks the harness to loop hot model swaps (core.Registry
+	// Swap) behind the server while this profile's faults fire — the
+	// swap + fault overlap round of the chaos gate. The Conn itself
+	// injects nothing extra for it; the flag is directions to the test
+	// driving the matrix (TestServerSurvivesFaultMatrix).
+	SwapStorm bool
 }
 
 // Stats counts the faults a Conn actually injected, one counter per fault
@@ -94,6 +101,12 @@ func Profiles() []Profile {
 			Name: "mixed", Seed: 16,
 			LatencyProb: 0.2, LatencyMax: time.Millisecond,
 			PartialWriteProb: 0.05, ResetProb: 0.03, CorruptProb: 0.05,
+		},
+		{
+			Name: "swap-storm", Seed: 17,
+			LatencyProb: 0.2, LatencyMax: time.Millisecond,
+			PartialWriteProb: 0.05, ResetProb: 0.03, CorruptProb: 0.05,
+			SwapStorm: true,
 		},
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/netfront"
 	"repro/internal/netfront/client"
 	"repro/internal/netfront/faultconn"
+	"repro/internal/tflm"
 )
 
 // TestServerSurvivesFaultMatrix is the chaos gate (ISSUE 6 acceptance, run
@@ -57,6 +58,10 @@ func TestServerSurvivesFaultMatrix(t *testing.T) {
 	for _, p := range faultconn.Profiles() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
+			if p.SwapStorm {
+				runSwapStormRound(t, p, model, utts, want, settle)
+				return
+			}
 			panicsBefore := srv.Panics()
 			srv.InjectPanic() // consumed by whichever submission runs next
 
@@ -175,7 +180,9 @@ func TestServerSurvivesFaultMatrix(t *testing.T) {
 		})
 	}
 
-	// The matrix done, the server is still a working server.
+	// The matrix done, the server is still a working server (the swap-storm
+	// round ran against its own registry and listener, leaving this server
+	// untouched — which is itself part of the check).
 	c, err := client.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -188,6 +195,187 @@ func TestServerSurvivesFaultMatrix(t *testing.T) {
 		}
 		if err != nil || label != want[i] {
 			t.Fatalf("post-matrix classify %d: label=%d err=%v, want %d", i, label, err, want[i])
+		}
+	}
+}
+
+// runSwapStormRound is the swap + fault overlap round of the chaos gate: a
+// registry-backed front end serves faulted and healthy wire traffic while a
+// background loop hot-swaps the model continuously. The swap loop re-signs
+// the SAME weights at increasing versions, so every generation classifies
+// bit-exactly — any label drift means a request straddled a swap wrongly.
+// Asserted per round:
+//
+//   - healthy wire traffic stays bit-exact through back-to-back swaps (the
+//     client retry policy absorbs CodeModelSwapped via its retry-after hint),
+//   - every submission the registry admits completes exactly once, swaps
+//     and transport faults notwithstanding,
+//   - at least one swap actually landed during the traffic and the shard
+//     set finishes at full worker strength (with a panic injected mid-round),
+//   - closing clients, front end, and registry returns the goroutine count
+//     to the round's own baseline.
+func runSwapStormRound(t *testing.T, p faultconn.Profile, model *tflm.Model, utts [][]int16, want []int, settle func() int) {
+	baseline := settle()
+
+	signer, err := core.NewSwapSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := core.NewRegistry(map[string]core.ModelConfig{
+		"kws": {Model: model, Version: 1, VendorPub: signer.VendorPub(), Key: signer.Key()},
+	}, core.RegistryConfig{
+		Shards:        2,
+		Server:        core.ServerConfig{Workers: 2, Queue: 8},
+		DefaultTenant: core.TenantConfig{MaxQueue: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEndRegistry(reg, netfront.Config{ReadIdleTimeout: 750 * time.Millisecond})
+	go fe.Serve(l)
+	addr := l.Addr().String()
+
+	reg.InjectPanic("kws") // consumed by whichever submission runs next
+
+	// The storm: swap as fast as the registry drains, each generation the
+	// same weights under a fresh version and signature.
+	stopSwaps := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for v := uint64(2); ; v++ {
+			select {
+			case <-stopSwaps:
+				return
+			default:
+			}
+			pkg, err := signer.Package("kws", v, model)
+			if err != nil {
+				t.Errorf("swap-storm package v%d: %v", v, err)
+				return
+			}
+			if err := reg.Swap("kws", pkg); err != nil {
+				t.Errorf("swap-storm swap v%d: %v", v, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	faulted, err := client.DialOptions("tcp", addr, client.Options{
+		Tenant:    "chaos",
+		Redial:    true,
+		RedialMax: 8,
+		Retry:     client.RetryPolicy{Attempts: 8, Base: time.Millisecond, Max: 8 * time.Millisecond},
+		Seed:      p.Seed,
+		DialFunc: func(network, a string) (net.Conn, error) {
+			nc, err := net.DialTimeout(network, a, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			fc, _ := faultconn.New(nc, p)
+			return fc, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := client.DialOptions("tcp", addr, client.Options{
+		Tenant: "steady",
+		Retry:  client.RetryPolicy{Attempts: 8, Base: time.Millisecond, Max: 8 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var faultedOK atomic.Int32
+
+	// Faulted traffic through the storm: failures are fine, but anything
+	// that succeeds must carry a valid label.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			label, err := faulted.ClassifyDeadline(utts[i%len(utts)], time.Now().Add(3*time.Second))
+			if err == nil && label >= 0 {
+				faultedOK.Add(1)
+			}
+		}
+	}()
+
+	// Healthy traffic rides through every swap bit-exactly: the swap error
+	// is retryable (it carries a retry-after hint), so no failure may leak.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			label, err := healthy.Classify(utts[i%len(utts)])
+			if err != nil {
+				t.Errorf("healthy classify %d during swap storm: %v", i, err)
+				return
+			}
+			if label != want[i%len(utts)] {
+				t.Errorf("healthy classify %d during swap storm: label %d, want %d",
+					i, label, want[i%len(utts)])
+				return
+			}
+		}
+	}()
+
+	// Exactly-once through the registry's direct path: jobs admitted here
+	// straddle swap cutover flushes and must complete precisely once each.
+	const direct = 8
+	var completions atomic.Int32
+	done := make(chan struct{})
+	for i := 0; i < direct; i++ {
+		if err := reg.Submit("kws", "", utts[i%len(utts)], time.Time{}, func(core.Result) {
+			if completions.Add(1) == direct {
+				close(done)
+			}
+		}); err != nil {
+			t.Fatalf("direct submit %d: %v", i, err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("direct submissions incomplete through swap storm: %d of %d", completions.Load(), direct)
+	}
+
+	wg.Wait()
+	time.Sleep(30 * time.Millisecond) // room for a duplicate to surface
+	if n := completions.Load(); n != direct {
+		t.Fatalf("accepted submissions completed %d times, want exactly %d", n, direct)
+	}
+
+	close(stopSwaps)
+	swapWG.Wait()
+
+	if reg.Swaps() == 0 {
+		t.Fatal("swap storm landed zero swaps during the traffic")
+	}
+	if _, workers, live := reg.ShardHealth("kws"); live != workers {
+		t.Fatalf("shard workers shrank under swap storm: %d live of %d", live, workers)
+	}
+
+	faulted.Close()
+	healthy.Close()
+	fe.Close()
+	reg.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := settle(); n <= baseline+2 || time.Now().After(deadline) {
+			if n > baseline+2 {
+				t.Fatalf("goroutine leak after swap storm: %d, baseline %d", n, baseline)
+			}
+			break
 		}
 	}
 }

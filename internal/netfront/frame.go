@@ -6,7 +6,7 @@
 // and its license checks stay on the device, and this package is how
 // external load reaches them.
 //
-// # Wire protocol (version 2)
+// # Wire protocol (version 3)
 //
 // Every frame is a 5-byte header — uint32 little-endian body length, then
 // one type byte — followed by the body. Multi-byte integers are little
@@ -20,6 +20,7 @@
 //	FrameStreamChunk  id | int16 samples...            append audio to a stream
 //	FrameStreamClose  id                               flush + close a stream
 //	FrameBatch        id | n | n × (len | samples...)  classify a whole batch
+//	FrameHello        id | u16 len | tenant | u16 len | model
 //
 //	FrameResult       id | int32 label                 one-shot result
 //	FrameStreamResult id | uint64 hop | int32 label    one hop's result, in hop order
@@ -28,6 +29,16 @@
 //	FrameBatchResult  id | n | n × int32 label         batch results, in order
 //	FrameStreamClosed id | uint64 hops                 stream flushed; total hops
 //	FrameStreamError  id | uint64 hop | wire-error     one hop's failure, keeping its place
+//	FrameHelloAck     id | uint64 model-version        hello accepted
+//
+// FrameHello (new in version 3, optional — a connection that never sends
+// one behaves exactly like a version-2 peer) binds the connection to a
+// tenant and a model: the tenant selects the admission-control queue and
+// fair-share weight on a multi-tenant backend, and the model selects the
+// registry entry every later request on the connection routes to (empty
+// means the backend's default model). The server answers FrameHelloAck
+// carrying the model's current version, or FrameError with CodeBadRequest
+// when the named model is not served. A hello may be re-sent to re-bind.
 //
 // where wire-error (version 2, replacing the bare version-1 error string) is
 //
@@ -69,6 +80,7 @@ const (
 	FrameStreamChunk  = 0x03
 	FrameStreamClose  = 0x04
 	FrameBatch        = 0x05
+	FrameHello        = 0x06
 	FrameResult       = 0x81
 	FrameStreamResult = 0x82
 	FrameBusy         = 0x83
@@ -76,6 +88,7 @@ const (
 	FrameBatchResult  = 0x85
 	FrameStreamClosed = 0x86
 	FrameStreamError  = 0x87
+	FrameHelloAck     = 0x88
 )
 
 // HeaderLen is the fixed frame-header size: uint32 body length + type byte.
@@ -105,6 +118,11 @@ const (
 	// CodePanic reports an inference that panicked and was recovered; the
 	// worker pool survived, so the request is retryable.
 	CodePanic uint16 = 7
+	// CodeModelSwapped reports a request bound to a model generation that a
+	// hot swap retired mid-flight (a stream on the old interpreter, or a
+	// submit that raced the cutover). Nothing was lost server-side; the
+	// caller should reopen/retry against the new generation after the hint.
+	CodeModelSwapped uint16 = 8
 )
 
 // wireErrLen is the fixed prefix of a wire-error payload: uint16 code +
@@ -271,4 +289,54 @@ func DecodeBatch(body []byte) (id uint32, utts [][]int16, err error) {
 		return 0, nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrMalformedFrame, len(rest))
 	}
 	return id, utts, nil
+}
+
+// MaxHelloName caps the tenant and model names a FrameHello may carry; a
+// name is an identifier, not a payload.
+const MaxHelloName = 256
+
+// AppendHello appends a FrameHello body: id, then the length-prefixed
+// tenant and model names.
+func AppendHello(dst []byte, id uint32, tenant, model string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(tenant)))
+	dst = append(dst, tenant...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(model)))
+	dst = append(dst, model...)
+	return dst
+}
+
+// DecodeHello parses a FrameHello body into its id, tenant and model names,
+// enforcing MaxHelloName and exact body coverage.
+func DecodeHello(body []byte) (id uint32, tenant, model string, err error) {
+	id, rest, err := DecodeID(body)
+	if err != nil {
+		return 0, "", "", err
+	}
+	next := func() (string, error) {
+		if len(rest) < 2 {
+			return "", fmt.Errorf("%w: hello name lacks length", ErrMalformedFrame)
+		}
+		n := int(binary.LittleEndian.Uint16(rest[0:2]))
+		rest = rest[2:]
+		if n > MaxHelloName {
+			return "", fmt.Errorf("%w: hello name %d bytes, max %d", ErrMalformedFrame, n, MaxHelloName)
+		}
+		if n > len(rest) {
+			return "", fmt.Errorf("%w: hello name %d bytes beyond body", ErrMalformedFrame, n)
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	if tenant, err = next(); err != nil {
+		return 0, "", "", err
+	}
+	if model, err = next(); err != nil {
+		return 0, "", "", err
+	}
+	if len(rest) != 0 {
+		return 0, "", "", fmt.Errorf("%w: %d trailing bytes after hello", ErrMalformedFrame, len(rest))
+	}
+	return id, tenant, model, nil
 }

@@ -43,6 +43,12 @@ type Config struct {
 	// BusyRetryAfter is the retry hint carried by BUSY and other transient
 	// failures; <= 0 means DefaultBusyRetryAfter.
 	BusyRetryAfter time.Duration
+	// DefaultModel is the model id served to connections that never send a
+	// FrameHello (or hello with an empty model name). Only meaningful for
+	// a registry front end (NewFrontEndRegistry); empty means the
+	// registry's sole model when it serves exactly one, otherwise requests
+	// without a hello-bound model fail with CodeBadRequest.
+	DefaultModel string
 }
 
 // DefaultWriteTimeout is the response-write bound when Config.WriteTimeout
@@ -64,13 +70,104 @@ const DefaultMaxStreams = 64
 // short enough not to idle a loaded client.
 const DefaultBusyRetryAfter = 5 * time.Millisecond
 
-// FrontEnd serves the netfront wire protocol over any net.Listener,
-// multiplexing every connection onto one shared core.Server. Construct with
-// NewFrontEnd, run Serve per listener (each blocks, like http.Serve), and
-// Close to stop: Close closes the listeners and connections but not the
-// core.Server, whose lifetime belongs to the caller.
-type FrontEnd struct {
+// backend abstracts what a FrontEnd serves: a single core.Server
+// (NewFrontEnd, (model, tenant) ignored) or a multi-model multi-tenant
+// core.Registry (NewFrontEndRegistry). The conn handlers speak only this
+// interface, so routing and admission live behind it.
+type backend interface {
+	// submit enqueues one one-shot classification without blocking the
+	// read loop; backpressure surfaces as core.ErrQueueFull /
+	// core.ErrTenantBusy.
+	submit(model, tenant string, samples []int16, deadline time.Time, fn func(core.Result)) error
+	// openStream opens a stream routed by (model, tenant).
+	openStream(model, tenant string) (backendStream, error)
+	// runBatch classifies a whole batch synchronously.
+	runBatch(model, tenant string, utts [][]int16) []core.Result
+	// resolveModel validates a hello-supplied model name ("" = default)
+	// and returns the bound name plus its current version.
+	resolveModel(model string) (bound string, version uint64, err error)
+}
+
+// backendStream is the stream face of a backend: what connStream needs
+// from core.Stream / core.RegistryStream.
+type backendStream interface {
+	// OnResult switches the stream to in-hop-order callback delivery.
+	OnResult(fn func(hop uint64, r core.Result))
+	// Hops returns how many inference hops have been submitted.
+	Hops() uint64
+	// Submit advances the stream by one audio chunk.
+	Submit(chunk []int16) ([]*core.Pending, error)
+}
+
+// serverBackend adapts one core.Server: the single-model single-queue
+// serving shape netfront launched with. model and tenant are accepted and
+// ignored (a hello naming a non-empty model is rejected at resolveModel).
+type serverBackend struct {
 	srv *core.Server
+}
+
+func (b serverBackend) submit(model, tenant string, samples []int16, deadline time.Time, fn func(core.Result)) error {
+	return b.srv.TrySubmitFuncDeadline(samples, deadline, fn)
+}
+
+func (b serverBackend) openStream(model, tenant string) (backendStream, error) {
+	return b.srv.OpenStream()
+}
+
+func (b serverBackend) runBatch(model, tenant string, utts [][]int16) []core.Result {
+	return b.srv.RunBatch(utts)
+}
+
+func (b serverBackend) resolveModel(model string) (string, uint64, error) {
+	if model != "" {
+		return "", 0, core.ErrUnknownModel
+	}
+	return "", 0, nil
+}
+
+// registryBackend adapts a core.Registry: hello-bound (model, tenant)
+// select the registry entry and the admission queue.
+type registryBackend struct {
+	reg *core.Registry
+	def string // default model for connections that never bind one
+}
+
+func (b registryBackend) bound(model string) string {
+	if model == "" {
+		return b.def
+	}
+	return model
+}
+
+func (b registryBackend) submit(model, tenant string, samples []int16, deadline time.Time, fn func(core.Result)) error {
+	return b.reg.Submit(b.bound(model), tenant, samples, deadline, fn)
+}
+
+func (b registryBackend) openStream(model, tenant string) (backendStream, error) {
+	return b.reg.OpenStream(b.bound(model), tenant)
+}
+
+func (b registryBackend) runBatch(model, tenant string, utts [][]int16) []core.Result {
+	return b.reg.RunBatch(b.bound(model), tenant, utts)
+}
+
+func (b registryBackend) resolveModel(model string) (string, uint64, error) {
+	model = b.bound(model)
+	v, ok := b.reg.ModelVersion(model)
+	if !ok {
+		return "", 0, core.ErrUnknownModel
+	}
+	return model, v, nil
+}
+
+// FrontEnd serves the netfront wire protocol over any net.Listener,
+// multiplexing every connection onto one shared inference backend — a
+// single core.Server (NewFrontEnd) or a multi-model core.Registry
+// (NewFrontEndRegistry). Run Serve per listener (each blocks, like
+// http.Serve), and Close to stop: Close closes the listeners and
+// connections but not the backend, whose lifetime belongs to the caller.
+type FrontEnd struct {
+	be  backend
 	cfg Config
 
 	draining atomic.Bool // Shutdown in progress: stop accepting new streams
@@ -82,8 +179,30 @@ type FrontEnd struct {
 	wg     sync.WaitGroup
 }
 
-// NewFrontEnd wraps srv; the zero Config is ready to use.
+// NewFrontEnd wraps one core.Server; the zero Config is ready to use.
+// Connections get exactly the single-model semantics of wire protocol v2;
+// a FrameHello naming a non-empty model is rejected with CodeBadRequest.
 func NewFrontEnd(srv *core.Server, cfg Config) *FrontEnd {
+	return newFrontEnd(serverBackend{srv: srv}, cfg)
+}
+
+// NewFrontEndRegistry wraps a core.Registry: connections route by their
+// hello-bound (model, tenant), admission control is the registry's
+// per-tenant weighted fair queueing, and hot swaps surface as
+// CodeModelSwapped stream errors with a retry hint. Connections that never
+// send a hello serve Config.DefaultModel (or the registry's sole model)
+// under the default tenant ("").
+func NewFrontEndRegistry(reg *core.Registry, cfg Config) *FrontEnd {
+	def := cfg.DefaultModel
+	if def == "" {
+		if ids := reg.Models(); len(ids) == 1 {
+			def = ids[0]
+		}
+	}
+	return newFrontEnd(registryBackend{reg: reg, def: def}, cfg)
+}
+
+func newFrontEnd(be backend, cfg Config) *FrontEnd {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
@@ -100,7 +219,7 @@ func NewFrontEnd(srv *core.Server, cfg Config) *FrontEnd {
 		cfg.BusyRetryAfter = DefaultBusyRetryAfter
 	}
 	return &FrontEnd{
-		srv:   srv,
+		be:    be,
 		cfg:   cfg,
 		lns:   make(map[net.Listener]struct{}),
 		conns: make(map[*conn]struct{}),
@@ -287,8 +406,8 @@ func (rc *reqCtx) complete(r core.Result) {
 // core stream plus the flush accounting that lets FrameStreamClose wait for
 // every submitted hop's result to reach the wire before acknowledging.
 type connStream struct {
-	st        *core.Stream
-	buf       []int16 // chunk decode scratch (SubmitStream does not retain it)
+	st        backendStream
+	buf       []int16 // chunk decode scratch (Submit does not retain it)
 	submitted uint64  // hops handed to the core server (read-loop owned)
 	delivered atomic.Uint64
 	flush     chan struct{} // cap 1: callback → closer wakeup
@@ -305,6 +424,12 @@ type conn struct {
 	body    []byte
 	streams map[uint32]*connStream
 	reqFree chan *reqCtx
+
+	// Hello binding (read-loop owned): the tenant whose admission queue
+	// this connection's requests join, and the model they route to.
+	// Zero values mean the backend's defaults (v2 behavior).
+	tenant string
+	model  string
 
 	// Drain accounting (Shutdown): inflight counts accepted one-shot
 	// submissions and in-progress batches whose responses have not been
@@ -402,6 +527,10 @@ func (c *conn) serve() {
 			if !c.handleBatch(body) {
 				return
 			}
+		case FrameHello:
+			if !c.handleHello(body) {
+				return
+			}
 		default:
 			return // unknown frame type: protocol error
 		}
@@ -430,10 +559,10 @@ func (c *conn) handleUtterance(body []byte) bool {
 		deadline = time.Now().Add(d)
 	}
 	c.inflight.Add(1)
-	switch err := c.fe.srv.TrySubmitFuncDeadline(rc.buf, deadline, rc.fn); {
+	switch err := c.fe.be.submit(c.model, c.tenant, rc.buf, deadline, rc.fn); {
 	case err == nil:
 		return true
-	case errors.Is(err, core.ErrQueueFull):
+	case errors.Is(err, core.ErrQueueFull), errors.Is(err, core.ErrTenantBusy):
 		c.inflight.Add(-1)
 		c.writeBusy(reqID)
 		c.putReq(rc)
@@ -466,7 +595,7 @@ func (c *conn) handleStreamOpen(body []byte) bool {
 		c.writeErrorCode(id, CodeUnavailable, 0, "netfront: server draining")
 		return true
 	}
-	st, err := c.fe.srv.OpenStream()
+	st, err := c.fe.be.openStream(c.model, c.tenant)
 	if err != nil {
 		c.writeError(id, err)
 		return true
@@ -507,7 +636,7 @@ func (c *conn) handleStreamChunk(body []byte) bool {
 		return false
 	}
 	before := cs.st.Hops()
-	_, err = c.fe.srv.SubmitStream(cs.st, cs.buf)
+	_, err = cs.st.Submit(cs.buf)
 	cs.submitted += cs.st.Hops() - before
 	if err != nil {
 		c.writeError(id, err)
@@ -546,9 +675,31 @@ func (c *conn) handleBatch(body []byte) bool {
 		return false
 	}
 	c.inflight.Add(1)
-	results := c.fe.srv.RunBatch(utts)
+	results := c.fe.be.runBatch(c.model, c.tenant, utts)
 	c.writeBatchResult(reqID, results)
 	c.inflight.Add(-1)
+	return true
+}
+
+// handleHello binds the connection to a (tenant, model) pair: later
+// requests join that tenant's admission queue and route to that model. An
+// unknown model is a per-request CodeBadRequest (the connection stays
+// usable under its previous binding); success is acknowledged with the
+// model's current version. A malformed hello closes the connection like
+// any other unparseable frame.
+func (c *conn) handleHello(body []byte) bool {
+	id, tenant, model, err := DecodeHello(body)
+	if err != nil {
+		return false
+	}
+	bound, version, err := c.fe.be.resolveModel(model)
+	if err != nil {
+		c.writeError(id, err)
+		return true
+	}
+	c.tenant = tenant
+	c.model = bound
+	c.writeResult64(FrameHelloAck, id, version)
 	return true
 }
 
@@ -617,7 +768,15 @@ func (c *conn) codeFor(err error) (code uint16, retryAfter time.Duration) {
 		return CodeDeadlineExceeded, c.fe.cfg.BusyRetryAfter
 	case errors.Is(err, core.ErrWorkerPanic):
 		return CodePanic, c.fe.cfg.BusyRetryAfter
-	case errors.Is(err, core.ErrServerClosed):
+	case errors.Is(err, core.ErrTenantBusy):
+		return CodeBusy, c.fe.cfg.BusyRetryAfter
+	case errors.Is(err, core.ErrModelSwapped):
+		// The generation this request was bound to is gone but its
+		// successor is live: worth retrying after the hint.
+		return CodeModelSwapped, c.fe.cfg.BusyRetryAfter
+	case errors.Is(err, core.ErrUnknownModel):
+		return CodeBadRequest, 0
+	case errors.Is(err, core.ErrServerClosed), errors.Is(err, core.ErrRegistryClosed):
 		return CodeUnavailable, 0
 	default:
 		return CodeInternal, 0
