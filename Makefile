@@ -77,7 +77,7 @@ bench-cmp:
 # a gated benchmark more than GATE_TOL% slower fails the target. The
 # tolerance is generous because shared CI hosts are noisy — tighten locally
 # with GATE_TOL=10.
-GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput|BenchmarkRegistryThroughput|BenchmarkRegistrySwapUnderLoad
+GATE_BENCHES ?= BenchmarkFFTFixed512|BenchmarkFrontendExtract|BenchmarkInterpreterInvoke|BenchmarkInvokeBatch|BenchmarkStreamingExtract|BenchmarkGEMMMicroKernel|BenchmarkNetServerThroughput|BenchmarkRegistryThroughput|BenchmarkRegistrySwapUnderLoad|BenchmarkRegistryDegraded
 GATE_TOL ?= 25
 # The inference and frontend hot loops get a tighter leash: the PR-5-era 15%
 # InterpreterInvoke regression class must fail the gate, not slide under the
@@ -107,8 +107,10 @@ bench-gate-smoke:
 	@$(MAKE) --no-print-directory bench-gate GATE_BENCHTIME=1x GATE_TOL=100000 GATE_TIGHT_TOL=100000
 
 # Resilience gate: the fault-matrix chaos suite (faultconn profiles against
-# a live front end) under the race detector, twice, plus the harness's own
-# determinism tests. See ISSUE 6 / ARCHITECTURE.md "Failure semantics".
+# a live front end — transport faults, swap storm, and the ISSUE 9
+# panic-storm self-healing round) under the race detector, twice, plus the
+# harness's own determinism tests. See ISSUE 6 / ARCHITECTURE.md "Failure
+# semantics" and "Health, breakers & overload control".
 chaos:
 	$(GO) test -race -count=2 -run 'TestServerSurvivesFaultMatrix' ./internal/netfront/
 	$(GO) test -race -count=2 ./internal/netfront/faultconn/

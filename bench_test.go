@@ -920,6 +920,90 @@ func BenchmarkRegistrySwapUnderLoad(b *testing.B) {
 	b.ReportMetric(float64(served.Load())/float64(b.N), "utt/swap")
 }
 
+// BenchmarkRegistryDegraded measures serving throughput at degraded
+// capacity: a 4-shard registry with shard 0's circuit breaker tripped open
+// (an hour-long cooldown keeps it open and the supervisor idle for the
+// whole run), so every wave is carried by the 3 survivors. Per op is one
+// 64-utterance wave through Registry.Submit. Gated against
+// BENCH_BASELINE.json: a regression here means the open-shard skip path got
+// expensive or broken shards leak back into rotation.
+func BenchmarkRegistryDegraded(b *testing.B) {
+	fixture(b)
+	gen := speechcmd.NewGenerator(speechcmd.DefaultConfig())
+	const batch = 64
+	utts := make([][]int16, batch)
+	for i := range utts {
+		utts[i] = gen.Example(i%speechcmd.NumLabels, i/speechcmd.NumLabels, 0).Samples
+	}
+	b.Run("shards=4,dead=1", func(b *testing.B) {
+		model, err := tflm.BuildRandomTinyConv(1, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := core.NewRegistry(map[string]core.ModelConfig{
+			"kws": {Model: model, Version: 1},
+		}, core.RegistryConfig{
+			Shards:        4,
+			Server:        core.ServerConfig{Workers: 2, Queue: 64},
+			DefaultTenant: core.TenantConfig{MaxQueue: 4 * batch},
+			Breaker: core.BreakerConfig{
+				Threshold:    1,
+				Cooldown:     time.Hour, // stays open for the whole run
+				CooldownMax:  time.Hour,
+				RebuildAfter: 1 << 30, // supervisor never rebuilds it
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer reg.Close()
+
+		// Kill shard 0: arm a panic on it and submit until the breaker
+		// trips (rotation decides which shard serves each submission, so
+		// arm before every probe).
+		tripped := func() bool {
+			for _, mh := range reg.Health() {
+				for _, sh := range mh.Shards {
+					if sh.Shard == 0 && sh.State == core.BreakerOpen {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for i := 0; i < 1000 && !tripped(); i++ {
+			reg.InjectPanicShard("kws", 0)
+			done := make(chan struct{})
+			if err := reg.Submit("kws", "", utts[i%batch], time.Time{}, func(core.Result) {
+				close(done)
+			}); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+		if !tripped() {
+			b.Fatal("shard 0 breaker never tripped")
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			wg.Add(batch)
+			for j := 0; j < batch; j++ {
+				if err := reg.Submit("kws", "", utts[j], time.Time{}, func(core.Result) {
+					wg.Done()
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "utt/s")
+	})
+}
+
 // BenchmarkStreamingServer measures steady-state streamed hops through the
 // persistent queue: per-op is one 20 ms hop (1 FFT + one inference).
 func BenchmarkStreamingServer(b *testing.B) {

@@ -29,6 +29,14 @@
 // hello-bound clients observe the version bump on reconnect. (With trained
 // models this is where new weights would be picked up from disk.)
 //
+// On SIGUSR1 the server prints a health dump: every model's per-shard
+// circuit-breaker state, failure rate, rebuild count and worker liveness
+// (core.Registry.Health), plus the count of failed SIGHUP swaps. The same
+// snapshot is queryable over the wire via the client's Health method
+// (FrameHealth). Breaker and overload control default on; tune them with
+// -breaker-threshold/-breaker-cooldown/-overload-target or switch them off
+// with -no-breaker/-no-overload.
+//
 // On SIGINT/SIGTERM the server drains gracefully: listeners close, quiet
 // connections are released, and busy connections get the -drain grace to
 // finish before being force-closed (ARCHITECTURE.md "Failure semantics").
@@ -46,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -68,6 +77,12 @@ type serveConfig struct {
 	Tenants       string // raw -tenants spec: "name=weight:cap,..."
 	DefaultModel  string
 	Drain         time.Duration
+
+	NoBreaker        bool
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	NoOverload       bool
+	OverloadTarget   time.Duration
 }
 
 // modelSpec is one parsed -models entry: the tiny_conv geometry to build.
@@ -96,6 +111,12 @@ func (c serveConfig) validate() (map[string]modelSpec, map[string]core.TenantCon
 	}
 	if c.Drain < 0 {
 		return nil, nil, usageError{"-drain must be >= 0"}
+	}
+	if c.BreakerThreshold < 0 || c.BreakerCooldown < 0 {
+		return nil, nil, usageError{"-breaker-threshold and -breaker-cooldown must be >= 0 (0 = default)"}
+	}
+	if c.OverloadTarget < 0 {
+		return nil, nil, usageError{"-overload-target must be >= 0 (0 = default)"}
 	}
 
 	models := map[string]modelSpec{}
@@ -162,6 +183,24 @@ func splitSpec(s string) []string {
 	return out
 }
 
+// formatHealth renders the SIGUSR1 health dump: one line per shard with its
+// breaker state, rebuild generation, failure rate and worker liveness, plus
+// the running count of failed SIGHUP swaps. Split from the signal loop so
+// the format is testable.
+func formatHealth(health []core.ModelHealth, swapFailures uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "omg-serve: health (swap failures: %d)\n", swapFailures)
+	for _, mh := range health {
+		fmt.Fprintf(&b, "  %s v%d:\n", mh.Model, mh.Version)
+		for _, sh := range mh.Shards {
+			fmt.Fprintf(&b, "    shard %d: %s gen=%d rate=%.1f%% consec=%d trips=%d rebuilds=%d workers=%d/%d\n",
+				sh.Shard, sh.State, sh.Gen, sh.FailureRate*100,
+				sh.ConsecutiveFailures, sh.Trips, sh.Rebuilds, sh.Live, sh.Workers)
+		}
+	}
+	return b.String()
+}
+
 func main() {
 	var cfg serveConfig
 	flag.StringVar(&cfg.TCPAddr, "tcp", "127.0.0.1:7071", "TCP listen address (empty disables)")
@@ -175,6 +214,11 @@ func main() {
 	flag.StringVar(&cfg.Tenants, "tenants", "", "tenant policies as name=weight:cap,... (DRR weight and queue cap; unnamed tenants get defaults)")
 	flag.StringVar(&cfg.DefaultModel, "default-model", "", "model for hello-less connections (default: the sole model, else none)")
 	flag.DurationVar(&cfg.Drain, "drain", 5*time.Second, "graceful-drain grace period on SIGTERM")
+	flag.BoolVar(&cfg.NoBreaker, "no-breaker", false, "disable per-shard circuit breakers and the rebuild supervisor")
+	flag.IntVar(&cfg.BreakerThreshold, "breaker-threshold", 0, "consecutive hard failures that trip a shard breaker (0 = default)")
+	flag.DurationVar(&cfg.BreakerCooldown, "breaker-cooldown", 0, "base open-state cooldown before a breaker half-opens (0 = default)")
+	flag.BoolVar(&cfg.NoOverload, "no-overload", false, "disable the queue-delay overload controller (per-tenant caps still apply)")
+	flag.DurationVar(&cfg.OverloadTarget, "overload-target", 0, "target queue sojourn time before over-share tenants are shed (0 = default)")
 	flag.Parse()
 
 	specs, tenants, err := cfg.validate()
@@ -212,6 +256,15 @@ func main() {
 			BatchParallel: cfg.BatchParallel,
 		},
 		Tenants: tenants,
+		Breaker: core.BreakerConfig{
+			Disable:   cfg.NoBreaker,
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		},
+		Overload: core.OverloadConfig{
+			Disable: cfg.NoOverload,
+			Target:  cfg.OverloadTarget,
+		},
 	})
 	if err != nil {
 		log.Fatalf("omg-serve: registry: %v", err)
@@ -244,11 +297,16 @@ func main() {
 		serve("unix", cfg.UnixPath)
 	}
 
-	// SIGHUP hot-swaps every model in place at the next version. The swap
-	// runs on this goroutine, serialized — overlapping HUPs queue behind
-	// the channel buffer.
+	// SIGHUP hot-swaps every model in place at the next version; SIGUSR1
+	// dumps the health snapshot. Both run on this goroutine, serialized —
+	// overlapping signals queue behind the channel buffers. A failed swap
+	// is logged per model AND counted: the counter surfaces in every health
+	// dump, so silent HUP failures are visible long after they scrolled by.
+	var swapFailures atomic.Uint64
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
 	stopHup := make(chan struct{})
 	var hupWG sync.WaitGroup
 	hupWG.Add(1)
@@ -258,17 +316,22 @@ func main() {
 			select {
 			case <-stopHup:
 				return
+			case <-usr1:
+				fmt.Print(formatHealth(reg.Health(), swapFailures.Load()))
+				continue
 			case <-hup:
 			}
 			for name, m := range built {
 				v, _ := reg.ModelVersion(name)
 				pkg, err := signer.Package(name, v+1, m)
 				if err != nil {
-					log.Printf("omg-serve: package %q v%d: %v", name, v+1, err)
+					swapFailures.Add(1)
+					log.Printf("omg-serve: package %q v%d: %v (swap failures: %d)", name, v+1, err, swapFailures.Load())
 					continue
 				}
 				if err := reg.Swap(name, pkg); err != nil {
-					log.Printf("omg-serve: swap %q v%d: %v", name, v+1, err)
+					swapFailures.Add(1)
+					log.Printf("omg-serve: swap %q v%d: %v (swap failures: %d)", name, v+1, err, swapFailures.Load())
 					continue
 				}
 				fmt.Printf("omg-serve: hot-swapped %q to v%d (zero dropped)\n", name, v+1)

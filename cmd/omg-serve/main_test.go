@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // TestServeConfigValidate pins the flag validation table: each rejected
@@ -38,6 +40,11 @@ func TestServeConfigValidate(t *testing.T) {
 		{"tenants zero weight", func(c *serveConfig) { c.Tenants = "acme=0:16" }, "weight"},
 		{"tenants zero cap", func(c *serveConfig) { c.Tenants = "acme=1:0" }, "queue cap"},
 		{"tenants duplicate", func(c *serveConfig) { c.Tenants = "acme=1:16,acme=2:32" }, "duplicate tenant"},
+		{"breaker knobs ok", func(c *serveConfig) { c.BreakerThreshold = 3; c.BreakerCooldown = time.Second }, ""},
+		{"negative breaker threshold", func(c *serveConfig) { c.BreakerThreshold = -1 }, "-breaker-threshold"},
+		{"negative breaker cooldown", func(c *serveConfig) { c.BreakerCooldown = -time.Second }, "-breaker-cooldown"},
+		{"overload target ok", func(c *serveConfig) { c.OverloadTarget = 10 * time.Millisecond }, ""},
+		{"negative overload target", func(c *serveConfig) { c.OverloadTarget = -time.Millisecond }, "-overload-target"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -90,4 +97,27 @@ func errorsAs(err error, target *usageError) bool {
 		*target = ue
 	}
 	return ok
+}
+
+// TestFormatHealth pins the SIGUSR1 dump format: swap-failure count, model
+// versions, and per-shard breaker lines all present.
+func TestFormatHealth(t *testing.T) {
+	out := formatHealth([]core.ModelHealth{{
+		Model:   "kws",
+		Version: 3,
+		Shards: []core.ShardStatus{
+			{Shard: 0, State: core.BreakerClosed, Gen: 2, FailureRate: 0.25, Rebuilds: 1, Workers: 4, Live: 4},
+			{Shard: 1, State: core.BreakerOpen, ConsecutiveFailures: 7, Trips: 2, Workers: 4, Live: 0},
+		},
+	}}, 5)
+	for _, want := range []string{
+		"swap failures: 5",
+		"kws v3",
+		"shard 0: closed gen=2 rate=25.0% consec=0 trips=0 rebuilds=1 workers=4/4",
+		"shard 1: open gen=0 rate=0.0% consec=7 trips=2 rebuilds=0 workers=0/4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("health dump missing %q:\n%s", want, out)
+		}
+	}
 }

@@ -173,6 +173,23 @@
 // -shards/-tenants flags and hot-swaps every model on SIGHUP. The
 // swap-storm chaos profile gates swaps overlapping transport faults.
 //
+// The registry heals itself — ARCHITECTURE.md "Health, breakers &
+// overload control" is the authoritative statement. Every shard carries a
+// health score (consecutive hard failures + error EWMA) feeding a
+// three-state circuit breaker: an open shard leaves the DRR rotation
+// (traffic rides the survivors bit-exactly), half-open admits one probe,
+// and a supervisor rebuilds persistently-broken shards under capped
+// exponential backoff — swap always wins a race with rebuild.
+// Registry.Health() snapshots it all; FrameHealth queries it over the
+// wire; omg-serve dumps it on SIGUSR1. Admission adds a queue-delay
+// overload controller (CoDel-style target sojourn) that sheds over-share
+// tenants first with computed retry-after hints, which the client floors
+// its backoff on; the client can also hedge slow one-shot requests
+// (Options.Hedge, first reply wins, never for streams). The panic-storm
+// chaos profile gates self-healing: breakers trip under a shard-kill
+// storm, zero admitted requests are lost, and the registry recovers to
+// full strength.
+//
 // On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
 // iterations inside a single enclave Run, pulling several utterances per
 // SMC round trip through the shared-SW window, classifying each

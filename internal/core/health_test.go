@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tflm"
+)
+
+// fakeHealthEngine is a synchronous Engine double for breaker tests: it
+// completes every submission inline, failing with ErrWorkerPanic while its
+// fail switch is on, and counts Close calls so release discipline (exactly
+// once, never twice) is assertable.
+type fakeHealthEngine struct {
+	fail   *atomic.Bool
+	slow   time.Duration
+	closed atomic.Int32
+}
+
+func (f *fakeHealthEngine) SubmitFuncDeadline(samples []int16, deadline time.Time, fn func(Result)) error {
+	return f.TrySubmitFuncDeadline(samples, deadline, fn)
+}
+
+func (f *fakeHealthEngine) TrySubmitFuncDeadline(samples []int16, deadline time.Time, fn func(Result)) error {
+	if f.closed.Load() > 0 {
+		return ErrServerClosed
+	}
+	if f.slow > 0 {
+		time.Sleep(f.slow)
+	}
+	if f.fail != nil && f.fail.Load() {
+		fn(Result{Label: -1, Err: fmt.Errorf("%w: injected", ErrWorkerPanic)})
+		return nil
+	}
+	fn(Result{Label: 7})
+	return nil
+}
+
+func (f *fakeHealthEngine) OpenStream() (*Stream, error) {
+	return nil, errors.New("fakeHealthEngine: no streams")
+}
+
+func (f *fakeHealthEngine) Workers() int     { return 1 }
+func (f *fakeHealthEngine) LiveWorkers() int { return 1 }
+func (f *fakeHealthEngine) Close()           { f.closed.Add(1) }
+
+// fakeEngineFleet builds fakeHealthEngines and remembers every one, so a
+// test can flip individual shards' failure switches and audit Close counts.
+type fakeEngineFleet struct {
+	mu      sync.Mutex
+	built   []*fakeHealthEngine
+	failAll atomic.Bool
+	slow    time.Duration
+}
+
+func (fl *fakeEngineFleet) factory(model *tflm.Model, cfg ServerConfig) (Engine, error) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	e := &fakeHealthEngine{fail: &fl.failAll, slow: fl.slow}
+	fl.built = append(fl.built, e)
+	return e, nil
+}
+
+// engines returns a snapshot of every engine built so far.
+func (fl *fakeEngineFleet) engines() []*fakeHealthEngine {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return append([]*fakeHealthEngine(nil), fl.built...)
+}
+
+// submitWait pushes one job through the registry and returns its result.
+func submitWait(t *testing.T, reg *Registry, model string) Result {
+	t.Helper()
+	done := make(chan Result, 1)
+	if err := reg.Submit(model, "t", []int16{1}, time.Time{}, func(r Result) { done <- r }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(5 * time.Second):
+		t.Fatal("submit result never delivered")
+		return Result{}
+	}
+}
+
+// shardStatus extracts one shard's status from a Health snapshot.
+func shardStatus(t *testing.T, reg *Registry, model string, shard int) ShardStatus {
+	t.Helper()
+	for _, mh := range reg.Health() {
+		if mh.Model == model {
+			if shard >= len(mh.Shards) {
+				t.Fatalf("model %q has %d shards, want index %d", model, len(mh.Shards), shard)
+			}
+			return mh.Shards[shard]
+		}
+	}
+	t.Fatalf("model %q not in health snapshot", model)
+	return ShardStatus{}
+}
+
+// TestBreakerTripsAndRecloses drives a per-shard failure run past the
+// consecutive threshold, asserts the breaker opens (and the registry keeps
+// serving on the survivor), then lets a half-open probe succeed and asserts
+// the breaker recloses with scoring reset.
+func TestBreakerTripsAndRecloses(t *testing.T) {
+	model, err := tflm.BuildRandomTinyConv(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &fakeEngineFleet{}
+	reg, err := NewRegistry(map[string]ModelConfig{"m": {Model: model}}, RegistryConfig{
+		Shards: 2,
+		Engine: fleet.factory,
+		Breaker: BreakerConfig{
+			Threshold:    3,
+			Cooldown:     2 * time.Millisecond,
+			CooldownMax:  20 * time.Millisecond,
+			RebuildAfter: 1000, // keep the supervisor out of this test
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Fail everything until some shard's breaker opens. Round-robin spreads
+	// the failures, so both shards trip eventually; wait for the first.
+	fleet.failAll.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	tripped := -1
+	for tripped < 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no breaker opened under persistent failures")
+		}
+		r := submitWait(t, reg, "m")
+		if r.Err == nil {
+			t.Fatal("failing engine produced a success")
+		}
+		for i := 0; i < 2; i++ {
+			if st := shardStatus(t, reg, "m", i); st.State != BreakerClosed {
+				tripped = i
+			}
+		}
+	}
+	st := shardStatus(t, reg, "m", tripped)
+	if st.Trips == 0 {
+		t.Fatalf("shard %d open with zero recorded trips: %+v", tripped, st)
+	}
+
+	// Heal the engines: probes must reclose every shard and reset scoring.
+	fleet.failAll.Store(false)
+	for time.Now().Before(deadline) {
+		if r := submitWait(t, reg, "m"); r.Err != nil {
+			t.Fatalf("healed engine failed: %v", r.Err)
+		}
+		healthy := true
+		for i := 0; i < 2; i++ {
+			if st := shardStatus(t, reg, "m", i); st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+				healthy = false
+			}
+		}
+		if healthy {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("breakers never reclosed after failures stopped")
+}
+
+// TestSupervisorRebuildsBrokenShard lets a persistently-failing shard trip
+// repeatedly until the supervisor rebuilds its engine from the model, then
+// asserts the fresh engine serves, the broken one was released exactly
+// once, and the rebuild is visible in the health snapshot.
+func TestSupervisorRebuildsBrokenShard(t *testing.T) {
+	model, err := tflm.BuildRandomTinyConv(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &fakeEngineFleet{}
+	// The first engine fails forever; rebuilds produce healthy engines.
+	var firstBroken atomic.Bool
+	firstBroken.Store(true)
+	factory := func(m *tflm.Model, cfg ServerConfig) (Engine, error) {
+		eng, _ := fleet.factory(m, cfg)
+		fe := eng.(*fakeHealthEngine)
+		if len(fleet.engines()) == 1 {
+			fe.fail = &firstBroken
+		} else {
+			fe.fail = nil
+		}
+		return fe, nil
+	}
+	reg, err := NewRegistry(map[string]ModelConfig{"m": {Model: model}}, RegistryConfig{
+		Shards: 1,
+		Engine: factory,
+		Breaker: BreakerConfig{
+			Threshold:    2,
+			Cooldown:     time.Millisecond,
+			CooldownMax:  10 * time.Millisecond,
+			RebuildAfter: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never rebuilt the broken shard: %+v", shardStatus(t, reg, "m", 0))
+		}
+		submitWait(t, reg, "m") // traffic drives trips and probes
+		if st := shardStatus(t, reg, "m", 0); st.Rebuilds >= 1 {
+			break
+		}
+	}
+	// The rebuilt engine serves, and the shard recloses.
+	recovered := false
+	for time.Now().Before(deadline) {
+		r := submitWait(t, reg, "m")
+		st := shardStatus(t, reg, "m", 0)
+		if r.Err == nil && st.State == BreakerClosed && st.Gen >= 1 {
+			recovered = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("rebuilt shard never served cleanly: %+v", shardStatus(t, reg, "m", 0))
+	}
+	engines := fleet.engines()
+	if len(engines) < 2 {
+		t.Fatalf("rebuild recorded but only %d engines ever built", len(engines))
+	}
+	if got := engines[0].closed.Load(); got != 1 {
+		t.Fatalf("broken engine closed %d times, want exactly 1", got)
+	}
+}
+
+// TestSwapWinsBreakerRebuildRace races hot swaps against breaker trips and
+// supervisor rebuilds on the same model (satellite: swap wins, no
+// double-release). Run under -race by default `go test`. At the end every
+// engine ever built must have been closed exactly once.
+func TestSwapWinsBreakerRebuildRace(t *testing.T) {
+	model, err := tflm.BuildRandomTinyConv(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &fakeEngineFleet{}
+	reg, signer := signedRegistry(t, model, RegistryConfig{
+		Shards: 2,
+		Engine: fleet.factory,
+		Breaker: BreakerConfig{
+			Threshold:    1,
+			Cooldown:     time.Millisecond,
+			CooldownMax:  4 * time.Millisecond,
+			RebuildAfter: 1,
+		},
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Failure storm: flip the global failure switch fast enough that trips,
+	// probes, and rebuilds all interleave with the swap loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fleet.failAll.Store(i%2 == 0)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	// Traffic keeps outcomes flowing so breakers actually trip.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		for {
+			select {
+			case <-stop:
+				inner.Wait()
+				return
+			default:
+			}
+			inner.Add(1)
+			err := reg.Submit("kws", "t", []int16{1}, time.Time{}, func(Result) { inner.Done() })
+			if err != nil {
+				inner.Done()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	const swaps = 25
+	for v := uint64(2); v < 2+swaps; v++ {
+		pkg, err := signer.Package("kws", v, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Swap("kws", pkg); err != nil {
+			t.Fatalf("swap v%d: %v", v, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if v, _ := reg.ModelVersion("kws"); v != 1+swaps {
+		t.Fatalf("version %d after %d swaps, want %d", v, swaps, 1+swaps)
+	}
+	reg.Close()
+
+	// Release discipline: every engine ever built — initial set, swap sets,
+	// supervisor rebuilds — is closed exactly once, by exactly one owner.
+	for i, e := range fleet.engines() {
+		if got := e.closed.Load(); got != 1 {
+			t.Fatalf("engine %d closed %d times, want exactly 1 (double release or leak)", i, got)
+		}
+	}
+}
+
+// TestOverloadShedsOverShareTenant floods one tenant through a slow engine
+// until the queue-delay controller declares overload, then asserts (a) the
+// flooding tenant is shed at admission with a computed retry-after, (b) the
+// light tenant is never overload-shed, and (c) no already-admitted job is
+// dropped by the controller.
+func TestOverloadShedsOverShareTenant(t *testing.T) {
+	model, err := tflm.BuildRandomTinyConv(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &fakeEngineFleet{slow: time.Millisecond}
+	reg, err := NewRegistry(map[string]ModelConfig{"m": {Model: model}}, RegistryConfig{
+		Shards:        1,
+		Engine:        fleet.factory,
+		DefaultTenant: TenantConfig{MaxQueue: 1024},
+		Overload: OverloadConfig{
+			Target: 500 * time.Microsecond,
+			Window: 2 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	var admitted sync.WaitGroup
+	var dropped atomic.Uint64
+	var lightOut atomic.Int64 // light tenant's outstanding jobs, kept small
+	var floodShed int
+	var hint time.Duration
+	deadline := time.Now().Add(10 * time.Second)
+	for floodShed == 0 && time.Now().Before(deadline) {
+		// Flood tenant: pour in work far beyond its fair share.
+		for i := 0; i < 32; i++ {
+			admitted.Add(1)
+			err := reg.Submit("m", "flood", []int16{1}, time.Time{}, func(r Result) {
+				defer admitted.Done()
+				if r.Err != nil {
+					dropped.Add(1)
+				}
+			})
+			if err != nil {
+				admitted.Done()
+				if errors.Is(err, ErrOverloaded) {
+					floodShed++
+					var oe *OverloadError
+					if !errors.As(err, &oe) {
+						t.Fatalf("overload shed is %T, want *OverloadError", err)
+					}
+					hint = oe.RetryAfter
+				} else if !errors.Is(err, ErrTenantBusy) {
+					t.Fatalf("flood submit: %v", err)
+				}
+			}
+		}
+		// Light tenant: a small steady backlog, never over fair share.
+		if lightOut.Load() < 8 {
+			admitted.Add(1)
+			lightOut.Add(1)
+			err := reg.Submit("m", "light", []int16{1}, time.Time{}, func(r Result) {
+				defer admitted.Done()
+				lightOut.Add(-1)
+				if r.Err != nil {
+					dropped.Add(1)
+				}
+			})
+			if err != nil {
+				admitted.Done()
+				lightOut.Add(-1)
+				if errors.Is(err, ErrOverloaded) {
+					t.Fatal("light tenant shed by overload control while under fair share")
+				}
+				if !errors.Is(err, ErrTenantBusy) {
+					t.Fatalf("light submit: %v", err)
+				}
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	admitted.Wait()
+	if floodShed == 0 {
+		t.Fatal("queue-delay controller never shed the flooding tenant")
+	}
+	if hint < time.Millisecond {
+		t.Fatalf("overload retry-after hint %v, want >= 1ms (computed from backlog)", hint)
+	}
+	if n := dropped.Load(); n != 0 {
+		t.Fatalf("%d admitted jobs dropped; overload control must only refuse at admission", n)
+	}
+}
+
+// TestBusyHintComputedFromBacklog fills a tiny tenant queue behind a slow
+// engine and asserts the hard-cap rejection carries a computed, nonzero
+// retry-after (TenantBusyError), not a bare sentinel.
+func TestBusyHintComputedFromBacklog(t *testing.T) {
+	model, err := tflm.BuildRandomTinyConv(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &fakeEngineFleet{slow: 2 * time.Millisecond}
+	reg, err := NewRegistry(map[string]ModelConfig{"m": {Model: model}}, RegistryConfig{
+		Shards:        1,
+		Engine:        fleet.factory,
+		DefaultTenant: TenantConfig{MaxQueue: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	var wg sync.WaitGroup
+	var busy *TenantBusyError
+	deadline := time.Now().Add(5 * time.Second)
+	for busy == nil && time.Now().Before(deadline) {
+		wg.Add(1)
+		err := reg.Submit("m", "t", []int16{1}, time.Time{}, func(Result) { wg.Done() })
+		if err != nil {
+			wg.Done()
+			if !errors.Is(err, ErrTenantBusy) {
+				t.Fatalf("submit: %v", err)
+			}
+			if !errors.As(err, &busy) {
+				t.Fatalf("busy rejection is %T, want *TenantBusyError", err)
+			}
+		}
+	}
+	wg.Wait()
+	if busy == nil {
+		t.Fatal("queue never filled")
+	}
+	if busy.RetryAfter <= 0 {
+		t.Fatalf("busy retry-after %v, want > 0", busy.RetryAfter)
+	}
+}

@@ -20,6 +20,11 @@
 //     saturation a flooding tenant cannot starve the others. The per-tenant
 //     cap plus TenantCounters (accepted/busy/shed/dispatched) replace the
 //     single global BUSY bit.
+//
+// Self-healing (health.go) layers on top: every shard carries a circuit
+// breaker fed by outcome scoring, open shards leave the rotation, a
+// supervisor rebuilds persistently-broken shards, and a queue-delay
+// controller sheds over-share tenants with computed retry-after hints.
 package core
 
 import (
@@ -134,6 +139,12 @@ type RegistryConfig struct {
 	// DefaultTenant configures tenants not listed in Tenants. The zero
 	// value means weight 1, queue DefaultTenantQueue.
 	DefaultTenant TenantConfig
+	// Breaker parameterizes per-shard circuit breaking and the rebuild
+	// supervisor; the zero value enables both with defaults.
+	Breaker BreakerConfig
+	// Overload parameterizes the queue-delay admission controller; the
+	// zero value enables it with defaults.
+	Overload OverloadConfig
 }
 
 // TenantCounters is one tenant's admission-control observability snapshot.
@@ -156,6 +167,7 @@ type admJob struct {
 	tenant   *tenantState
 	samples  []int16
 	deadline time.Time
+	enq      time.Time // admission instant; sojourn feeds the overload controller
 	fn       func(Result)
 }
 
@@ -192,13 +204,15 @@ func (t *tenantState) pop() admJob {
 	return j
 }
 
-// shardSet is one generation of engines serving a model. next distributes
+// shardSet is one generation of shards serving a model. next distributes
 // submissions round-robin; retired flips exactly once when a swap replaces
 // the set, which is how stream bindings distinguish "model swapped" from a
-// genuinely closed server.
+// genuinely closed server. model is retained so the supervisor can rebuild
+// a broken shard's engine from the package that built the set.
 type shardSet struct {
 	version uint64
-	engines []Engine
+	model   *tflm.Model
+	shards  []*shard
 	next    atomic.Uint32
 	retired atomic.Bool
 }
@@ -226,9 +240,13 @@ type modelEntry struct {
 // field with Swap, and Close when done: Close stops admission, drains every
 // admitted submission, then drains and releases every shard engine.
 type Registry struct {
-	cfg     RegistryConfig
-	factory EngineFactory
-	entries map[string]*modelEntry // immutable after construction
+	cfg      RegistryConfig
+	factory  EngineFactory
+	entries  map[string]*modelEntry // immutable after construction
+	ids      []string               // sorted model ids: deterministic iteration
+	breaker  BreakerConfig          // resolved (withDefaults)
+	overload OverloadConfig         // resolved (withDefaults)
+	cbPool   sync.Pool              // *healthCb outcome wrappers
 
 	amu     sync.Mutex
 	cond    *sync.Cond // dispatcher wakeup: backlog appeared or closing
@@ -237,7 +255,17 @@ type Registry struct {
 	active  []*tenantState // backlogged tenants, DRR order
 	closed  bool
 
+	// Overload-controller state, guarded by amu.
+	backlog    int           // admitted-but-undispatched jobs across all tenants
+	aboveSince time.Time     // start of the current above-target sojourn run
+	overloaded bool          // controller verdict: shed over-share tenants
+	svcEWMA    time.Duration // inter-dispatch interval EWMA (service rate)
+	lastPop    time.Time     // previous dispatch instant; zeroed on idle
+
 	dispatcherDone chan struct{}
+	superKick      chan struct{} // breaker trip -> supervisor wakeup
+	superStop      chan struct{}
+	superDone      chan struct{}
 	swaps          atomic.Uint64
 }
 
@@ -259,8 +287,13 @@ func NewRegistry(models map[string]ModelConfig, cfg RegistryConfig) (*Registry, 
 		cfg:            cfg,
 		factory:        factory,
 		entries:        make(map[string]*modelEntry, len(models)),
+		breaker:        cfg.Breaker.withDefaults(),
+		overload:       cfg.Overload.withDefaults(),
 		tenants:        make(map[string]*tenantState),
 		dispatcherDone: make(chan struct{}),
+		superKick:      make(chan struct{}, 1),
+		superStop:      make(chan struct{}),
+		superDone:      make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.amu)
 	r.idle = sync.NewCond(&r.amu)
@@ -294,22 +327,30 @@ func NewRegistry(models map[string]ModelConfig, cfg RegistryConfig) (*Registry, 
 		e.cur.Store(set)
 		r.entries[id] = e
 	}
+	r.ids = ids
 	go r.dispatch()
+	if r.breaker.Disable {
+		close(r.superDone)
+	} else {
+		go r.supervise()
+	}
 	return r, nil
 }
 
 // buildShardSet constructs one generation of engines over model.
 func (r *Registry) buildShardSet(model *tflm.Model, version uint64) (*shardSet, error) {
-	set := &shardSet{version: version, engines: make([]Engine, 0, r.cfg.Shards)}
+	set := &shardSet{version: version, model: model, shards: make([]*shard, 0, r.cfg.Shards)}
 	for i := 0; i < r.cfg.Shards; i++ {
 		eng, err := r.factory(model, r.cfg.Server)
 		if err != nil {
-			for _, built := range set.engines {
-				built.Close()
+			for _, built := range set.shards {
+				built.engine().Close()
 			}
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		set.engines = append(set.engines, eng)
+		sh := &shard{idx: i}
+		sh.setEngine(eng)
+		set.shards = append(set.shards, sh)
 	}
 	return set, nil
 }
@@ -317,8 +358,8 @@ func (r *Registry) buildShardSet(model *tflm.Model, version uint64) (*shardSet, 
 // releaseAll closes every built engine (constructor failure path).
 func (r *Registry) releaseAll() {
 	for _, e := range r.entries {
-		for _, eng := range e.cur.Load().engines {
-			eng.Close()
+		for _, sh := range e.cur.Load().shards {
+			sh.engine().Close()
 		}
 	}
 }
@@ -353,11 +394,12 @@ func (r *Registry) ShardHealth(id string) (shards, workers, live int) {
 		return 0, 0, 0
 	}
 	set := e.cur.Load()
-	for _, eng := range set.engines {
+	for _, sh := range set.shards {
+		eng := sh.engine()
 		workers += eng.Workers()
 		live += eng.LiveWorkers()
 	}
-	return len(set.engines), workers, live
+	return len(set.shards), workers, live
 }
 
 // Swaps returns how many hot swaps have completed over the registry's
@@ -374,11 +416,31 @@ func (r *Registry) InjectPanic(id string) bool {
 		return false
 	}
 	set := e.cur.Load()
-	for _, eng := range set.engines {
-		if chaos, ok := eng.(interface{ InjectPanic() }); ok {
+	for _, sh := range set.shards {
+		if chaos, ok := sh.engine().(interface{ InjectPanic() }); ok {
 			chaos.InjectPanic()
 			return true
 		}
+	}
+	return false
+}
+
+// InjectPanicShard arms the worker-panic chaos hook on one specific shard
+// of model id — the targeted form of InjectPanic that panic-storm chaos
+// uses to concentrate failures on a single shard until its breaker trips.
+// It reports whether a hook was armed.
+func (r *Registry) InjectPanicShard(id string, shard int) bool {
+	e, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	set := e.cur.Load()
+	if shard < 0 || shard >= len(set.shards) {
+		return false
+	}
+	if chaos, ok := set.shards[shard].engine().(interface{ InjectPanic() }); ok {
+		chaos.InjectPanic()
+		return true
 	}
 	return false
 }
@@ -440,9 +502,13 @@ func (r *Registry) TenantCounters(name string) TenantCounters {
 // shard set, fn invoked exactly once with the result (on a worker or
 // dispatcher goroutine — same contract as Server.SubmitFunc). Admission
 // failures are synchronous: ErrUnknownModel, ErrTenantBusy when the
-// tenant's queue is at cap (the per-tenant BUSY), ErrRegistryClosed after
-// Close. A nonzero deadline sheds the job — at dispatch or at engine
-// dequeue — with ErrDeadlineExceeded once it passes.
+// tenant's queue is at cap (the per-tenant BUSY, with a computed retry-after
+// via *TenantBusyError), ErrOverloaded when the queue-delay controller is
+// shedding this tenant for exceeding its fair share (*OverloadError, also
+// hinted), ErrRegistryClosed after Close. A nonzero deadline sheds the job
+// — at dispatch or at engine dequeue — with ErrDeadlineExceeded once it
+// passes. Work is only ever refused here: once admitted, a submission is
+// never dropped by overload control.
 func (r *Registry) Submit(model, tenant string, samples []int16, deadline time.Time, fn func(Result)) error {
 	e, ok := r.entries[model]
 	if !ok {
@@ -454,12 +520,27 @@ func (r *Registry) Submit(model, tenant string, samples []int16, deadline time.T
 		return ErrRegistryClosed
 	}
 	t := r.tenantFor(tenant)
-	if t.depth() >= t.cap {
+	if r.overloaded && !r.overload.Disable && r.overShareLocked(t, t.depth()+1) {
+		// Queue-delay controller: dispatch sojourn has been above target for
+		// a full window and this tenant is hogging the backlog — shed at
+		// admission, before the job costs queue memory. Checked before the
+		// hard cap so a capped flood surfaces the overload verdict, not a
+		// generic BUSY.
+		retry := r.retryAfterLocked()
 		r.amu.Unlock()
 		t.busy.Add(1)
-		return ErrTenantBusy
+		return &OverloadError{RetryAfter: retry}
 	}
-	t.q = append(t.q, admJob{entry: e, tenant: t, samples: samples, deadline: deadline, fn: fn})
+	if t.depth() >= t.cap {
+		// Hard cap: the memory backstop. The hint is computed from the
+		// measured service rate, not a config constant.
+		retry := r.retryAfterLocked()
+		r.amu.Unlock()
+		t.busy.Add(1)
+		return &TenantBusyError{RetryAfter: retry}
+	}
+	t.q = append(t.q, admJob{entry: e, tenant: t, samples: samples, deadline: deadline, enq: time.Now(), fn: fn})
+	r.backlog++
 	t.accepted.Add(1)
 	if !t.active {
 		t.active = true
@@ -487,6 +568,7 @@ func (r *Registry) dispatch() {
 				r.amu.Unlock()
 				return
 			}
+			r.lastPop = time.Time{} // idle: think time must not skew the rate
 			r.cond.Wait()
 		}
 		t := r.active[0]
@@ -495,6 +577,12 @@ func (r *Registry) dispatch() {
 		for t.deficit > 0 && t.depth() > 0 {
 			j := t.pop()
 			t.deficit--
+			r.backlog--
+			now := time.Now()
+			r.noteServiceLocked(now)
+			if !j.enq.IsZero() {
+				r.overloadObserveLocked(now.Sub(j.enq), now)
+			}
 			// Resolve the target generation under amu: a Swap flush barrier
 			// that runs after this pop observes inflight > 0 and waits for
 			// the dispatch to commit before it retires this set.
@@ -550,21 +638,61 @@ func (r *Registry) dispatchOne(set *shardSet, j admJob) {
 }
 
 // submitTo places a job on one of the set's engines: a non-blocking pass
-// over every shard first (work-stealing across shard queues), then a
-// blocking submit on the round-robin choice when all are full.
+// over every breaker-admissible shard first (work-stealing across shard
+// queues), then a blocking submit on the first admitted shard when all are
+// full. Open shards are skipped — except that when every shard of the set
+// is open or probing, the rotation choice serves anyway: breakers shed
+// routing preference, never the last capacity. With breaking enabled every
+// callback is wrapped in a pooled outcome recorder that feeds the shard's
+// health scoring.
 func (r *Registry) submitTo(set *shardSet, j admJob) error {
-	n := len(set.engines)
+	n := len(set.shards)
 	start := int(set.next.Add(1)-1) % n
+	if r.breaker.Disable {
+		for k := 0; k < n; k++ {
+			err := set.shards[(start+k)%n].engine().TrySubmitFuncDeadline(j.samples, j.deadline, j.fn)
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				return err
+			}
+		}
+		return set.shards[start].engine().SubmitFuncDeadline(j.samples, j.deadline, j.fn)
+	}
+	now := time.Now().UnixNano()
+	hc := r.getHealthCb()
+	var admitted *shard
 	for k := 0; k < n; k++ {
-		err := set.engines[(start+k)%n].TrySubmitFuncDeadline(j.samples, j.deadline, j.fn)
+		sh := set.shards[(start+k)%n]
+		if !sh.admit(now) {
+			continue
+		}
+		if admitted == nil {
+			admitted = sh
+		}
+		hc.sh, hc.fn = sh, j.fn
+		err := sh.engine().TrySubmitFuncDeadline(j.samples, j.deadline, hc.cb)
 		if err == nil {
 			return nil
 		}
 		if !errors.Is(err, ErrQueueFull) {
+			r.putHealthCb(hc)
 			return err
 		}
+		// A half-open probe that found a full queue stays half-open: the
+		// backlog draining from that engine carries outcome recorders, and
+		// their verdicts resolve the probe.
 	}
-	return set.engines[start].SubmitFuncDeadline(j.samples, j.deadline, j.fn)
+	if admitted == nil {
+		admitted = set.shards[start]
+	}
+	hc.sh, hc.fn = admitted, j.fn
+	if err := admitted.engine().SubmitFuncDeadline(j.samples, j.deadline, hc.cb); err != nil {
+		r.putHealthCb(hc)
+		return err
+	}
+	return nil
 }
 
 // RunBatch classifies a whole batch for (model, tenant) through admission
@@ -592,11 +720,14 @@ func (r *Registry) RunBatch(model, tenant string, utts [][]int16) []Result {
 }
 
 // RegistryStream is a stream bound to one model generation. It delegates
-// to the underlying core.Stream; once a hot swap retires the generation,
-// Submit reports ErrModelSwapped (accepted hops still complete and deliver
+// to the underlying core.Stream; once a hot swap retires the generation —
+// or the supervisor rebuilds the shard the stream is bound to — Submit
+// reports ErrModelSwapped (accepted hops still complete and deliver
 // through OnResult — the binding breaks, the work does not).
 type RegistryStream struct {
 	set *shardSet
+	sh  *shard
+	gen uint64 // sh.gen at open; a mismatch means the engine was rebuilt away
 	st  *Stream
 }
 
@@ -617,12 +748,25 @@ func (r *Registry) OpenStream(model, tenant string) (*RegistryStream, error) {
 		return nil, ErrRegistryClosed
 	}
 	set := e.cur.Load()
-	eng := set.engines[int(set.next.Add(1)-1)%len(set.engines)]
-	st, err := eng.OpenStream()
+	n := len(set.shards)
+	start := int(set.next.Add(1)-1) % n
+	sh := set.shards[start]
+	if !r.breaker.Disable {
+		// Prefer a closed-breaker shard; fall back to the rotation choice
+		// when every shard is open (availability over purity).
+		for k := 0; k < n; k++ {
+			if cand := set.shards[(start+k)%n]; BreakerState(cand.state.Load()) == BreakerClosed {
+				sh = cand
+				break
+			}
+		}
+	}
+	gen := sh.gen.Load()
+	st, err := sh.engine().OpenStream()
 	if err != nil {
 		return nil, err
 	}
-	return &RegistryStream{set: set, st: st}, nil
+	return &RegistryStream{set: set, sh: sh, gen: gen, st: st}, nil
 }
 
 // Stream returns the underlying core.Stream.
@@ -635,15 +779,19 @@ func (rs *RegistryStream) OnResult(fn func(hop uint64, r Result)) { rs.st.OnResu
 func (rs *RegistryStream) Hops() uint64 { return rs.st.Hops() }
 
 // Swapped reports whether the stream's generation has been retired by a
-// hot swap.
-func (rs *RegistryStream) Swapped() bool { return rs.set.retired.Load() }
+// hot swap (or its shard rebuilt away by the supervisor).
+func (rs *RegistryStream) Swapped() bool {
+	return rs.set.retired.Load() || rs.sh.gen.Load() != rs.gen
+}
 
 // Submit advances the stream by chunk. Once the stream's generation has
-// been retired by a swap, Submit reports ErrModelSwapped instead of the
-// engine's ErrServerClosed — hops accepted before retirement still deliver.
+// been retired by a swap — or its shard's engine rebuilt by the supervisor
+// — Submit reports ErrModelSwapped instead of the engine's ErrServerClosed:
+// hops accepted before retirement still deliver, and the caller reopens
+// against the current generation.
 func (rs *RegistryStream) Submit(chunk []int16) ([]*Pending, error) {
 	tickets, err := rs.st.Submit(chunk)
-	if err != nil && errors.Is(err, ErrServerClosed) && rs.set.retired.Load() {
+	if err != nil && errors.Is(err, ErrServerClosed) && rs.Swapped() {
 		err = ErrModelSwapped
 	}
 	return tickets, err
@@ -762,6 +910,7 @@ func (r *Registry) Swap(id string, pkg *SwapPackage) error {
 		}
 		t.q = kept
 	}
+	r.backlog -= len(flush)
 	// Barrier: a dispatch popped before the sweep resolved the outgoing
 	// set under amu; wait for it to commit into the (still live) old
 	// engines before cutting over.
@@ -775,8 +924,8 @@ func (r *Registry) Swap(id string, pkg *SwapPackage) error {
 
 	e.cur.Store(next)
 	old.retired.Store(true)
-	for _, eng := range old.engines {
-		eng.Close()
+	for _, sh := range old.shards {
+		sh.engine().Close()
 	}
 	r.swaps.Add(1)
 	return nil
@@ -815,10 +964,14 @@ func (r *Registry) Close() {
 	r.cond.Broadcast()
 	r.amu.Unlock()
 	<-r.dispatcherDone
+	// Stop the rebuild supervisor before releasing engines so a rebuild
+	// cannot race the final close.
+	close(r.superStop)
+	<-r.superDone
 	for _, e := range r.entries {
 		e.smu.Lock()
-		for _, eng := range e.cur.Load().engines {
-			eng.Close()
+		for _, eng := range e.cur.Load().shards {
+			eng.engine().Close()
 		}
 		e.smu.Unlock()
 	}

@@ -12,7 +12,10 @@
 // (ClassifyDeadline) and opt into retry with exponential backoff plus
 // jitter on BUSY and transient transport failures (Options.Retry), and a
 // dropped connection is redialed with backoff on the next request when
-// Options.Redial is set. Server-side failures arrive as *RemoteError
+// Options.Redial is set. One-shot requests can additionally hedge
+// (Options.Hedge): a duplicate attempt fires when the first is slow, the
+// first reply wins, and the loser is silently discarded — at most 1+Max
+// attempts per call, never for streams or batches. Server-side failures arrive as *RemoteError
 // carrying the structured wire code and the server's retry-after hint.
 // Streams are deliberately not resumed across a redial: a stream bound to a
 // dead connection fails its callback once with ErrStreamBroken and its
@@ -30,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netfront"
 )
 
@@ -112,6 +116,8 @@ const (
 	frameStreamError  = netfront.FrameStreamError
 	frameHello        = netfront.FrameHello
 	frameHelloAck     = netfront.FrameHelloAck
+	frameHealth       = netfront.FrameHealth
+	frameHealthAck    = netfront.FrameHealthAck
 )
 
 // NoHop is the hop value passed to a stream callback for a stream-level
@@ -160,6 +166,29 @@ func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
 	return d/2 + time.Duration(rng.Int63n(int64(d)/2+1))
 }
 
+// HedgePolicy opts one-shot requests into hedging: when an attempt has not
+// completed within Delay, the client fires a duplicate of the same request
+// on the same connection and takes whichever reply lands first, quietly
+// discarding the loser. Hedging trades duplicate server work for tail
+// latency — a request stuck behind a slow shard or a breaker probe is
+// answered by a healthy one. It never applies to streams or batches, and a
+// call issues at most 1+Max attempts in total.
+type HedgePolicy struct {
+	// Delay is how long an attempt may run before the next hedge fires;
+	// <= 0 disables hedging entirely.
+	Delay time.Duration
+	// Max caps extra attempts beyond the first; <= 0 means 1.
+	Max int
+}
+
+// withDefaults fills unset hedge knobs.
+func (h HedgePolicy) withDefaults() HedgePolicy {
+	if h.Max <= 0 {
+		h.Max = 1
+	}
+	return h
+}
+
 // Options parameterizes DialOptions. The zero value matches Dial: bounded
 // dial, no retry, no redial.
 type Options struct {
@@ -194,6 +223,12 @@ type Options struct {
 	// server's default model. A server that does not serve Model fails
 	// the dial (and any redial) with *RemoteError CodeBadRequest.
 	Model string
+	// Hedge opts Classify/ClassifyDeadline into hedged requests: a
+	// duplicate attempt after Hedge.Delay, first reply wins. Zero-value
+	// (Delay == 0) disables hedging and keeps the single-attempt fast
+	// path. Streams and batches never hedge — a replayed stream hop or
+	// batch could double-classify audio.
+	Hedge HedgePolicy
 }
 
 // pendingReply is one in-flight request's reply slot.
@@ -205,6 +240,7 @@ type pendingReply struct {
 type reply struct {
 	labels []int32 // one label (one-shot) or the batch's labels
 	hops   uint64  // FrameStreamClosed payload
+	health []core.ModelHealth
 	err    error
 }
 
@@ -408,7 +444,7 @@ func (c *Client) conn(deadline time.Time) (*clientConn, error) {
 			}
 			return nil, lastErr
 		}
-		if attempt > 0 && !c.backoffSleep(pol, attempt-1, deadline, 0) {
+		if attempt > 0 && !c.backoffSleep(pol, attempt-1, deadline, retryAfterHint(lastErr)) {
 			return nil, ErrDeadlineExceeded
 		}
 		nc, err := c.dialRaw()
@@ -607,6 +643,13 @@ func (cc *clientConn) readLoop() {
 			id := binary.LittleEndian.Uint32(b[0:4])
 			version := binary.LittleEndian.Uint64(b[4:12])
 			cc.deliver(id, reply{hops: version})
+		case frameHealthAck:
+			id, models, err := netfront.DecodeHealthAck(b)
+			if err != nil {
+				cc.failProto("malformed health ack", len(b))
+				return
+			}
+			cc.deliver(id, reply{health: models})
 		case frameStreamClosed:
 			if len(b) != 12 {
 				cc.failProto("malformed stream-closed frame", len(b))
@@ -661,6 +704,23 @@ func (cc *clientConn) register() (uint32, *pendingReply, error) {
 	p := &pendingReply{ch: make(chan reply, 1)}
 	cc.pending[id] = p
 	return id, p, nil
+}
+
+// registerCh is register with a caller-supplied reply channel: hedged
+// attempts of one call share a single channel so the first completion wins
+// regardless of which attempt produced it. The channel must have capacity
+// for every id that will share it — deliver and fail send without
+// coordination.
+func (cc *clientConn) registerCh(ch chan reply) (uint32, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return 0, cc.err
+	}
+	id := cc.nextID
+	cc.nextID++
+	cc.pending[id] = &pendingReply{ch: ch}
+	return id, nil
 }
 
 // deregister abandons a pending request (client-side timeout): a reply
@@ -729,6 +789,99 @@ func (cc *clientConn) classify(samples []int16, deadline time.Time) (int, error)
 	return int(r.labels[0]), nil
 }
 
+// classifyHedged runs one logical request as up to 1+max wire attempts:
+// the first immediately, each further one when the hedge delay elapses
+// without a reply, or immediately when every outstanding attempt has
+// already failed. All attempts share one buffered reply channel, so the
+// first success wins no matter which attempt produced it; the losers are
+// deregistered and their late replies dropped by deliver. The channel's
+// capacity (1+max) covers the worst case of every attempt answering —
+// deliver and fail never block. No goroutine is spawned per hedge: one
+// timer drives the schedule.
+func (cc *clientConn) classifyHedged(samples []int16, deadline time.Time, delay time.Duration, max int) (int, error) {
+	ch := make(chan reply, 1+max)
+	ids := make([]uint32, 0, 1+max)
+	launch := func() error {
+		id, err := cc.registerCh(ch)
+		if err != nil {
+			return err
+		}
+		err = cc.writeFrame(frameUtterance, 4+2*len(samples), func(b []byte) []byte {
+			b = binary.LittleEndian.AppendUint32(b, id)
+			return netfront.AppendSamples(b, samples)
+		})
+		if err != nil {
+			cc.deregister(id)
+			return err
+		}
+		ids = append(ids, id)
+		return nil
+	}
+	abandon := func() {
+		for _, id := range ids {
+			cc.deregister(id)
+		}
+	}
+	if err := launch(); err != nil {
+		return -1, err
+	}
+	outstanding := 1
+	var firstErr error
+	hedger := time.NewTimer(delay)
+	defer hedger.Stop()
+	var deadlineC <-chan time.Time
+	if !deadline.IsZero() {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			abandon()
+			return -1, ErrDeadlineExceeded
+		}
+		dt := time.NewTimer(wait)
+		defer dt.Stop()
+		deadlineC = dt.C
+	}
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				// First success wins. Deregister the losers so their late
+				// replies are dropped (the winner's id is already gone —
+				// deliver removed it — so this is loser-only cleanup).
+				abandon()
+				return int(r.labels[0]), nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding > 0 {
+				continue
+			}
+			// Every attempt so far failed: don't sit out the rest of the
+			// hedge delay, spend remaining budget now or give up.
+			if len(ids) >= 1+max || launch() != nil {
+				return -1, firstErr
+			}
+			outstanding++
+		case <-hedger.C:
+			if len(ids) < 1+max {
+				// A hedge whose write fails is a failed attempt: the
+				// socket is dying, so the outstanding attempts are about
+				// to fail through this same channel — no special path.
+				if err := launch(); err == nil {
+					outstanding++
+				}
+			}
+			if len(ids) < 1+max {
+				hedger.Reset(delay)
+			}
+		case <-deadlineC:
+			abandon()
+			return -1, ErrDeadlineExceeded
+		}
+	}
+}
+
 // retryable reports whether err is worth retrying: backpressure, transport
 // loss, or a server failure whose code (plus retry-after hint) marks it
 // transient. The policy is code-aware, not hint-only: backpressure codes
@@ -783,12 +936,18 @@ func (c *Client) Classify(samples []int16) (int, error) {
 // hint, on BUSY, transport loss and server failures flagged transient.
 func (c *Client) ClassifyDeadline(samples []int16, deadline time.Time) (int, error) {
 	pol := c.opts.Retry.withDefaults()
+	hedge := c.opts.Hedge.withDefaults()
 	for attempt := 0; ; attempt++ {
 		cc, err := c.conn(deadline)
 		if err != nil {
 			return -1, err
 		}
-		label, err := cc.classify(samples, deadline)
+		var label int
+		if hedge.Delay > 0 {
+			label, err = cc.classifyHedged(samples, deadline, hedge.Delay, hedge.Max)
+		} else {
+			label, err = cc.classify(samples, deadline)
+		}
 		if err == nil {
 			return label, nil
 		}
@@ -799,6 +958,35 @@ func (c *Client) ClassifyDeadline(samples []int16, deadline time.Time) (int, err
 			return -1, err
 		}
 	}
+}
+
+// Health queries the server's live shard-health snapshot (FrameHealth,
+// wire v3): per model, the breaker state, generation, failure rate and
+// rebuild count of every shard. Against a single-model server without a
+// registry the reply is one synthesized always-closed pseudo-shard. Health
+// does not retry; under Options.Redial it still migrates to a fresh
+// connection when the old one died before the query.
+func (c *Client) Health() ([]core.ModelHealth, error) {
+	cc, err := c.conn(time.Time{})
+	if err != nil {
+		return nil, err
+	}
+	id, p, err := cc.register()
+	if err != nil {
+		return nil, err
+	}
+	err = cc.writeFrame(frameHealth, 4, func(b []byte) []byte {
+		return binary.LittleEndian.AppendUint32(b, id)
+	})
+	if err != nil {
+		cc.deregister(id)
+		return nil, err
+	}
+	r, err := cc.await(id, p, time.Time{})
+	if err != nil {
+		return nil, err
+	}
+	return r.health, nil
 }
 
 // ClassifyBatch submits a whole batch and blocks for its labels, one per

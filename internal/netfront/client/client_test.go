@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netfront"
 )
 
@@ -445,6 +446,183 @@ func TestHelloHandshake(t *testing.T) {
 		var re *RemoteError
 		if !errors.As(err, &re) || re.Code != netfront.CodeBadRequest {
 			t.Fatalf("rejected model: err = %v, want CodeBadRequest RemoteError", err)
+		}
+	}
+}
+
+// TestHedgedFirstReplyWins pins the hedging contract: when the first
+// attempt stalls past Hedge.Delay a duplicate fires, the first reply to
+// land wins, and the loser's late reply is silently dropped — the call
+// delivers exactly one completion and the connection stays healthy for
+// later requests.
+func TestHedgedFirstReplyWins(t *testing.T) {
+	var attempts atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		var stalled uint32
+		for {
+			_, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			id := binary.LittleEndian.Uint32(body[0:4])
+			switch attempts.Add(1) {
+			case 1:
+				// Stall the first attempt: no reply until the hedge won.
+				stalled = id
+			case 2:
+				// The hedge: answer immediately, then release the stalled
+				// first attempt with a DIFFERENT label — if the client ever
+				// surfaced it, the winner assertion below would catch it.
+				writeFrame(nc, netfront.FrameResult, resultFrame(id, 5))
+				writeFrame(nc, netfront.FrameResult, resultFrame(stalled, 7))
+			default:
+				writeFrame(nc, netfront.FrameResult, resultFrame(id, 3))
+			}
+		}
+	})
+	c, err := DialOptions("tcp", addr, Options{
+		Hedge: HedgePolicy{Delay: 10 * time.Millisecond, Max: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	label, err := c.Classify([]int16{1, 2, 3})
+	if err != nil || label != 5 {
+		t.Fatalf("hedged classify: label=%d err=%v, want the hedge's 5", label, err)
+	}
+	// The loser's late reply must have been dropped, not queued: a fresh
+	// request gets a fresh answer.
+	label, err = c.Classify([]int16{4})
+	if err != nil || label != 3 {
+		t.Fatalf("classify after hedge: label=%d err=%v, want 3", label, err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("server saw %d utterances, want 3 (two hedged + one plain)", n)
+	}
+}
+
+// TestHedgedAttemptsBounded pins the hedge budget: a server that never
+// answers sees at most 1+Max attempts for one call — the hedger stops
+// firing once the budget is spent — and the call ends at its deadline.
+func TestHedgedAttemptsBounded(t *testing.T) {
+	var attempts atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			if _, _, ok := readReq(nc); !ok {
+				return
+			}
+			attempts.Add(1)
+		}
+	})
+	c, err := DialOptions("tcp", addr, Options{
+		Hedge: HedgePolicy{Delay: 5 * time.Millisecond, Max: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.ClassifyDeadline([]int16{1}, time.Now().Add(150*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want exactly 1+Max = 3", n)
+	}
+	if c.cc == nil || !c.cc.alive() {
+		t.Fatal("connection died after an abandoned hedged call")
+	}
+}
+
+// TestRetryFloorsOnServerHint pins the satellite fix: the server's computed
+// retry-after hint floors the retry backoff even when it exceeds the
+// policy's Max — a 75ms hint against a 2ms cap must still hold the client
+// off for the full 75ms.
+func TestRetryFloorsOnServerHint(t *testing.T) {
+	const hintMillis = 75
+	var attempts atomic.Int32
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			_, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			id := binary.LittleEndian.Uint32(body[0:4])
+			if attempts.Add(1) == 1 {
+				busy := binary.LittleEndian.AppendUint32(nil, id)
+				busy = binary.LittleEndian.AppendUint32(busy, hintMillis)
+				writeFrame(nc, netfront.FrameBusy, busy)
+				continue
+			}
+			writeFrame(nc, netfront.FrameResult, resultFrame(id, 4))
+		}
+	})
+	c, err := DialOptions("tcp", addr, Options{
+		Retry: RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	label, err := c.Classify([]int16{9})
+	if err != nil || label != 4 {
+		t.Fatalf("classify: label=%d err=%v, want 4", label, err)
+	}
+	if elapsed := time.Since(start); elapsed < hintMillis*time.Millisecond {
+		t.Fatalf("retry waited only %v; the %dms server hint must floor the 2ms policy cap", elapsed, hintMillis)
+	}
+}
+
+// TestClientHealthQuery pins the FrameHealth admin round trip: the typed
+// snapshot crosses the wire losslessly.
+func TestClientHealthQuery(t *testing.T) {
+	want := []core.ModelHealth{{
+		Model:   "kws",
+		Version: 7,
+		Shards: []core.ShardStatus{
+			{Shard: 0, State: core.BreakerClosed, Gen: 2, FailureRate: 0.25, Rebuilds: 1, Workers: 4, Live: 4},
+			{Shard: 1, State: core.BreakerOpen, ConsecutiveFailures: 9, FailureRate: 1, Trips: 3, Workers: 4, Live: 0},
+		},
+	}}
+	addr := fakeServer(t, func(nc net.Conn) {
+		defer nc.Close()
+		for {
+			typ, body, ok := readReq(nc)
+			if !ok {
+				return
+			}
+			if typ != netfront.FrameHealth || len(body) != 4 {
+				t.Errorf("server saw frame 0x%02x (%d bytes), want FrameHealth", typ, len(body))
+				return
+			}
+			id := binary.LittleEndian.Uint32(body[0:4])
+			writeFrame(nc, netfront.FrameHealthAck, netfront.AppendHealthAck(nil, id, want))
+		}
+	})
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Model != "kws" || got[0].Version != 7 || len(got[0].Shards) != 2 {
+		t.Fatalf("health snapshot mangled: %+v", got)
+	}
+	for i, s := range got[0].Shards {
+		w := want[0].Shards[i]
+		if s.State != w.State || s.Gen != w.Gen || s.ConsecutiveFailures != w.ConsecutiveFailures ||
+			s.Trips != w.Trips || s.Rebuilds != w.Rebuilds || s.Workers != w.Workers || s.Live != w.Live {
+			t.Fatalf("shard %d mangled: got %+v want %+v", i, s, w)
+		}
+		if d := s.FailureRate - w.FailureRate; d > 0.01 || d < -0.01 {
+			t.Fatalf("shard %d failure rate %v, want ~%v", i, s.FailureRate, w.FailureRate)
 		}
 	}
 }

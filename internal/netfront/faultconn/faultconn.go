@@ -69,6 +69,15 @@ type Profile struct {
 	// injects nothing extra for it; the flag is directions to the test
 	// driving the matrix (TestServerSurvivesFaultMatrix).
 	SwapStorm bool
+
+	// PanicStorm asks the harness to repeatedly kill one registry shard
+	// (core.Registry InjectPanicShard) while this profile's transport
+	// faults fire — the self-healing round of the chaos gate: the shard's
+	// breaker must trip, traffic must keep serving bit-exactly on the
+	// survivors, and the supervisor must rebuild back to full strength
+	// once the storm stops. Like SwapStorm, the Conn itself injects
+	// nothing extra for it.
+	PanicStorm bool
 }
 
 // Stats counts the faults a Conn actually injected, one counter per fault
@@ -107,6 +116,12 @@ func Profiles() []Profile {
 			LatencyProb: 0.2, LatencyMax: time.Millisecond,
 			PartialWriteProb: 0.05, ResetProb: 0.03, CorruptProb: 0.05,
 			SwapStorm: true,
+		},
+		{
+			Name: "panic-storm", Seed: 18,
+			LatencyProb: 0.2, LatencyMax: time.Millisecond,
+			PartialWriteProb: 0.05, ResetProb: 0.03, CorruptProb: 0.05,
+			PanicStorm: true,
 		},
 	}
 }

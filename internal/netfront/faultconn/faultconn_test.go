@@ -103,19 +103,20 @@ func TestResetClosesConn(t *testing.T) {
 // TestProfilesCoverEveryFaultClass pins that the canonical matrix has a
 // profile exercising each fault class.
 func TestProfilesCoverEveryFaultClass(t *testing.T) {
-	var lat, part, stall, reset, corrupt, swap bool
+	var lat, part, stall, reset, corrupt, swap, panicStorm bool
 	for _, p := range Profiles() {
 		lat = lat || p.LatencyProb > 0
 		part = part || p.PartialWriteProb > 0
 		stall = stall || p.StallProb > 0
 		reset = reset || p.ResetProb > 0
 		corrupt = corrupt || p.CorruptProb > 0
-		// The swap-storm entry must also inject transport faults: the round
-		// exists to overlap swaps WITH faults, not to test swaps alone.
+		// The storm entries must also inject transport faults: those rounds
+		// exist to overlap swaps/panics WITH faults, not to test either alone.
 		swap = swap || (p.SwapStorm && (p.LatencyProb > 0 || p.ResetProb > 0 || p.CorruptProb > 0))
+		panicStorm = panicStorm || (p.PanicStorm && (p.LatencyProb > 0 || p.ResetProb > 0 || p.CorruptProb > 0))
 	}
-	if !(lat && part && stall && reset && corrupt && swap) {
-		t.Fatalf("matrix misses a fault class: latency=%v partial=%v stall=%v reset=%v corrupt=%v swap-storm=%v",
-			lat, part, stall, reset, corrupt, swap)
+	if !(lat && part && stall && reset && corrupt && swap && panicStorm) {
+		t.Fatalf("matrix misses a fault class: latency=%v partial=%v stall=%v reset=%v corrupt=%v swap-storm=%v panic-storm=%v",
+			lat, part, stall, reset, corrupt, swap, panicStorm)
 	}
 }

@@ -62,6 +62,10 @@ func TestServerSurvivesFaultMatrix(t *testing.T) {
 				runSwapStormRound(t, p, model, utts, want, settle)
 				return
 			}
+			if p.PanicStorm {
+				runPanicStormRound(t, p, model, utts, want, settle)
+				return
+			}
 			panicsBefore := srv.Panics()
 			srv.InjectPanic() // consumed by whichever submission runs next
 
@@ -374,6 +378,219 @@ func runSwapStormRound(t *testing.T, p faultconn.Profile, model *tflm.Model, utt
 		if n := settle(); n <= baseline+2 || time.Now().After(deadline) {
 			if n > baseline+2 {
 				t.Fatalf("goroutine leak after swap storm: %d, baseline %d", n, baseline)
+			}
+			break
+		}
+	}
+}
+
+// runPanicStormRound is the self-healing round of the chaos gate (ISSUE 9
+// acceptance): a registry-backed front end serves faulted and healthy wire
+// traffic while a background storm repeatedly kills shard 0's workers with
+// injected panics, driving its circuit breaker open over and over. Asserted
+// per round:
+//
+//   - healthy wire traffic stays bit-exact throughout — panicked attempts
+//     surface retryable CodePanic and land on the surviving shard,
+//   - every submission the registry admits completes exactly once (the
+//     breaker sheds only at admission, never admitted work),
+//   - the storm really tripped a breaker at least once (Registry.Health),
+//   - after the storm stops, the supervisor rebuilds back to full shard
+//     strength: every breaker closed, every worker live,
+//   - tearing everything down returns the goroutine count to the round's
+//     own baseline.
+func runPanicStormRound(t *testing.T, p faultconn.Profile, model *tflm.Model, utts [][]int16, want []int, settle func() int) {
+	baseline := settle()
+
+	reg, err := core.NewRegistry(map[string]core.ModelConfig{
+		"kws": {Model: model, Version: 1},
+	}, core.RegistryConfig{
+		Shards:        2,
+		Server:        core.ServerConfig{Workers: 2, Queue: 8},
+		DefaultTenant: core.TenantConfig{MaxQueue: 256},
+		Breaker: core.BreakerConfig{
+			Threshold:    2,
+			Cooldown:     2 * time.Millisecond,
+			CooldownMax:  20 * time.Millisecond,
+			RebuildAfter: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEndRegistry(reg, netfront.Config{ReadIdleTimeout: 750 * time.Millisecond})
+	go fe.Serve(l)
+	addr := l.Addr().String()
+
+	// The storm: keep shard 0's next submission booby-trapped so its worker
+	// panics again and again — consecutive hard failures trip the breaker,
+	// and persistent trips force supervisor rebuilds mid-traffic.
+	stopStorm := make(chan struct{})
+	var stormWG sync.WaitGroup
+	stormWG.Add(1)
+	go func() {
+		defer stormWG.Done()
+		for {
+			select {
+			case <-stopStorm:
+				return
+			default:
+			}
+			reg.InjectPanicShard("kws", 0)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	faulted, err := client.DialOptions("tcp", addr, client.Options{
+		Tenant:    "chaos",
+		Redial:    true,
+		RedialMax: 8,
+		Retry:     client.RetryPolicy{Attempts: 8, Base: time.Millisecond, Max: 8 * time.Millisecond},
+		Seed:      p.Seed,
+		DialFunc: func(network, a string) (net.Conn, error) {
+			nc, err := net.DialTimeout(network, a, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			fc, _ := faultconn.New(nc, p)
+			return fc, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The healthy connection also hedges: a request parked behind the dying
+	// shard is answered by its duplicate on the survivor — the hedging
+	// contract exercised under real faults.
+	healthy, err := client.DialOptions("tcp", addr, client.Options{
+		Tenant: "steady",
+		Retry:  client.RetryPolicy{Attempts: 12, Base: time.Millisecond, Max: 8 * time.Millisecond},
+		Hedge:  client.HedgePolicy{Delay: 25 * time.Millisecond, Max: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var faultedOK atomic.Int32
+
+	// Faulted traffic through the storm: failures are fine, but anything
+	// that succeeds must carry a valid label.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			label, err := faulted.ClassifyDeadline(utts[i%len(utts)], time.Now().Add(3*time.Second))
+			if err == nil && label >= 0 {
+				faultedOK.Add(1)
+			}
+		}
+	}()
+
+	// Healthy traffic rides through the panics bit-exactly: CodePanic is
+	// retryable, the tripped shard leaves rotation, the survivor answers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			label, err := healthy.Classify(utts[i%len(utts)])
+			if err != nil {
+				t.Errorf("healthy classify %d during panic storm: %v", i, err)
+				return
+			}
+			if label != want[i%len(utts)] {
+				t.Errorf("healthy classify %d during panic storm: label %d, want %d",
+					i, label, want[i%len(utts)])
+				return
+			}
+		}
+	}()
+
+	// Exactly-once through the registry's direct path: jobs admitted here
+	// may land on the panicking shard (their callback then reports the
+	// panic error) but each must complete precisely once — the breaker is
+	// never allowed to drop admitted work.
+	const direct = 8
+	var completions atomic.Int32
+	done := make(chan struct{})
+	for i := 0; i < direct; i++ {
+		if err := reg.Submit("kws", "", utts[i%len(utts)], time.Time{}, func(core.Result) {
+			if completions.Add(1) == direct {
+				close(done)
+			}
+		}); err != nil {
+			t.Fatalf("direct submit %d: %v", i, err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("direct submissions incomplete through panic storm: %d of %d", completions.Load(), direct)
+	}
+
+	wg.Wait()
+	time.Sleep(30 * time.Millisecond) // room for a duplicate to surface
+	if n := completions.Load(); n != direct {
+		t.Fatalf("accepted submissions completed %d times, want exactly %d", n, direct)
+	}
+
+	close(stopStorm)
+	stormWG.Wait()
+
+	trips := uint64(0)
+	for _, mh := range reg.Health() {
+		for _, sh := range mh.Shards {
+			trips += sh.Trips
+		}
+	}
+	if trips == 0 {
+		t.Fatal("panic storm never tripped a breaker")
+	}
+
+	// Self-healing: with the storm gone, the registry must return to full
+	// shard strength — supervisor rebuilds plus half-open probes reclose
+	// every breaker. Probes ride real submissions, so the poll keeps a
+	// trickle of traffic flowing (exactly what production recovery looks
+	// like: the breaker half-opens, the next request is the probe).
+	recoverDeadline := time.Now().Add(10 * time.Second)
+	for {
+		probeDone := make(chan struct{})
+		if err := reg.Submit("kws", "", utts[0], time.Time{}, func(core.Result) {
+			close(probeDone)
+		}); err == nil {
+			<-probeDone
+		}
+		recovered := true
+		for _, mh := range reg.Health() {
+			for _, sh := range mh.Shards {
+				if sh.State != core.BreakerClosed || sh.Live != sh.Workers {
+					recovered = false
+				}
+			}
+		}
+		if recovered {
+			break
+		}
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("registry never recovered to full shard strength: %+v", reg.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	faulted.Close()
+	healthy.Close()
+	fe.Close()
+	reg.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := settle(); n <= baseline+2 || time.Now().After(deadline) {
+			if n > baseline+2 {
+				t.Fatalf("goroutine leak after panic storm: %d, baseline %d", n, baseline)
 			}
 			break
 		}

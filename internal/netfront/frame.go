@@ -21,6 +21,7 @@
 //	FrameStreamClose  id                               flush + close a stream
 //	FrameBatch        id | n | n × (len | samples...)  classify a whole batch
 //	FrameHello        id | u16 len | tenant | u16 len | model
+//	FrameHealth       id                               admin: health snapshot
 //
 //	FrameResult       id | int32 label                 one-shot result
 //	FrameStreamResult id | uint64 hop | int32 label    one hop's result, in hop order
@@ -30,6 +31,7 @@
 //	FrameStreamClosed id | uint64 hops                 stream flushed; total hops
 //	FrameStreamError  id | uint64 hop | wire-error     one hop's failure, keeping its place
 //	FrameHelloAck     id | uint64 model-version        hello accepted
+//	FrameHealthAck    id | health snapshot             see AppendHealthAck
 //
 // FrameHello (new in version 3, optional — a connection that never sends
 // one behaves exactly like a version-2 peer) binds the connection to a
@@ -39,6 +41,12 @@
 // means the backend's default model). The server answers FrameHelloAck
 // carrying the model's current version, or FrameError with CodeBadRequest
 // when the named model is not served. A hello may be re-sent to re-bind.
+//
+// FrameHealth (new with the self-healing registry) is the admin query: the
+// server answers FrameHealthAck carrying a per-model, per-shard snapshot of
+// circuit-breaker state, failure scoring, trip/rebuild counts and worker
+// liveness (core.ModelHealth). The body layout is documented on
+// AppendHealthAck.
 //
 // where wire-error (version 2, replacing the bare version-1 error string) is
 //
@@ -71,6 +79,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Frame types. Requests have the high bit clear, responses set.
@@ -81,6 +91,7 @@ const (
 	FrameStreamClose  = 0x04
 	FrameBatch        = 0x05
 	FrameHello        = 0x06
+	FrameHealth       = 0x07
 	FrameResult       = 0x81
 	FrameStreamResult = 0x82
 	FrameBusy         = 0x83
@@ -89,6 +100,7 @@ const (
 	FrameStreamClosed = 0x86
 	FrameStreamError  = 0x87
 	FrameHelloAck     = 0x88
+	FrameHealthAck    = 0x89
 )
 
 // HeaderLen is the fixed frame-header size: uint32 body length + type byte.
@@ -106,8 +118,10 @@ const (
 	// CodeDeadlineExceeded reports that the request was shed because its
 	// queue deadline passed before a worker picked it up; retryable.
 	CodeDeadlineExceeded uint16 = 3
-	// CodeUnavailable reports a server that is closed or draining; retry
-	// against this connection is pointless (redial later).
+	// CodeUnavailable reports a server that cannot take the request: closed
+	// or draining (retry-after zero — redial later), or shedding this
+	// tenant under overload control (nonzero computed retry-after — back
+	// off for the hint, then retry).
 	CodeUnavailable uint16 = 4
 	// CodeBadRequest reports protocol misuse scoped to one request (chunk
 	// for an unopened stream, duplicate stream id); not retryable.
@@ -339,4 +353,93 @@ func DecodeHello(body []byte) (id uint32, tenant, model string, err error) {
 		return 0, "", "", fmt.Errorf("%w: %d trailing bytes after hello", ErrMalformedFrame, len(rest))
 	}
 	return id, tenant, model, nil
+}
+
+// healthShardLen is the fixed wire size of one shard record in a
+// FrameHealthAck body: u8 state | u32 gen | u32 consec | u32 rate-permille |
+// u32 trips | u32 rebuilds | u16 workers | u16 live.
+const healthShardLen = 1 + 4 + 4 + 4 + 4 + 4 + 2 + 2
+
+// AppendHealthAck appends a FrameHealthAck body: id, u16 model count, then
+// per model a length-prefixed name, u64 version, u16 shard count, and per
+// shard the fixed healthShardLen record (breaker state byte, rebuild
+// generation, consecutive failures, failure-rate in per-mille, trips,
+// rebuilds, configured and live workers). Rates are quantized to per-mille
+// on the wire; everything else round-trips exactly.
+func AppendHealthAck(dst []byte, id uint32, health []core.ModelHealth) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(health)))
+	for _, mh := range health {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(mh.Model)))
+		dst = append(dst, mh.Model...)
+		dst = binary.LittleEndian.AppendUint64(dst, mh.Version)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(mh.Shards)))
+		for _, sh := range mh.Shards {
+			dst = append(dst, byte(sh.State))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(sh.Gen))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(sh.ConsecutiveFailures))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(sh.FailureRate*1000))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(sh.Trips))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(sh.Rebuilds))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(sh.Workers))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(sh.Live))
+		}
+	}
+	return dst
+}
+
+// DecodeHealthAck parses a FrameHealthAck body into its id and the health
+// snapshot, enforcing MaxHelloName on model names and exact body coverage.
+func DecodeHealthAck(body []byte) (uint32, []core.ModelHealth, error) {
+	id, rest, err := DecodeID(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(rest) < 2 {
+		return 0, nil, fmt.Errorf("%w: health ack lacks model count", ErrMalformedFrame)
+	}
+	nm := int(binary.LittleEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	health := make([]core.ModelHealth, 0, nm)
+	for m := 0; m < nm; m++ {
+		if len(rest) < 2 {
+			return 0, nil, fmt.Errorf("%w: health model lacks name length", ErrMalformedFrame)
+		}
+		n := int(binary.LittleEndian.Uint16(rest[0:2]))
+		rest = rest[2:]
+		if n > MaxHelloName {
+			return 0, nil, fmt.Errorf("%w: health model name %d bytes, max %d", ErrMalformedFrame, n, MaxHelloName)
+		}
+		if len(rest) < n+8+2 {
+			return 0, nil, fmt.Errorf("%w: truncated health model record", ErrMalformedFrame)
+		}
+		mh := core.ModelHealth{Model: string(rest[:n])}
+		rest = rest[n:]
+		mh.Version = binary.LittleEndian.Uint64(rest[0:8])
+		ns := int(binary.LittleEndian.Uint16(rest[8:10]))
+		rest = rest[10:]
+		if len(rest) < ns*healthShardLen {
+			return 0, nil, fmt.Errorf("%w: truncated health shard records", ErrMalformedFrame)
+		}
+		mh.Shards = make([]core.ShardStatus, ns)
+		for s := 0; s < ns; s++ {
+			mh.Shards[s] = core.ShardStatus{
+				Shard:               s,
+				State:               core.BreakerState(rest[0]),
+				Gen:                 uint64(binary.LittleEndian.Uint32(rest[1:5])),
+				ConsecutiveFailures: int(binary.LittleEndian.Uint32(rest[5:9])),
+				FailureRate:         float64(binary.LittleEndian.Uint32(rest[9:13])) / 1000,
+				Trips:               uint64(binary.LittleEndian.Uint32(rest[13:17])),
+				Rebuilds:            uint64(binary.LittleEndian.Uint32(rest[17:21])),
+				Workers:             int(binary.LittleEndian.Uint16(rest[21:23])),
+				Live:                int(binary.LittleEndian.Uint16(rest[23:25])),
+			}
+			rest = rest[healthShardLen:]
+		}
+		health = append(health, mh)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after health ack", ErrMalformedFrame, len(rest))
+	}
+	return id, health, nil
 }

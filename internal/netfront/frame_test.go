@@ -210,3 +210,50 @@ func TestWireErrorRoundTrip(t *testing.T) {
 		t.Fatal("truncated wire error decoded without error")
 	}
 }
+
+// TestHealthAckRoundTrip pins the FrameHealthAck codec: a multi-model,
+// multi-shard snapshot survives encode/decode, and truncated or
+// trailing-garbage bodies are rejected rather than misparsed.
+func TestHealthAckRoundTrip(t *testing.T) {
+	in := []core.ModelHealth{
+		{Model: "kws", Version: 3, Shards: []core.ShardStatus{
+			{Shard: 0, State: core.BreakerClosed, Gen: 1, FailureRate: 0.5, Workers: 2, Live: 2},
+			{Shard: 1, State: core.BreakerHalfOpen, ConsecutiveFailures: 4, FailureRate: 1, Trips: 2, Rebuilds: 1, Workers: 2, Live: 0},
+		}},
+		{Model: "vad", Version: 9, Shards: []core.ShardStatus{
+			{Shard: 0, State: core.BreakerOpen, Trips: 1, Workers: 1, Live: 1},
+		}},
+	}
+	b := AppendHealthAck(nil, 42, in)
+	id, out, err := DecodeHealthAck(b)
+	if err != nil {
+		t.Fatalf("DecodeHealthAck: %v", err)
+	}
+	if id != 42 || len(out) != 2 {
+		t.Fatalf("id=%d models=%d, want 42/2", id, len(out))
+	}
+	for m := range in {
+		if out[m].Model != in[m].Model || out[m].Version != in[m].Version || len(out[m].Shards) != len(in[m].Shards) {
+			t.Fatalf("model %d header mangled: %+v want %+v", m, out[m], in[m])
+		}
+		for s := range in[m].Shards {
+			got, want := out[m].Shards[s], in[m].Shards[s]
+			if got.Shard != s || got.State != want.State || got.Gen != want.Gen ||
+				got.ConsecutiveFailures != want.ConsecutiveFailures || got.Trips != want.Trips ||
+				got.Rebuilds != want.Rebuilds || got.Workers != want.Workers || got.Live != want.Live {
+				t.Fatalf("model %d shard %d mangled: %+v want %+v", m, s, got, want)
+			}
+			if d := got.FailureRate - want.FailureRate; d > 0.001 || d < -0.001 {
+				t.Fatalf("model %d shard %d rate %v, want ~%v", m, s, got.FailureRate, want.FailureRate)
+			}
+		}
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := DecodeHealthAck(b[:cut]); err == nil {
+			t.Fatalf("truncated health ack (%d of %d bytes) decoded without error", cut, len(b))
+		}
+	}
+	if _, _, err := DecodeHealthAck(append(b, 0)); err == nil {
+		t.Fatal("health ack with trailing garbage decoded without error")
+	}
+}

@@ -319,3 +319,57 @@ func TestRegistryFrontEndTenantBusy(t *testing.T) {
 		t.Fatalf("greedy busy counter zero: %+v", c)
 	}
 }
+
+// TestHealthOverWire pins the FrameHealth admin query end to end: a
+// registry front end reports every model's real per-shard breaker state,
+// and a single-server front end synthesizes one always-closed pseudo-shard
+// so operators get a uniform answer from either backend.
+func TestHealthOverWire(t *testing.T) {
+	modelA, _, _ := testFixture(t, 1)
+	reg, err := core.NewRegistry(map[string]core.ModelConfig{
+		"a": {Model: modelA, Version: 10},
+	}, core.RegistryConfig{Shards: 2, Server: core.ServerConfig{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startRegistryFrontEnd(t, reg, netfront.Config{})
+	c, err := client.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	health, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 1 || health[0].Model != "a" || health[0].Version != 10 {
+		t.Fatalf("health = %+v, want one model a@10", health)
+	}
+	if len(health[0].Shards) != 2 {
+		t.Fatalf("%d shards reported, want 2", len(health[0].Shards))
+	}
+	for i, s := range health[0].Shards {
+		if s.State != core.BreakerClosed || s.Workers != 2 || s.Live != 2 {
+			t.Fatalf("shard %d: %+v, want closed with 2/2 workers", i, s)
+		}
+	}
+
+	// Single-server front end: the same query answers with a pseudo-shard.
+	modelB, _, _ := testFixture(t, 1)
+	saddr := startFrontEnd(t, modelB, core.ServerConfig{Workers: 1}, "tcp")
+	sc, err := client.Dial("tcp", saddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	shealth, err := sc.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shealth) != 1 || len(shealth[0].Shards) != 1 {
+		t.Fatalf("single-server health = %+v, want one pseudo-shard", shealth)
+	}
+	if s := shealth[0].Shards[0]; s.State != core.BreakerClosed || s.Workers != 1 || s.Live != 1 {
+		t.Fatalf("pseudo-shard %+v, want closed 1/1", s)
+	}
+}

@@ -86,6 +86,9 @@ type backend interface {
 	// resolveModel validates a hello-supplied model name ("" = default)
 	// and returns the bound name plus its current version.
 	resolveModel(model string) (bound string, version uint64, err error)
+	// health returns the backend's per-model, per-shard health snapshot
+	// (the FrameHealth admin query).
+	health() []core.ModelHealth
 }
 
 // backendStream is the stream face of a backend: what connStream needs
@@ -125,6 +128,18 @@ func (b serverBackend) resolveModel(model string) (string, uint64, error) {
 	return "", 0, nil
 }
 
+func (b serverBackend) health() []core.ModelHealth {
+	// A bare server has no breakers; synthesize one always-closed pseudo
+	// shard so the admin query still reports worker liveness.
+	return []core.ModelHealth{{
+		Shards: []core.ShardStatus{{
+			State:   core.BreakerClosed,
+			Workers: b.srv.Workers(),
+			Live:    b.srv.LiveWorkers(),
+		}},
+	}}
+}
+
 // registryBackend adapts a core.Registry: hello-bound (model, tenant)
 // select the registry entry and the admission queue.
 type registryBackend struct {
@@ -159,6 +174,8 @@ func (b registryBackend) resolveModel(model string) (string, uint64, error) {
 	}
 	return model, v, nil
 }
+
+func (b registryBackend) health() []core.ModelHealth { return b.reg.Health() }
 
 // FrontEnd serves the netfront wire protocol over any net.Listener,
 // multiplexing every connection onto one shared inference backend — a
@@ -531,6 +548,10 @@ func (c *conn) serve() {
 			if !c.handleHello(body) {
 				return
 			}
+		case FrameHealth:
+			if !c.handleHealth(body) {
+				return
+			}
 		default:
 			return // unknown frame type: protocol error
 		}
@@ -564,7 +585,7 @@ func (c *conn) handleUtterance(body []byte) bool {
 		return true
 	case errors.Is(err, core.ErrQueueFull), errors.Is(err, core.ErrTenantBusy):
 		c.inflight.Add(-1)
-		c.writeBusy(reqID)
+		c.writeBusy(reqID, c.hintFor(err))
 		c.putReq(rc)
 		return true
 	default:
@@ -703,6 +724,18 @@ func (c *conn) handleHello(body []byte) bool {
 	return true
 }
 
+// handleHealth answers the FrameHealth admin query with a FrameHealthAck
+// carrying the backend's per-model, per-shard health snapshot. An admin
+// path, not a hot path — the snapshot allocates.
+func (c *conn) handleHealth(body []byte) bool {
+	id, rest, err := DecodeID(body)
+	if err != nil || len(rest) != 0 {
+		return false
+	}
+	c.writeFrame(FrameHealthAck, AppendHealthAck(nil, id, c.fe.be.health()))
+	return true
+}
+
 // send writes the assembled wbuf under a deadline; callers hold wmu. A
 // failed or timed-out write closes the socket so every later write — and
 // the read loop — fails fast instead of parking worker goroutines: workers
@@ -723,12 +756,29 @@ func (c *conn) writeFrame(typ byte, payload []byte) {
 	c.wmu.Unlock()
 }
 
-// writeBusy sends a FrameBusy carrying the configured retry-after hint.
-func (c *conn) writeBusy(id uint32) {
+// writeBusy sends a FrameBusy carrying the given retry-after hint —
+// computed from the backend's measured backlog when available, the
+// configured constant otherwise.
+func (c *conn) writeBusy(id uint32, retryAfter time.Duration) {
 	var p [8]byte
 	binary.LittleEndian.PutUint32(p[0:4], id)
-	binary.LittleEndian.PutUint32(p[4:8], uint32(c.fe.cfg.BusyRetryAfter/time.Millisecond))
+	binary.LittleEndian.PutUint32(p[4:8], uint32(retryAfter/time.Millisecond))
 	c.writeFrame(FrameBusy, p[:])
+}
+
+// hintFor extracts the computed retry-after a core admission error carries
+// (*core.TenantBusyError, *core.OverloadError), falling back to the
+// configured BusyRetryAfter constant — the pre-self-healing behavior.
+func (c *conn) hintFor(err error) time.Duration {
+	var tb *core.TenantBusyError
+	if errors.As(err, &tb) && tb.RetryAfter > 0 {
+		return tb.RetryAfter
+	}
+	var oe *core.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		return oe.RetryAfter
+	}
+	return c.fe.cfg.BusyRetryAfter
 }
 
 // writeResult sends an id + int32 frame (FrameResult).
@@ -769,7 +819,12 @@ func (c *conn) codeFor(err error) (code uint16, retryAfter time.Duration) {
 	case errors.Is(err, core.ErrWorkerPanic):
 		return CodePanic, c.fe.cfg.BusyRetryAfter
 	case errors.Is(err, core.ErrTenantBusy):
-		return CodeBusy, c.fe.cfg.BusyRetryAfter
+		return CodeBusy, c.hintFor(err)
+	case errors.Is(err, core.ErrOverloaded):
+		// The queue-delay controller shed this tenant for exceeding its
+		// fair share: unavailable *to this tenant right now*, retryable
+		// after the computed backlog-drain hint.
+		return CodeUnavailable, c.hintFor(err)
 	case errors.Is(err, core.ErrModelSwapped):
 		// The generation this request was bound to is gone but its
 		// successor is live: worth retrying after the hint.
