@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/he"
 	"repro/internal/hw"
 	"repro/internal/intnet"
+	"repro/internal/loadgen"
 	"repro/internal/mpc"
 	"repro/internal/netfront"
 	"repro/internal/netfront/client"
@@ -1124,3 +1126,88 @@ func BenchmarkTrainEpoch(b *testing.B) {
 }
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// BenchmarkServedTailLatency is the SLO gate (ISSUE 10): open-loop Poisson
+// runs from internal/loadgen against a live front end over loopback TCP,
+// with the one-shot p99 reported as the gated custom metric. Unlike the
+// throughput benchmarks above — closed loops that measure capacity — this
+// fixes the offered rate well below saturation (~25% utilisation on the
+// 1-CPU CI box) so the number it guards is queueing-plus-service tail
+// latency under realistic load, the quantity the paper's on-device budget
+// constrains.
+//
+// A p99 over one short run is a single order statistic: one CPU-steal
+// stall on a shared host inflates every queued arrival and swings it by an
+// order of magnitude. Each iteration therefore runs sloSubRuns independent
+// sub-runs (distinct seeds) and the gated metric is the MEDIAN sub-run
+// p99, which one stall event cannot move. ns/op is sub-runs × arrivals ×
+// the inter-arrival period by construction and carries no signal; the
+// gate polices p99-ms/op. The experiment size is fixed per iteration (so
+// the metric is comparable across -benchtime settings); -benchtime 1x
+// runs it exactly once, in about six seconds.
+func BenchmarkServedTailLatency(b *testing.B) {
+	fixture(b)
+	srv, err := core.NewServer(fixModel, core.ServerConfig{Workers: 2, Queue: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+	go fe.Serve(l)
+	defer fe.Close()
+
+	target, err := loadgen.NewClientTarget(loadgen.ClientTargetConfig{
+		Network:   "tcp",
+		Addr:      l.Addr().String(),
+		Conns:     4,
+		Utterance: fixUtt,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer target.Close()
+	// Warm the connections and server pools outside the measured window.
+	if err := target.Do(loadgen.ClassOneShot, "", 0); err != nil {
+		b.Fatal(err)
+	}
+
+	const (
+		sloRate     = 500  // arrivals/s: ~25% of loopback one-shot capacity
+		sloArrivals = 1000 // per sub-run: p99 is the 10th-worst sample
+		sloSubRuns  = 3
+	)
+	var p99s []time.Duration
+	merged := loadgen.NewHistogram()
+	var offered, busy uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < sloSubRuns; r++ {
+			rep, err := loadgen.Run(loadgen.Config{
+				Rate:        sloRate,
+				MaxArrivals: sloArrivals,
+				Seed:        int64(1 + i*sloSubRuns + r),
+			}, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Errors != 0 || rep.Inflight != 0 {
+				b.Fatalf("run not clean: %v (%v)", rep, rep.ErrorSamples)
+			}
+			lat := rep.Latency(loadgen.ClassOneShot)
+			p99s = append(p99s, lat.Quantile(0.99))
+			merged.Merge(lat)
+			offered += rep.Offered
+			busy += rep.Busy
+		}
+	}
+	b.StopTimer()
+	sort.Slice(p99s, func(i, j int) bool { return p99s[i] < p99s[j] })
+	b.ReportMetric(float64(p99s[len(p99s)/2])/1e6, "p99-ms/op")
+	b.ReportMetric(float64(merged.Quantile(0.5))/1e6, "p50-ms")
+	b.ReportMetric(float64(merged.Quantile(0.999))/1e6, "p99.9-ms")
+	b.ReportMetric(float64(busy)/float64(offered), "busy-rate")
+}

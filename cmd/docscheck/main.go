@@ -36,6 +36,7 @@ var defaultDirs = []string{
 	"internal/netfront",
 	"internal/netfront/client",
 	"internal/netfront/faultconn",
+	"internal/loadgen",
 }
 
 func main() {

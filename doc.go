@@ -190,6 +190,19 @@
 // storm, zero admitted requests are lost, and the registry recovers to
 // full strength.
 //
+// The serving edge is held to SLOs, not just throughput — ARCHITECTURE.md
+// "Tail latency & SLOs" is the authoritative statement. internal/loadgen
+// is an open-loop (Poisson-arrival) generator whose offered load is a
+// deterministic function of config and seed — a stalled server cannot
+// slow it down — with coordinated-omission-corrected latencies recorded
+// into lock-free log-linear histograms (~3% relative error, 0 allocs per
+// record) and outcomes split into completed / BUSY / shed (with the
+// server's retry-after hints) / protocol error plus a Jain fairness index
+// over tenants. cmd/omg-loadgen is the CLI (live address or in-process
+// server, benchjson-compatible -json); the loadgen example is the guided
+// tour. `make slo-smoke` gates a mixed one-second run on every CI pass,
+// and BenchmarkServedTailLatency gates the median-of-3 open-loop p99.
+//
 // On the protected path, KWSApp.QueryBatch(n) runs n capture→extract→invoke
 // iterations inside a single enclave Run, pulling several utterances per
 // SMC round trip through the shared-SW window, classifying each

@@ -1,0 +1,100 @@
+// Load generation: measuring tail latency with the open-loop SLO harness
+// (internal/loadgen) against an in-process front end.
+//
+// It demonstrates the harness's three layers: a Poisson arrival schedule
+// that never waits on completions (open-loop — a slow server faces the full
+// offered load), per-class log-linear latency histograms with
+// p50/p90/p99/p99.9, and multi-tenant traffic with a Jain fairness index.
+// The same rig, pointed at a live server with more knobs, is
+// cmd/omg-loadgen; the rationale and tuning results live in ARCHITECTURE.md
+// "Tail latency & SLOs".
+//
+// Run against a live server:
+//
+//	go run ./cmd/omg-serve &
+//	go run ./examples/loadgen -addr 127.0.0.1:7071
+//
+// Run standalone (no -addr): the example stands up an in-process front end
+// on a loopback listener first, so it works out of the box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/netfront"
+	"repro/internal/speechcmd"
+	"repro/internal/tflm"
+)
+
+func main() {
+	addr := flag.String("addr", "", "TCP address of a running omg-serve (empty: serve in-process)")
+	rate := flag.Float64("rate", 300, "offered load, requests/second")
+	dur := flag.Duration("duration", 2*time.Second, "run length")
+	flag.Parse()
+
+	target := *addr
+	if target == "" {
+		// Stand up the same engine omg-serve fronts: worker pool, queue
+		// backpressure, wire protocol — all in-process on a loopback port.
+		model, err := tflm.BuildRandomTinyConv(1, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := core.NewServer(model, core.ServerConfig{Workers: 2, Queue: 32})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe := netfront.NewFrontEnd(srv, netfront.Config{})
+		go fe.Serve(l)
+		defer fe.Close()
+		target = l.Addr().String()
+	}
+
+	// The target drives the wire protocol: two tenants, a mixed profile of
+	// one-shot and batch requests, four connections per tenant.
+	utt := speechcmd.NewGenerator(speechcmd.DefaultConfig()).Utterance("yes", 3, 0)
+	tenants := []loadgen.TenantSpec{{Name: "acme", Weight: 3}, {Name: "trial", Weight: 1}}
+	tg, err := loadgen.NewClientTarget(loadgen.ClientTargetConfig{
+		Network:   "tcp",
+		Addr:      target,
+		Tenants:   []string{"acme", "trial"},
+		Conns:     4,
+		Utterance: utt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tg.Close()
+
+	// Open loop: the schedule below is fixed by (seed, rate, duration)
+	// before the first request fires; completions never slow it down.
+	rep, err := loadgen.Run(loadgen.Config{
+		Rate:     *rate,
+		Duration: *dur,
+		Seed:     42,
+		Mix:      loadgen.Mix{OneShot: 4, Batch: 1},
+		Tenants:  tenants,
+	}, tg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("offered %d, completed %d, busy %d, errors %d in %v\n",
+		rep.Offered, rep.Completed, rep.Busy, rep.Errors, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("one-shot p50=%v p99=%v p99.9=%v\n",
+		rep.Latency(loadgen.ClassOneShot).Quantile(0.50),
+		rep.Latency(loadgen.ClassOneShot).Quantile(0.99),
+		rep.Latency(loadgen.ClassOneShot).Quantile(0.999))
+	fmt.Printf("tenant completions %v, Jain fairness %.3f\n", rep.TenantDone, rep.Fairness())
+}

@@ -1,0 +1,202 @@
+// Package loadgen is the SLO measurement harness: an open-loop
+// (Poisson-arrival) load generator over the netfront wire protocol, with
+// fixed-bucket log-linear latency histograms and per-class / per-tenant
+// accounting. Open-loop means the arrival schedule is drawn up front from a
+// seeded exponential inter-arrival process and never waits on completions —
+// a server that slows down faces the same offered load, which is what
+// exposes tail latency. A closed-loop driver (like the throughput
+// benchmarks) self-throttles when the server queues, so it systematically
+// understates p99 under overload; see ARCHITECTURE.md "Tail latency & SLOs"
+// for the full rationale and the tuning results the harness produced.
+//
+// The package splits into three layers: Histogram (concurrent, allocation-
+// free recording with HdrHistogram-style log-linear buckets), Run (the
+// open-loop scheduler over an abstract Target), and ClientTarget (the
+// Target that drives a live netfront front end — one-shot, stream and batch
+// traffic, multi-tenant, optional hedging — through netfront/client).
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values 0..2·hSub-1 map exactly, one bucket per
+// value; above that, each power of two splits into hSub linear sub-buckets,
+// so the relative quantization error is bounded by 1/hSub (~3%) at every
+// magnitude. The geometry is fixed — every Histogram has identical buckets,
+// which is what makes Merge exact (a merge of shard histograms equals the
+// histogram of the union of their samples, bucket for bucket).
+const (
+	hSubBits = 5
+	hSub     = 1 << hSubBits // 32 linear sub-buckets per octave
+	// hBuckets covers every nonnegative int64: the top octave (bit 62) has
+	// shift 62-hSubBits, and indexes run linearly below that.
+	hBuckets = (62-hSubBits)*hSub + 2*hSub
+)
+
+// bucketIndex maps a nonnegative value to its bucket. Values below 2·hSub
+// are their own bucket; above, the index is log-linear in the value.
+func bucketIndex(v int64) int {
+	if v < 2*hSub {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1
+	shift := uint(msb - hSubBits)
+	return int(shift)<<hSubBits + hSub + int((uint64(v)>>shift)&(hSub-1))
+}
+
+// bucketLow returns the smallest value that maps to bucket i — the exact
+// inverse of bucketIndex on bucket boundaries.
+func bucketLow(i int) int64 {
+	if i < 2*hSub {
+		return int64(i)
+	}
+	shift := uint(i-hSub) >> hSubBits
+	sub := int64((i - hSub) & (hSub - 1))
+	return (hSub + sub) << shift
+}
+
+// Histogram is a fixed-bucket log-linear latency histogram in the
+// HdrHistogram style: Record is wait-free, allocation-free and safe for any
+// number of concurrent recorders, resolution is ~3% relative at every
+// magnitude, and the value domain (nanoseconds) covers every nonnegative
+// time.Duration. The zero value is not ready; use NewHistogram.
+type Histogram struct {
+	counts []uint64 // hBuckets atomic counters
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Int64
+	min    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram (one fixed ~15 KiB bucket array;
+// recording never allocates again).
+func NewHistogram() *Histogram {
+	h := &Histogram{counts: make([]uint64, hBuckets)}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 until the first Record
+	return h
+}
+
+// Record files one observation. Negative durations clamp to zero. Safe for
+// concurrent use; never allocates.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddUint64(&h.counts[bucketIndex(v)], 1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of all observations (exact, not
+// quantized — the sum is tracked alongside the buckets), zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest recorded value (exact), zero when empty.
+func (h *Histogram) Max() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Min returns the smallest recorded value (exact), zero when empty.
+func (h *Histogram) Min() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the lower boundary of the
+// bucket holding the ceil(q·count)-th smallest observation — a value no
+// larger than the true quantile, and within one bucket width (≤ ~3%
+// relative) below it. Quantile(0) is the first nonempty bucket's boundary;
+// Quantile(1) the last's. Returns zero on an empty histogram. Concurrent
+// recording during a read yields a momentary snapshot, not a torn one —
+// each bucket is read atomically.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := atomic.LoadUint64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	// Concurrent recording raced count ahead of the buckets; the last
+	// nonempty bucket is the best available answer.
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if atomic.LoadUint64(&h.counts[i]) != 0 {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return 0
+}
+
+// Merge folds o into h bucket by bucket. Because every histogram shares one
+// fixed geometry, merging shard histograms is exact: the result is
+// identical to having recorded every observation into one histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if c := atomic.LoadUint64(&o.counts[i]); c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if om := o.max.Load(); o.count.Load() > 0 && om > h.max.Load() {
+		h.max.Store(om)
+	}
+	if om := o.min.Load(); o.count.Load() > 0 && om < h.min.Load() {
+		h.min.Store(om)
+	}
+}
+
+// String summarizes the distribution at the standard reporting quantiles.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v p99.9=%v max=%v",
+		h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}

@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaryExactness proves bucketLow is the exact inverse of
+// bucketIndex on every bucket boundary, and that boundaries partition the
+// value space: the value one below a boundary lands in the previous bucket.
+func TestBucketBoundaryExactness(t *testing.T) {
+	for i := 0; i < hBuckets; i++ {
+		low := bucketLow(i)
+		if got := bucketIndex(low); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", i, low, got)
+		}
+		if low > 0 {
+			if got := bucketIndex(low - 1); got != i-1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d (below boundary of bucket %d)", low-1, got, i-1, i)
+			}
+		}
+	}
+}
+
+// TestBucketSmallValuesExact proves values below 2·hSub each own a bucket:
+// the histogram is exact, not approximate, for 0..63 ns.
+func TestBucketSmallValuesExact(t *testing.T) {
+	for v := int64(0); v < 2*hSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d", v, got)
+		}
+		if got := bucketLow(int(v)); got != v {
+			t.Fatalf("bucketLow(%d) = %d", v, got)
+		}
+	}
+}
+
+// TestBucketRelativeError proves the log-linear geometry's resolution
+// bound: every bucket's width is at most its lower boundary / hSub, so a
+// quantile read is within ~3% of the true value.
+func TestBucketRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200000; trial++ {
+		v := rng.Int63() >> uint(rng.Intn(62))
+		i := bucketIndex(v)
+		low := bucketLow(i)
+		if low > v {
+			t.Fatalf("bucketLow(bucketIndex(%d)) = %d > value", v, low)
+		}
+		if i+1 < hBuckets {
+			width := bucketLow(i+1) - low
+			if low >= 2*hSub && width > low/hSub {
+				t.Fatalf("bucket %d width %d exceeds low/%d (low=%d)", i, width, hSub, low)
+			}
+			if bucketLow(i+1) <= v {
+				t.Fatalf("value %d beyond its bucket %d [%d, %d)", v, i, low, bucketLow(i+1))
+			}
+		}
+	}
+}
+
+// TestQuantileMonotonicity proves Quantile is non-decreasing in q over a
+// randomly filled histogram, and pinned by Min/Max at the extremes.
+func TestQuantileMonotonicity(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(10 * time.Second))))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile(%f) = %v < previous %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	if h.Quantile(0) > h.Min() {
+		t.Fatalf("Quantile(0) = %v > Min %v", h.Quantile(0), h.Min())
+	}
+	if h.Quantile(1) > h.Max() || h.Max() < h.Quantile(0.999) {
+		t.Fatalf("extremes out of order: q1=%v q.999=%v max=%v", h.Quantile(1), h.Quantile(0.999), h.Max())
+	}
+}
+
+// TestMergeOfShardsEqualsWhole proves Merge is exact: recording a sample
+// stream across N shard histograms and merging them yields bucket-for-
+// bucket the same state as recording everything into one histogram.
+func TestMergeOfShardsEqualsWhole(t *testing.T) {
+	const shards = 4
+	whole := NewHistogram()
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = NewHistogram()
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(rng.Int63n(int64(time.Minute)))
+		whole.Record(v)
+		parts[i%shards].Record(v)
+	}
+	merged := NewHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged summary %v != whole %v", merged, whole)
+	}
+	for i := range whole.counts {
+		if merged.counts[i] != whole.counts[i] {
+			t.Fatalf("bucket %d: merged %d != whole %d", i, merged.counts[i], whole.counts[i])
+		}
+	}
+}
+
+// TestConcurrentRecordProperty is the -race property test: with recorders
+// running concurrently, the recorded count always equals issued minus
+// in-flight — no increment is lost or double-counted — and at quiescence
+// the bucket sum equals the count.
+func TestConcurrentRecordProperty(t *testing.T) {
+	const workers = 8
+	const perWorker = 20000
+	h := NewHistogram()
+	var issued atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				issued.Add(1)
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w + 10))
+	}
+	// Sample the invariant while recording is live: Count never exceeds
+	// issued (a record is only visible after its issue), and never lags
+	// by more than the possible in-flight window (one per worker).
+	for i := 0; i < 100; i++ {
+		iss := issued.Load()
+		n := h.Count()
+		if n > iss {
+			t.Fatalf("count %d exceeds issued %d", n, iss)
+		}
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("count = %d, want %d (issued minus zero in-flight)", got, want)
+	}
+	var sum uint64
+	for i := range h.counts {
+		sum += h.counts[i]
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", sum, h.Count())
+	}
+}
+
+// TestRecordDoesNotAllocate pins the 0-alloc record path.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123456 * time.Nanosecond) }); n != 0 {
+		t.Fatalf("Record allocates %v times per call", n)
+	}
+}
+
+// TestEmptyHistogram pins the zero-sample contract: every reader returns 0.
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not all-zero: %v", h)
+	}
+	h.Record(-time.Second) // negative clamps to zero, does not corrupt
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record mishandled: %v", h)
+	}
+}

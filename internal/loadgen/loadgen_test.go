@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netfront"
+	"repro/internal/netfront/client"
+)
+
+// stubTarget runs fn per request; the zero fn completes instantly.
+type stubTarget struct {
+	fn    func(class Class, tenant string, seq int) error
+	stats client.Stats
+}
+
+func (s *stubTarget) Do(class Class, tenant string, seq int) error {
+	if s.fn == nil {
+		return nil
+	}
+	return s.fn(class, tenant, seq)
+}
+
+func (s *stubTarget) Stats() client.Stats { return s.stats }
+
+// TestOpenLoopOfferedLoadIndependentOfStall is the acceptance-criteria
+// property: the arrival schedule is a function of the config alone, so a
+// deliberately stalled server receives exactly the offered load a healthy
+// one does — the generator never self-throttles (no closed-loop mercy).
+func TestOpenLoopOfferedLoadIndependentOfStall(t *testing.T) {
+	cfg := Config{
+		Rate:         2000,
+		Duration:     300 * time.Millisecond,
+		Seed:         7,
+		DrainTimeout: 50 * time.Millisecond,
+	}
+
+	healthy, err := Run(cfg, &stubTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Offered == 0 || healthy.Completed != healthy.Offered {
+		t.Fatalf("healthy run: %v", healthy)
+	}
+
+	block := make(chan struct{})
+	defer close(block) // release the stalled goroutines after the test
+	stalled, err := Run(cfg, &stubTarget{fn: func(Class, string, int) error {
+		<-block
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stalled.Offered != healthy.Offered {
+		t.Fatalf("stalled server reduced offered load: %d vs healthy %d — the loop is closed, not open",
+			stalled.Offered, healthy.Offered)
+	}
+	if stalled.Completed != 0 || stalled.Inflight != stalled.Offered {
+		t.Fatalf("stalled run bookkeeping: %v", stalled)
+	}
+}
+
+// TestScheduleDeterminism: same config, same seed → identical arrival
+// count and identical per-tenant assignment (observed via completions
+// against an instant target).
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{
+		Rate:        5000,
+		MaxArrivals: 1500,
+		Seed:        11,
+		Mix:         Mix{OneShot: 3, Stream: 1, Batch: 1},
+		Tenants:     []TenantSpec{{Name: "a", Weight: 4}, {Name: "b", Weight: 1}},
+	}
+	r1, err := Run(cfg, &stubTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, &stubTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Offered != uint64(cfg.MaxArrivals) || r2.Offered != r1.Offered {
+		t.Fatalf("offered %d / %d, want %d", r1.Offered, r2.Offered, cfg.MaxArrivals)
+	}
+	for _, tn := range []string{"a", "b"} {
+		if r1.TenantDone[tn] != r2.TenantDone[tn] {
+			t.Fatalf("tenant %q assignment not deterministic: %d vs %d", tn, r1.TenantDone[tn], r2.TenantDone[tn])
+		}
+	}
+	// The 4:1 weights must show up in the arrival split (same seed, so
+	// this is a fixed property of the schedule, not a statistical one).
+	if r1.TenantDone["a"] <= 2*r1.TenantDone["b"] {
+		t.Fatalf("tenant weighting not applied: %v", r1.TenantDone)
+	}
+}
+
+// TestMixAssignsClasses: zero mix is pure one-shot; a weighted mix routes
+// arrivals to every weighted class and to no unweighted one.
+func TestMixAssignsClasses(t *testing.T) {
+	var classes [numClasses]atomic.Uint64
+	count := func(c Class, _ string, _ int) error {
+		classes[c].Add(1)
+		return nil
+	}
+
+	if _, err := Run(Config{Rate: 10000, MaxArrivals: 300, Seed: 3}, &stubTarget{fn: count}); err != nil {
+		t.Fatal(err)
+	}
+	if classes[ClassStream].Load() != 0 || classes[ClassBatch].Load() != 0 || classes[ClassOneShot].Load() != 300 {
+		t.Fatalf("zero mix not pure one-shot: %v %v %v",
+			classes[ClassOneShot].Load(), classes[ClassStream].Load(), classes[ClassBatch].Load())
+	}
+
+	for i := range classes {
+		classes[i].Store(0)
+	}
+	cfg := Config{Rate: 10000, MaxArrivals: 600, Seed: 3, Mix: Mix{Stream: 1, Batch: 1}}
+	if _, err := Run(cfg, &stubTarget{fn: count}); err != nil {
+		t.Fatal(err)
+	}
+	if classes[ClassOneShot].Load() != 0 {
+		t.Fatalf("unweighted class received arrivals: %d", classes[ClassOneShot].Load())
+	}
+	if classes[ClassStream].Load() == 0 || classes[ClassBatch].Load() == 0 {
+		t.Fatalf("weighted classes starved: stream=%d batch=%d",
+			classes[ClassStream].Load(), classes[ClassBatch].Load())
+	}
+}
+
+// TestOutcomeClassification: BUSY, overload-shed and generic failures land
+// in the right counters, and server hints land in the hint histogram.
+func TestOutcomeClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		check func(t *testing.T, r *Report)
+	}{
+		{"busy", &client.BusyError{RetryAfter: 5 * time.Millisecond}, func(t *testing.T, r *Report) {
+			if r.Busy != r.Offered || r.Errors != 0 {
+				t.Fatalf("busy run: %v", r)
+			}
+			if r.Hints.Count() != r.Offered || r.Hints.Min() != 5*time.Millisecond {
+				t.Fatalf("hints not recorded: %v", r.Hints)
+			}
+		}},
+		{"shed", &client.RemoteError{Code: netfront.CodeDeadlineExceeded, RetryAfter: 2 * time.Millisecond}, func(t *testing.T, r *Report) {
+			if r.Shed != r.Offered || r.Busy != 0 || r.Errors != 0 {
+				t.Fatalf("shed run: %v", r)
+			}
+			if r.Hints.Min() != 2*time.Millisecond {
+				t.Fatalf("shed hint not recorded: %v", r.Hints)
+			}
+		}},
+		{"protocol", errors.New("boom"), func(t *testing.T, r *Report) {
+			if r.Errors != r.Offered || r.Busy != 0 || r.Shed != 0 {
+				t.Fatalf("error run: %v", r)
+			}
+			if len(r.ErrorSamples) != 1 || r.ErrorSamples[0] != "boom" {
+				t.Fatalf("error samples: %v", r.ErrorSamples)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err
+			r, rerr := Run(Config{Rate: 10000, MaxArrivals: 50, Seed: 5},
+				&stubTarget{fn: func(Class, string, int) error { return err }})
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if r.Completed != 0 || r.Inflight != 0 {
+				t.Fatalf("failure run has completions: %v", r)
+			}
+			tc.check(t, r)
+		})
+	}
+}
+
+// TestStatsPassthrough: a StatsSource target's counters reach the report.
+func TestStatsPassthrough(t *testing.T) {
+	st := &stubTarget{stats: client.Stats{Retries: 7, Hedges: 3}}
+	r, err := Run(Config{Rate: 10000, MaxArrivals: 10}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Client.Retries != 7 || r.Client.Hedges != 3 {
+		t.Fatalf("client stats not passed through: %+v", r.Client)
+	}
+}
+
+// TestJainIndex pins the fairness formula at its extremes.
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]uint64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("equal shares: %f", got)
+	}
+	if got := JainIndex([]uint64{10, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("single hog: %f", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty: %f", got)
+	}
+}
+
+// TestConfigValidation rejects unusable configurations.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Duration: time.Second}, &stubTarget{}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(Config{Rate: 100}, &stubTarget{}); err == nil {
+		t.Fatal("unbounded schedule accepted")
+	}
+}
+
+// TestReportJSONShape: the benchjson-schema emission carries the gated
+// p99-ms/op key on every entry and the run-level rates on the overall one.
+func TestReportJSONShape(t *testing.T) {
+	r, err := Run(Config{Rate: 10000, MaxArrivals: 100, Seed: 9, Mix: Mix{OneShot: 1, Batch: 1}}, &stubTarget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.BenchFile("X")
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("entries: %+v", f.Benchmarks)
+	}
+	if f.Benchmarks[0].Name != "X" {
+		t.Fatalf("overall entry name %q", f.Benchmarks[0].Name)
+	}
+	for _, b := range f.Benchmarks {
+		if _, ok := b.Metrics["p99-ms/op"]; !ok {
+			t.Fatalf("entry %q lacks gated p99-ms/op", b.Name)
+		}
+	}
+	for _, key := range []string{"offered/s", "done/s", "fairness"} {
+		if _, ok := f.Benchmarks[0].Metrics[key]; !ok {
+			t.Fatalf("overall entry lacks %q", key)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// BenchEntry mirrors cmd/benchjson's Benchmark record: one named
+// measurement with iterations, ns/op and unit-keyed custom metrics. Emitted
+// here so loadgen runs land in the same BENCH_<rev>.json trajectory the
+// benchmarks use (`benchjson -cmp old.json new.json` works across both).
+type BenchEntry struct {
+	// Name is the benchmark-style identifier ("Loadgen/oneshot", ...).
+	Name string `json:"name"`
+	// Iters is the completed-request count backing the entry.
+	Iters int64 `json:"iters"`
+	// NsPerOp is the mean latency in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics maps metric unit to value, benchjson conventions: units
+	// ending in "/op" are regression-gated costs, units containing "/s"
+	// are rates, anything else is informational.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchFile mirrors cmd/benchjson's File: context plus entries.
+type BenchFile struct {
+	// Context carries run provenance (goos/goarch/source/config echo).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds one entry per traffic class plus the overall line.
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// ms converts a duration to float milliseconds for metric emission.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// entry builds one BenchEntry from a histogram. The p99 is keyed
+// "p99-ms/op" — a benchjson *cost* unit, so trajectory comparisons gate on
+// it — while the other quantiles use informational "-ms" keys.
+func entry(name string, h *Histogram) BenchEntry {
+	return BenchEntry{
+		Name:    name,
+		Iters:   int64(h.Count()),
+		NsPerOp: float64(h.Mean()),
+		Metrics: map[string]float64{
+			"p50-ms":    ms(h.Quantile(0.50)),
+			"p90-ms":    ms(h.Quantile(0.90)),
+			"p99-ms/op": ms(h.Quantile(0.99)),
+			"p99.9-ms":  ms(h.Quantile(0.999)),
+			"max-ms":    ms(h.Max()),
+		},
+	}
+}
+
+// BenchFile renders the report in cmd/benchjson's snapshot schema: an
+// overall entry named name, one entry per traffic class that saw
+// completions (name/class), and run-level rates on the overall entry.
+func (r *Report) BenchFile(name string) BenchFile {
+	overall := entry(name, r.Overall)
+	secs := r.Elapsed.Seconds()
+	if secs > 0 {
+		overall.Metrics["offered/s"] = float64(r.Offered) / secs
+		overall.Metrics["done/s"] = float64(r.Completed) / secs
+	}
+	if r.Offered > 0 {
+		overall.Metrics["busy-rate"] = float64(r.Busy) / float64(r.Offered)
+		overall.Metrics["shed-rate"] = float64(r.Shed) / float64(r.Offered)
+		overall.Metrics["err-rate"] = float64(r.Errors) / float64(r.Offered)
+	}
+	overall.Metrics["fairness"] = r.Fairness()
+	overall.Metrics["retries"] = float64(r.Client.Retries)
+	overall.Metrics["hedges"] = float64(r.Client.Hedges)
+	entries := []BenchEntry{overall}
+	for c := ClassOneShot; c < numClasses; c++ {
+		if h := r.PerClass[c]; h.Count() > 0 {
+			entries = append(entries, entry(name+"/"+c.String(), h))
+		}
+	}
+	return BenchFile{
+		Context: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"source": "omg-loadgen",
+		},
+		Benchmarks: entries,
+	}
+}
+
+// WriteJSON writes the report as indented benchjson-schema JSON.
+func (r *Report) WriteJSON(w io.Writer, name string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.BenchFile(name))
+}

@@ -244,6 +244,25 @@ type reply struct {
 	err    error
 }
 
+// Stats is a snapshot of a client's lifetime resilience counters — how
+// hard the client had to work beyond one wire attempt per request. The SLO
+// harness (internal/loadgen) folds these into its reports; they are also
+// the cheap way to assert "no retries happened" in tests.
+type Stats struct {
+	// Retries counts one-shot wire attempts beyond the first
+	// (Classify/ClassifyDeadline retry loop iterations).
+	Retries uint64
+	// Redials counts replacement connections successfully established
+	// after transport loss (Options.Redial).
+	Redials uint64
+	// Hedges counts hedge attempts launched beyond each request's first
+	// attempt (Options.Hedge).
+	Hedges uint64
+	// Busy counts BUSY frames received from the server, across all
+	// requests and attempts.
+	Busy uint64
+}
+
 // Client is one logical connection to a netfront server. Under
 // Options.Redial it survives transport loss by replacing the underlying
 // connection; without it the first transport loss fails all later requests.
@@ -259,6 +278,23 @@ type Client struct {
 	closed bool
 
 	version atomic.Uint64 // model version from the latest hello ack
+
+	statRetries atomic.Uint64
+	statRedials atomic.Uint64
+	statHedges  atomic.Uint64
+	statBusy    atomic.Uint64
+}
+
+// Stats snapshots the client's resilience counters. Safe to call
+// concurrently with requests; the fields are read independently, so the
+// snapshot is per-counter consistent, not globally atomic.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Retries: c.statRetries.Load(),
+		Redials: c.statRedials.Load(),
+		Hedges:  c.statHedges.Load(),
+		Busy:    c.statBusy.Load(),
+	}
 }
 
 // clientConn is one transport generation: the socket, its read loop, and
@@ -466,6 +502,7 @@ func (c *Client) conn(deadline time.Time) (*clientConn, error) {
 			cc := newClientConn(c, nc)
 			c.cc = cc
 			c.mu.Unlock()
+			c.statRedials.Add(1)
 			// Re-bind tenant/model on the fresh generation. A server
 			// rejection (unknown model) is terminal — redialing cannot
 			// fix it; a transport failure just feeds the redial loop.
@@ -563,6 +600,7 @@ func (cc *clientConn) readLoop() {
 			}
 			id := binary.LittleEndian.Uint32(b[0:4])
 			retry := time.Duration(binary.LittleEndian.Uint32(b[4:8])) * time.Millisecond
+			cc.owner.statBusy.Add(1)
 			cc.deliver(id, reply{err: &BusyError{RetryAfter: retry}})
 		case frameError:
 			if len(b) < 4 {
@@ -814,6 +852,9 @@ func (cc *clientConn) classifyHedged(samples []int16, deadline time.Time, delay 
 			cc.deregister(id)
 			return err
 		}
+		if len(ids) > 0 {
+			cc.owner.statHedges.Add(1)
+		}
 		ids = append(ids, id)
 		return nil
 	}
@@ -957,6 +998,7 @@ func (c *Client) ClassifyDeadline(samples []int16, deadline time.Time) (int, err
 		if !c.backoffSleep(pol, attempt, deadline, retryAfterHint(err)) {
 			return -1, err
 		}
+		c.statRetries.Add(1)
 	}
 }
 

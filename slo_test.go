@@ -1,0 +1,296 @@
+package repro
+
+// SLO harness tests (ISSUE 10): the open-loop load generator driving a real
+// in-process front end over loopback TCP. These are the served-path
+// counterparts to internal/loadgen's unit tests — they verify the harness
+// against live wire traffic: the CI smoke run (make slo-smoke), the hedging
+// attempt bound under thousands of hedged one-shots, and the overload
+// controller's computed retry-after hints as observed from the client side.
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/netfront"
+	"repro/internal/netfront/client"
+	"repro/internal/speechcmd"
+	"repro/internal/tflm"
+)
+
+// sloUtt builds the standard test utterance.
+func sloUtt(t *testing.T) []int16 {
+	t.Helper()
+	return speechcmd.NewGenerator(speechcmd.DefaultConfig()).Utterance("yes", 3, 0)
+}
+
+// sloServe stands up a single-model front end on loopback TCP.
+func sloServe(t *testing.T, sc core.ServerConfig) string {
+	t.Helper()
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(model, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEnd(srv, netfront.Config{})
+	go fe.Serve(l)
+	t.Cleanup(func() {
+		fe.Close()
+		srv.Close()
+	})
+	return l.Addr().String()
+}
+
+// TestSLOSmoke is the `make slo-smoke` CI gate: a one-second mixed-profile
+// open-loop run against an in-process front end must complete requests and
+// produce zero protocol errors.
+func TestSLOSmoke(t *testing.T) {
+	addr := sloServe(t, core.ServerConfig{Workers: 2, Queue: 64})
+	target, err := loadgen.NewClientTarget(loadgen.ClientTargetConfig{
+		Network:   "tcp",
+		Addr:      addr,
+		Conns:     2,
+		Utterance: sloUtt(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Rate:     300,
+		Duration: time.Second,
+		Seed:     1,
+		Mix:      loadgen.Mix{OneShot: 8, Stream: 1, Batch: 1},
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("no completions: %v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d protocol errors (%v): %v", rep.Errors, rep.ErrorSamples, rep)
+	}
+	if rep.Inflight != 0 {
+		t.Fatalf("requests leaked past drain: %v", rep)
+	}
+}
+
+// frameCountConn counts utterance frames written to the wire. The client
+// writes each frame in a single Write call with the type byte at offset 4,
+// so counting writes is counting wire attempts.
+type frameCountConn struct {
+	net.Conn
+	utts *atomic.Uint64
+}
+
+// Write counts FrameUtterance writes and passes through.
+func (c *frameCountConn) Write(b []byte) (int, error) {
+	if len(b) >= netfront.HeaderLen && b[4] == netfront.FrameUtterance {
+		c.utts.Add(1)
+	}
+	return c.Conn.Write(b)
+}
+
+// TestHedgedLoadAttemptBound drives thousands of hedged one-shots through
+// an overloaded single-worker server and proves the hedging contract at
+// the wire: total utterance frames never exceed offered × (1+Max), frames
+// reconcile exactly with the client's hedge counter, and loser cancellation
+// does not leak goroutines once the target closes.
+func TestHedgedLoadAttemptBound(t *testing.T) {
+	addr := sloServe(t, core.ServerConfig{Workers: 1, Queue: 128})
+	const hedgeMax = 2
+	var frames atomic.Uint64
+
+	baseline := runtime.NumGoroutine()
+	target, err := loadgen.NewClientTarget(loadgen.ClientTargetConfig{
+		Network:   "tcp",
+		Addr:      addr,
+		Conns:     4,
+		Utterance: sloUtt(t),
+		Hedge:     client.HedgePolicy{Delay: time.Millisecond, Max: hedgeMax},
+		DialFunc: func(network, a string) (net.Conn, error) {
+			nc, err := net.Dial(network, a)
+			if err != nil {
+				return nil, err
+			}
+			return &frameCountConn{Conn: nc, utts: &frames}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Rate:        3000,
+		MaxArrivals: 2000,
+		Seed:        17,
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrote := frames.Load()
+	if rep.Offered != 2000 {
+		t.Fatalf("offered %d, want 2000", rep.Offered)
+	}
+	if max := rep.Offered * (1 + hedgeMax); wrote > max {
+		t.Fatalf("%d utterance frames for %d requests exceeds the 1+Max=%d attempt bound (%d)",
+			wrote, rep.Offered, 1+hedgeMax, max)
+	}
+	if rep.Client.Hedges == 0 {
+		t.Fatalf("overloaded run fired no hedges: %v", rep)
+	}
+	// Every frame is either a request's first attempt or a counted hedge:
+	// the wire count must reconcile exactly (no retries/redials configured).
+	if want := rep.Offered + rep.Client.Hedges; wrote != want {
+		t.Fatalf("frames %d != offered %d + hedges %d", wrote, rep.Offered, rep.Client.Hedges)
+	}
+	if rep.Client.Retries != 0 || rep.Client.Redials != 0 {
+		t.Fatalf("unexpected retries/redials: %+v", rep.Client)
+	}
+
+	target.Close()
+	// Loser cancellation and read loops must wind down to the baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// slowEngine is a registry shard with a fixed per-job service time: it
+// makes the service-rate EWMA behind the overload controller's retry-after
+// hints predictable.
+type slowEngine struct{ svc time.Duration }
+
+// SubmitFuncDeadline serves the job inline after the fixed service time.
+func (e *slowEngine) SubmitFuncDeadline(samples []int16, deadline time.Time, fn func(core.Result)) error {
+	time.Sleep(e.svc)
+	fn(core.Result{Label: 1})
+	return nil
+}
+
+// TrySubmitFuncDeadline behaves like SubmitFuncDeadline (never full).
+func (e *slowEngine) TrySubmitFuncDeadline(samples []int16, deadline time.Time, fn func(core.Result)) error {
+	return e.SubmitFuncDeadline(samples, deadline, fn)
+}
+
+// OpenStream is unsupported — this engine serves one-shots only.
+func (e *slowEngine) OpenStream() (*core.Stream, error) {
+	return nil, errors.New("slowEngine: no streams")
+}
+
+// Workers reports one worker.
+func (e *slowEngine) Workers() int { return 1 }
+
+// LiveWorkers reports one live worker.
+func (e *slowEngine) LiveWorkers() int { return 1 }
+
+// Close is a no-op; the engine holds no state.
+func (e *slowEngine) Close() {}
+
+// TestOverloadHintsObservedWithinClampBounds floods a registry tenant with
+// a tiny queue cap through the wire and checks the retry-after hints the
+// loadgen observes against the server's (backlog+1)×svc-EWMA computation:
+// every hint within the [1ms, 2s] clamp, millisecond wire granularity, and
+// — with a fixed 4ms shard service time making the EWMA predictable — a
+// backlog-at-cap hint of at least (cap+1)×1ms.
+func TestOverloadHintsObservedWithinClampBounds(t *testing.T) {
+	model, err := tflm.BuildRandomTinyConv(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const queueCap = 4
+	const svc = 4 * time.Millisecond
+	reg, err := core.NewRegistry(
+		map[string]core.ModelConfig{"m": {Model: model, Version: 1}},
+		core.RegistryConfig{
+			Engine:  func(*tflm.Model, core.ServerConfig) (core.Engine, error) { return &slowEngine{svc: svc}, nil },
+			Tenants: map[string]core.TenantConfig{"t": {Weight: 1, MaxQueue: queueCap}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		reg.Close()
+		t.Fatal(err)
+	}
+	fe := netfront.NewFrontEndRegistry(reg, netfront.Config{})
+	go fe.Serve(l)
+	t.Cleanup(func() {
+		fe.Close()
+		reg.Close()
+	})
+
+	target, err := loadgen.NewClientTarget(loadgen.ClientTargetConfig{
+		Network:   "tcp",
+		Addr:      l.Addr().String(),
+		Tenants:   []string{"t"},
+		Conns:     2,
+		Utterance: sloUtt(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Rate:     1500,
+		Duration: 600 * time.Millisecond,
+		Seed:     23,
+		Tenants:  []loadgen.TenantSpec{{Name: "t"}},
+	}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d protocol errors (%v)", rep.Errors, rep.ErrorSamples)
+	}
+	if rep.Busy == 0 {
+		t.Fatalf("flood produced no BUSY: %v", rep)
+	}
+	h := rep.Hints
+	if h.Count() != rep.Busy+rep.Shed {
+		t.Fatalf("hints %d != busy %d + shed %d — a rejection arrived without a computed hint",
+			h.Count(), rep.Busy, rep.Shed)
+	}
+	if h.Min() < time.Millisecond {
+		t.Fatalf("hint %v below the minRetryAfter clamp", h.Min())
+	}
+	if h.Max() > 2*time.Second {
+		t.Fatalf("hint %v above the maxRetryAfter clamp", h.Max())
+	}
+	if h.Min()%time.Millisecond != 0 || h.Max()%time.Millisecond != 0 {
+		t.Fatalf("hints not millisecond-granular on the wire: min=%v max=%v", h.Min(), h.Max())
+	}
+	// A rejection only happens with the tenant queue at cap, so backlog
+	// >= queueCap and the computed hint is (backlog+1)×svcEWMA >= (cap+1)
+	// × minRetryAfter even before the EWMA warms to the real 4ms service
+	// interval. The largest observed hint must clear that floor.
+	if want := time.Duration(queueCap+1) * time.Millisecond; h.Max() < want {
+		t.Fatalf("max hint %v below the backlog floor %v — hints are not tracking (backlog+1)×svc", h.Max(), want)
+	}
+}
